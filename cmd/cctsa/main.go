@@ -1,0 +1,46 @@
+// Command cctsa runs the synthetic ccTSA sequence-assembly workload on
+// the simulated machine (paper Section 5.3).
+//
+// Example:
+//
+//	cctsa -threads 72 -lock natle -timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"natle/internal/cctsa"
+	"natle/internal/machine"
+)
+
+func main() {
+	var (
+		threads  = flag.Int("threads", 1, "worker threads")
+		lockK    = flag.String("lock", "tle", "lock: tle | natle")
+		genome   = flag.Int("genome", 1<<15, "genome length in bases")
+		coverage = flag.Int("coverage", 6, "read coverage")
+		pin      = flag.Bool("pin", true, "pin threads (fill-socket-first)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		timeline = flag.Bool("timeline", false, "print per-cycle socket-0 share (Fig 18b)")
+	)
+	flag.Parse()
+	cfg := cctsa.DefaultConfig()
+	cfg.GenomeLen = *genome
+	cfg.Coverage = *coverage
+	cfg.Threads = *threads
+	cfg.Seed = *seed
+	cfg.Lock = *lockK
+	if !*pin {
+		cfg.Pin = machine.Unpinned{}
+	}
+	r := cctsa.Run(cfg)
+	fmt.Printf("threads=%d lock=%s runtime=%v contigs=%d assembled=%d kmers=%d aborts=%d\n",
+		r.Threads, *lockK, r.Runtime, r.Contigs, r.Assembled, r.KmersSeen, r.HTM.TotalAborts())
+	if *timeline {
+		for _, m := range r.Timeline {
+			fmt.Printf("cycle %3d: socket0-share=%.2f fastest-mode=%d\n",
+				m.Cycle, m.Socket0Share, m.FastestMode)
+		}
+	}
+}

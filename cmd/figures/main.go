@@ -1,0 +1,102 @@
+// Command figures regenerates the paper's tables and figures on the
+// simulated machine and prints them as text tables (or CSV).
+//
+// Usage:
+//
+//	figures                  # every figure at quick scale
+//	figures -scale full      # the EXPERIMENTS.md record scale
+//	figures -fig fig01,fig12 # a subset
+//	figures -csv             # CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"natle/internal/harness"
+)
+
+func main() {
+	var (
+		scale = flag.String("scale", "quick", "sweep scale: quick | full")
+		figs  = flag.String("fig", "", "comma-separated figure ids (default: all)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of text tables")
+		list  = flag.Bool("list", false, "list available figure ids and exit")
+	)
+	flag.Parse()
+
+	sc := harness.QuickScale()
+	if *scale == "full" {
+		sc = harness.FullScale()
+	}
+
+	type gen struct {
+		id    string
+		build func() *harness.Figure
+	}
+	gens := []gen{
+		{"fig01", func() *harness.Figure { return harness.Fig01(sc) }},
+		{"fig02a", func() *harness.Figure { return harness.Fig02a(sc) }},
+		{"fig02b", func() *harness.Figure { return harness.Fig02b(sc) }},
+		{"fig03", func() *harness.Figure { return harness.Fig03(sc) }},
+		{"fig04", func() *harness.Figure { return harness.Fig04(sc) }},
+		{"fig05", func() *harness.Figure { return harness.Fig05(sc) }},
+		{"fig06", func() *harness.Figure { return harness.Fig06(sc) }},
+		{"fig07", func() *harness.Figure { return harness.Fig07(sc) }},
+		{"llc", func() *harness.Figure { return harness.LLCTable(1<<17, sc.Seed) }},
+		{"fig12", func() *harness.Figure { return harness.Fig12(sc) }},
+		{"fig13", func() *harness.Figure { return harness.Fig13(sc) }},
+		{"fig14", func() *harness.Figure { return harness.Fig14(sc) }},
+		{"fig15", func() *harness.Figure { return harness.Fig15(sc) }},
+		{"fig16", func() *harness.Figure { return harness.Fig16(sc) }},
+		{"fig17", func() *harness.Figure { return harness.Fig17(sc, nil) }},
+		{"fig18a", func() *harness.Figure { return harness.Fig18(sc, true) }},
+		{"fig18b", func() *harness.Figure { return harness.Fig18b(sc) }},
+		{"fig18c", func() *harness.Figure { return harness.Fig18(sc, false) }},
+		{"fig19a", func() *harness.Figure { return harness.Fig19(sc, true) }},
+		{"fig19b", func() *harness.Figure { return harness.Fig19(sc, false) }},
+		{"delegation", func() *harness.Figure { return harness.DelegationTable(sc, []int{1, 4}) }},
+		{"locks", func() *harness.Figure { return harness.LocksTable(sc) }},
+		{"ablation-remote-latency", func() *harness.Figure { return harness.AblationRemoteLatency(sc) }},
+		{"ablation-profiling-len", func() *harness.Figure { return harness.AblationProfilingLen(sc) }},
+		{"ablation-warmup-threshold", func() *harness.Figure { return harness.AblationWarmupThreshold(sc) }},
+		{"ablation-quanta", func() *harness.Figure { return harness.AblationQuanta(sc) }},
+		{"ablation-adaptive-profiling", func() *harness.Figure { return harness.AblationAdaptiveProfiling(sc) }},
+	}
+
+	if *list {
+		for _, g := range gens {
+			fmt.Println(g.id)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *figs != "" {
+		for _, id := range strings.Split(*figs, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	ran := 0
+	for _, g := range gens {
+		if len(want) > 0 && !want[g.id] {
+			continue
+		}
+		start := time.Now()
+		f := g.build()
+		if *csv {
+			fmt.Printf("# %s\n%s\n", f.ID, f.CSV())
+		} else {
+			fmt.Println(f.String())
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", g.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no figures matched %q (use -list)\n", *figs)
+		os.Exit(2)
+	}
+}

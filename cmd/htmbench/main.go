@@ -1,0 +1,118 @@
+// Command htmbench is an ad-hoc microbenchmark driver for the
+// simulated machine: it sweeps thread counts for one workload and
+// prints throughput, speedup over one thread, and abort statistics.
+//
+// Example (the paper's Figure 1 workload):
+//
+//	htmbench -set avl -keys 2048 -updates 100 -lock tle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"natle/internal/machine"
+	"natle/internal/sets"
+	"natle/internal/tle"
+	"natle/internal/vtime"
+	"natle/internal/workload"
+)
+
+func main() {
+	var (
+		prof      = flag.String("machine", "large", "machine profile: large | small")
+		pin       = flag.String("pin", "fill", "pinning: fill | alt | none | socket0")
+		setKind   = flag.String("set", "avl", "set: avl | leafbst | bst | skiplist")
+		keys      = flag.Int64("keys", 2048, "key range [0, keys)")
+		updates   = flag.Int("updates", 100, "update percentage")
+		extWork   = flag.Int("work", 0, "external work max iterations")
+		lockKind  = flag.String("lock", "tle", "lock: tle | natle | lock | cohort | none")
+		attempts  = flag.Int("attempts", 20, "TLE transactional attempts")
+		honorHint = flag.Bool("hint", false, "fall back immediately when the hint bit is clear")
+		countLock = flag.Bool("countlock", false, "count lock-held attempts (disables anti-lemming)")
+		searchRep = flag.Bool("searchreplace", false, "use the Fig 4 search-and-replace operation")
+		durMs     = flag.Float64("ms", 2.0, "measured virtual milliseconds per trial")
+		delayUs   = flag.Float64("delay", 0, "pre-commit delay in microseconds (Fig 6)")
+		threads   = flag.String("threads", "", "comma-separated thread counts (default: profile sweep)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	p := machine.LargeX52()
+	if *prof == "small" {
+		p = machine.SmallI7()
+	}
+	var policy machine.PinPolicy
+	switch *pin {
+	case "fill":
+		policy = machine.FillSocketFirst{}
+	case "alt":
+		policy = machine.Alternating{}
+	case "none":
+		policy = machine.Unpinned{}
+	case "socket0":
+		policy = machine.SingleSocket{}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pin policy %q\n", *pin)
+		os.Exit(2)
+	}
+
+	counts := defaultSweep(p)
+	if *threads != "" {
+		counts = counts[:0]
+		for _, f := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad thread count %q\n", f)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+	}
+
+	fmt.Printf("# %s, %s, set=%s keys=%d upd=%d%% work=%d lock=%s\n",
+		p.Name, policy.Name(), *setKind, *keys, *updates, *extWork, *lockKind)
+	fmt.Printf("%7s %14s %9s %8s %9s %9s %9s %9s\n",
+		"threads", "ops/s", "speedup", "abort%", "conflict", "capacity", "lockheld", "fallback")
+
+	var base float64
+	for _, n := range counts {
+		r := workload.Run(workload.Config{
+			Prof:          p,
+			Pin:           policy,
+			Threads:       n,
+			Seed:          *seed,
+			SetKind:       sets.Kind(*setKind),
+			KeyRange:      *keys,
+			UpdatePct:     *updates,
+			SearchReplace: *searchRep,
+			ExternalWork:  *extWork,
+			Lock:          workload.LockKind(*lockKind),
+			TLE: tle.Policy{
+				Attempts:      *attempts,
+				HonorHint:     *honorHint,
+				CountLockHeld: *countLock,
+			},
+			Duration:    vtime.Duration(*durMs * float64(vtime.Millisecond)),
+			CommitDelay: vtime.Duration(*delayUs * float64(vtime.Microsecond)),
+		})
+		if base == 0 {
+			base = r.Throughput()
+		}
+		fmt.Printf("%7d %14.0f %9.2f %7.1f%% %9d %9d %9d %9d\n",
+			n, r.Throughput(), r.Throughput()/base,
+			100*r.HTM.AbortRate(),
+			r.HTM.Aborts[1], r.HTM.Aborts[2], r.HTM.Aborts[4],
+			r.TLE.Fallbacks)
+	}
+}
+
+func defaultSweep(p *machine.Profile) []int {
+	if p.Sockets == 1 {
+		return []int{1, 2, 3, 4, 5, 6, 7, 8}
+	}
+	return []int{1, 2, 4, 8, 12, 18, 24, 30, 36, 37, 40, 44, 48, 54, 60, 66, 72}
+}

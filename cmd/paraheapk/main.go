@@ -1,0 +1,39 @@
+// Command paraheapk runs the synthetic paraheap-k clustering workload
+// on the simulated machine (paper Section 5.4).
+//
+// Example:
+//
+//	paraheapk -threads 72 -lock natle -pin=false
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"natle/internal/machine"
+	"natle/internal/paraheap"
+)
+
+func main() {
+	var (
+		threads = flag.Int("threads", 1, "worker threads per phase")
+		lockK   = flag.String("lock", "tle", "lock: tle | natle")
+		points  = flag.Int("points", 6144, "data points")
+		k       = flag.Int("k", 8, "clusters")
+		pin     = flag.Bool("pin", true, "pin threads (fill-socket-first)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	cfg := paraheap.DefaultConfig()
+	cfg.Points = *points
+	cfg.K = *k
+	cfg.Threads = *threads
+	cfg.Seed = *seed
+	cfg.Lock = *lockK
+	if !*pin {
+		cfg.Pin = machine.Unpinned{}
+	}
+	r := paraheap.Run(cfg)
+	fmt.Printf("threads=%d lock=%s pin=%v runtime=%v iterations=%d aborts=%d\n",
+		r.Threads, *lockK, *pin, r.Runtime, r.Iterations, r.HTM.TotalAborts())
+}

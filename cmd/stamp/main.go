@@ -1,0 +1,52 @@
+// Command stamp runs one STAMP benchmark on the simulated machine and
+// prints its total runtime and transaction statistics.
+//
+// Example:
+//
+//	stamp -bench vacation-high -threads 36 -lock natle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"natle/internal/stamp"
+	"natle/internal/vtime"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "benchmark name (or 'all'); see -list")
+		threads = flag.Int("threads", 1, "worker threads")
+		lockK   = flag.String("lock", "tle", "lock: tle | natle")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(stamp.Names(), "\n"))
+		return
+	}
+	names := []string{*bench}
+	if *bench == "all" {
+		names = stamp.Names()
+	} else if *bench == "" {
+		fmt.Fprintln(os.Stderr, "missing -bench (use -list)")
+		os.Exit(2)
+	}
+	fmt.Printf("%-14s %8s %12s %10s %10s %10s\n",
+		"benchmark", "threads", "runtime", "commits", "aborts", "fallbacks")
+	for _, name := range names {
+		b, err := stamp.New(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		r := stamp.Run(b, stamp.Config{Threads: *threads, Seed: *seed, Lock: *lockK})
+		fmt.Printf("%-14s %8d %12v %10d %10d %10d\n",
+			name, *threads, vtime.Duration(r.Runtime),
+			r.HTM.Commits, r.HTM.TotalAborts(), r.TLE.Fallbacks)
+	}
+}

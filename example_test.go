@@ -1,0 +1,57 @@
+package natle_test
+
+import (
+	"fmt"
+
+	"natle"
+)
+
+// ExampleSimulation shows the basic pattern: build a machine, create a
+// lock and a data structure in simulated memory, and run simulated
+// threads against them. The simulator is deterministic, so the output
+// is stable.
+func ExampleSimulation() {
+	sim := natle.NewSimulation(natle.SmallMachine(), natle.FillSocketFirst(), 2, 1)
+	var size int
+	sim.Main(func(c *natle.Thread) {
+		lock := sim.NewTLELock(c, natle.TLE20())
+		set := sim.NewAVL(c)
+		for i := 0; i < 2; i++ {
+			base := int64(i * 100)
+			sim.Go(c, func(w *natle.Thread) {
+				for k := int64(0); k < 50; k++ {
+					lock.Critical(w, func() { set.Insert(w, base+k) })
+				}
+			})
+		}
+		c.SetIdle(true)
+		c.WaitOthers(natle.Microsecond)
+		size = len(set.Keys())
+	})
+	fmt.Println("keys:", size)
+	// Output: keys: 100
+}
+
+// ExampleRunWorkload runs one microbenchmark trial and reports whether
+// transactions were elided.
+func ExampleRunWorkload() {
+	r := natle.RunWorkload(natle.WorkloadConfig{
+		Prof:      natle.SmallMachine(),
+		Threads:   4,
+		Seed:      1,
+		KeyRange:  256,
+		UpdatePct: 50,
+		Duration:  100 * natle.Microsecond,
+		Warmup:    50 * natle.Microsecond,
+	})
+	fmt.Println("elided:", r.HTM.Commits > 0, "fallbacks-bounded:", r.TLE.Fallbacks < r.TLE.Ops)
+	// Output: elided: true fallbacks-bounded: true
+}
+
+// ExampleMachineProfile prints the large machine's topology.
+func ExampleMachineProfile() {
+	p := natle.LargeMachine()
+	fmt.Printf("%d sockets x %d cores x %d threads = %d hardware threads\n",
+		p.Sockets, p.CoresPerSocket, p.ThreadsPerCore, p.HWThreads())
+	// Output: 2 sockets x 18 cores x 2 threads = 72 hardware threads
+}

@@ -1,0 +1,57 @@
+// Applications: the paper's three real-application workloads — STAMP
+// (Fig 17), ccTSA sequence assembly (Fig 18), and paraheap-k
+// clustering (Fig 19) — run through the public API, comparing TLE and
+// NATLE at a cross-socket thread count.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"natle"
+)
+
+func main() {
+	const threads = 54 // 36 on socket 0 + 18 on socket 1
+	ncfg := natle.QuickNATLEConfig()
+
+	fmt.Println("— STAMP (total runtime, lower is better) —")
+	for _, name := range []string{"ssca2", "vacation-high", "labyrinth"} {
+		fmt.Printf("  %-14s", name)
+		for _, lk := range []string{"tle", "natle"} {
+			cfg := natle.STAMPConfig{Name: name}
+			cfg.Threads = threads
+			cfg.Seed = 1
+			cfg.Lock = lk
+			cfg.NATLE = &ncfg
+			r, err := natle.RunSTAMP(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %s=%-12v", lk, r.Runtime)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("— ccTSA (synthetic genome assembly) —")
+	for _, lk := range []string{"tle", "natle"} {
+		cfg := natle.DefaultCCTSAConfig()
+		cfg.Threads = threads
+		cfg.Seed = 1
+		cfg.Lock = lk
+		cfg.NATLE = &ncfg
+		r := natle.RunCCTSA(cfg)
+		fmt.Printf("  %-6s runtime=%-12v contigs=%d\n", lk, r.Runtime, r.Contigs)
+	}
+
+	fmt.Println("— paraheap-k (heap-based clustering, threads re-created per phase) —")
+	for _, lk := range []string{"tle", "natle"} {
+		cfg := natle.DefaultParaheapConfig()
+		cfg.Threads = threads
+		cfg.Seed = 1
+		cfg.Lock = lk
+		cfg.NATLE = &ncfg
+		r := natle.RunParaheap(cfg)
+		fmt.Printf("  %-6s runtime=%-12v iterations=%d\n", lk, r.Runtime, r.Iterations)
+	}
+}

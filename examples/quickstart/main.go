@@ -1,0 +1,41 @@
+// Quickstart: build the simulated two-socket machine, protect an AVL
+// tree with one NATLE lock, and watch the lock rescue a workload that
+// collapses across sockets under plain TLE.
+package main
+
+import (
+	"fmt"
+
+	"natle"
+)
+
+func main() {
+	for _, kind := range []natle.WorkloadConfig{
+		{Lock: natle.LockTLE},
+		{Lock: natle.LockNATLE},
+	} {
+		fmt.Printf("— %s —\n", kind.Lock)
+		for _, threads := range []int{1, 18, 36, 72} {
+			cfg := kind
+			cfg.Prof = natle.LargeMachine()
+			cfg.Pin = natle.FillSocketFirst()
+			cfg.Threads = threads
+			cfg.Seed = 1
+			cfg.KeyRange = 2048
+			cfg.UpdatePct = 100
+			cfg.Duration = 2 * natle.Millisecond
+			if cfg.Lock == natle.LockNATLE {
+				// Several short NATLE cycles must fit in the trial.
+				ncfg := natle.QuickNATLEConfig()
+				cfg.NATLE = &ncfg
+				cfg.Duration = 4 * natle.Millisecond
+				cfg.Warmup = 1300 * natle.Microsecond
+			}
+			r := natle.RunWorkload(cfg)
+			fmt.Printf("  %2d threads: %11.0f ops/s  (abort rate %4.1f%%)\n",
+				threads, r.Throughput(), 100*r.HTM.AbortRate())
+		}
+	}
+	fmt.Println("\nTLE collapses once threads spill onto the second socket;")
+	fmt.Println("NATLE profiles each lock and throttles to one socket at a time.")
+}

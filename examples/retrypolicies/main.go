@@ -1,0 +1,48 @@
+// Retry policies (the paper's Figure 2a): on a large machine it pays
+// to ignore the hardware hint bit and to tolerate many failed
+// transactions, because one thread taking the fallback lock blocks
+// everyone.
+package main
+
+import (
+	"fmt"
+
+	"natle"
+)
+
+func main() {
+	policies := []natle.TLEPolicy{
+		{Attempts: 5, HonorHint: true},
+		{Attempts: 20, HonorHint: true},
+		{Attempts: 5},
+		{Attempts: 20},
+		{Attempts: 5, CountLockHeld: true},
+		{Attempts: 20, CountLockHeld: true},
+	}
+	threads := []int{1, 8, 18, 36}
+	fmt.Printf("%-22s", "policy")
+	for _, n := range threads {
+		fmt.Printf(" %12d", n)
+	}
+	fmt.Println(" (threads)")
+	for _, pol := range policies {
+		fmt.Printf("%-22s", pol.Name())
+		for _, n := range threads {
+			r := natle.RunWorkload(natle.WorkloadConfig{
+				Prof:      natle.LargeMachine(),
+				Threads:   n,
+				Seed:      1,
+				KeyRange:  131072,
+				UpdatePct: 100,
+				TLE:       pol,
+				MemWords:  1 << 22,
+				Duration:  natle.Millisecond,
+			})
+			fmt.Printf(" %12.0f", r.Throughput())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nCounting lock-held attempts (×-count-lock) triggers the lemming")
+	fmt.Println("effect; honoring the hint bit gives up on transiently-overflowing")
+	fmt.Println("transactions that would have succeeded on retry.")
+}

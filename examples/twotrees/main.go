@@ -1,0 +1,51 @@
+// Two trees (the paper's Figure 16): half the threads hammer an
+// update-only AVL tree, the other half search a read-only one. NATLE
+// profiles each lock separately — it throttles the update tree's lock
+// to one socket at a time while leaving the search tree's lock
+// unthrottled.
+package main
+
+import (
+	"fmt"
+
+	"natle"
+)
+
+func main() {
+	for _, lk := range []natle.LockKind{natle.LockTLE, natle.LockNATLE} {
+		fmt.Printf("— %s —\n", lk)
+		for _, threads := range []int{8, 36, 72} {
+			ncfg := natle.QuickNATLEConfig()
+			r := natle.RunTwoTrees(natle.TwoTreesConfig{
+				Base: natle.WorkloadConfig{
+					Prof:     natle.LargeMachine(),
+					Threads:  threads,
+					Seed:     1,
+					KeyRange: 2048,
+					Lock:     lk,
+					NATLE:    &ncfg,
+					Duration: 4 * natle.Millisecond,
+					Warmup:   1300 * natle.Microsecond,
+				},
+				SearchWork: 256,
+			})
+			fmt.Printf("  %2d threads: combined %10.0f ops/s (updates %10.0f, searches %10.0f)\n",
+				threads, r.CombinedThroughput(), r.UpdateThroughput(), r.SearchThroughput())
+			if lk == natle.LockNATLE && threads == 72 {
+				printDecisions("update tree", r.UpdateTimeline)
+				printDecisions("search tree", r.SearchTimeline)
+			}
+		}
+	}
+}
+
+func printDecisions(name string, tl []natle.ModeSample) {
+	throttled := 0
+	for _, m := range tl {
+		if m.FastestMode != 2 {
+			throttled++
+		}
+	}
+	fmt.Printf("    %s lock: throttled to one socket in %d/%d profiling cycles\n",
+		name, throttled, len(tl))
+}

@@ -1,0 +1,3 @@
+module natle
+
+go 1.23

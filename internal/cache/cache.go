@@ -1,0 +1,208 @@
+// Package cache models the cache hierarchy and coherence protocol of
+// the simulated machine: a MESI-style directory with one entry per
+// cache line, plus a small direct-mapped tag model of each core's
+// private caches.
+//
+// The model captures exactly the effects the paper identifies as
+// decisive for HTM on NUMA machines:
+//
+//   - a line modified on one socket and then read from the other incurs
+//     a cross-socket cache-to-cache transfer (RemoteHit), roughly 5x a
+//     same-socket L3 hit;
+//   - a writer pays to invalidate remote copies (RemoteInval), and the
+//     invalidated socket pays again on its next access — this round
+//     trip is what "lengthens the window of contention" (paper §3.2);
+//   - same-socket communication stays cheap because cores share an L3.
+//
+// Per line the directory packs, into one uint64: a sharer bitmask over
+// cores (bits 0..55), the MESI-summary state (bits 56..57), and the
+// owning core when modified (bits 58..63). Private-cache capacity is
+// modeled by a per-core direct-mapped tag array: a sharer bit says "may
+// be cached somewhere on that core's socket", while a matching tag says
+// "still resident in the core's private cache" — the combination
+// distinguishes L1 hits, same-socket L3 hits, and remote transfers
+// without tracking every eviction.
+package cache
+
+import (
+	"natle/internal/machine"
+	"natle/internal/vtime"
+)
+
+// Line states (2-bit summary of MESI).
+const (
+	stateInvalid  = 0 // no cached copies
+	stateShared   = 1 // >=1 read-only copies
+	stateModified = 2 // exactly one dirty copy, held by owner core
+)
+
+const (
+	sharerBits = 56
+	sharerMask = (uint64(1) << sharerBits) - 1
+	stateShift = 56
+	ownerShift = 58
+)
+
+// Stats aggregates access-level counters for the whole model.
+type Stats struct {
+	L1Hits       uint64
+	L3Hits       uint64 // same-socket hits outside the private cache
+	RemoteHits   uint64 // cross-socket cache-to-cache transfers
+	DRAMAccesses uint64
+	RemoteInvals uint64 // writes that invalidated a remote-socket copy
+	LocalInvals  uint64 // writes that invalidated same-socket copies only
+}
+
+// Model is the cache/coherence simulator for one machine instance.
+type Model struct {
+	prof *machine.Profile
+
+	lines []uint64 // packed directory entries, indexed by line
+	busy  []int64  // per line: virtual time (ps) its last transfer completes
+	tags  []int32  // per-core direct-mapped private-cache tags, -1 empty
+	sets  int32    // entries per core in tags
+
+	socketMask []uint64 // sharer-bitmask of all cores on socket s
+
+	Stats Stats
+}
+
+// New creates a cache model for profile p; lines must cover the
+// simulated memory (use EnsureLines as memory grows).
+func New(p *machine.Profile) *Model {
+	if p.Cores() > sharerBits {
+		panic("cache: profile has more cores than the directory can track")
+	}
+	m := &Model{
+		prof: p,
+		sets: int32(p.PrivateCacheSets),
+	}
+	m.tags = make([]int32, p.Cores()*p.PrivateCacheSets)
+	for i := range m.tags {
+		m.tags[i] = -1
+	}
+	m.socketMask = make([]uint64, p.Sockets)
+	for s := 0; s < p.Sockets; s++ {
+		m.socketMask[s] = p.SocketMask(s) & sharerMask
+	}
+	return m
+}
+
+// EnsureLines grows the directory to cover at least n lines.
+func (m *Model) EnsureLines(n int) {
+	for len(m.lines) < n {
+		m.lines = append(m.lines, 0)
+		m.busy = append(m.busy, 0)
+	}
+}
+
+func unpack(e uint64) (sharers uint64, state int, owner int) {
+	return e & sharerMask, int(e>>stateShift) & 3, int(e >> ownerShift)
+}
+
+func pack(sharers uint64, state, owner int) uint64 {
+	return sharers | uint64(state)<<stateShift | uint64(owner)<<ownerShift
+}
+
+func (m *Model) tagSlot(core int, line int32) *int32 {
+	return &m.tags[int32(core)*m.sets+line%m.sets]
+}
+
+// privateHit reports whether core still holds line in its private
+// cache (sharer bit plus resident tag).
+func (m *Model) privateHit(core int, line int32, sharers uint64) bool {
+	return sharers&(1<<uint(core)) != 0 && *m.tagSlot(core, line) == line
+}
+
+// Access simulates one word access to the given line by a thread on
+// (core, socket) at virtual time now; home is the line's home socket
+// for DRAM placement. It updates the directory and returns the access
+// latency, including queueing behind an in-progress transfer of the
+// same line (a hot line ping-ponging between caches serializes at the
+// transfer latency — the physical effect that makes single-line
+// contention expensive on real machines). It does not know about
+// transactions: package htm layers conflict detection on top.
+func (m *Model) Access(now vtime.Time, core, socket, home int, line int32, write bool) vtime.Duration {
+	p := m.prof
+	e := m.lines[line]
+	sharers, state, owner := unpack(e)
+	self := uint64(1) << uint(core)
+
+	var lat vtime.Duration
+	switch {
+	case m.privateHit(core, line, sharers):
+		lat = p.L1Hit
+		m.Stats.L1Hits++
+	case state == stateModified:
+		if p.SocketOfCore(owner) == socket {
+			lat = p.L3Hit
+			m.Stats.L3Hits++
+		} else {
+			lat = p.RemoteHit
+			m.Stats.RemoteHits++
+		}
+	case sharers&m.socketMask[socket] != 0:
+		lat = p.L3Hit
+		m.Stats.L3Hits++
+	case sharers != 0:
+		lat = p.RemoteHit
+		m.Stats.RemoteHits++
+	default:
+		m.Stats.DRAMAccesses++
+		if home == socket {
+			lat = p.LocalDRAM
+		} else {
+			lat = p.RemoteDRAM
+		}
+	}
+
+	// Optionally queue behind an in-progress transfer of this line.
+	// Only transfers (anything beyond a private-cache hit) occupy it.
+	if p.LineTransferQueue && lat > p.L1Hit {
+		if wait := vtime.Time(m.busy[line]).Sub(now); wait > 0 {
+			lat += wait
+		}
+		m.busy[line] = int64(now.Add(lat))
+	}
+
+	if write {
+		others := sharers &^ self
+		if others != 0 {
+			if others&^m.socketMask[socket] != 0 {
+				lat += p.RemoteInval
+				m.Stats.RemoteInvals++
+			} else {
+				lat += p.SameSocketInval
+				m.Stats.LocalInvals++
+			}
+		}
+		sharers, state, owner = self, stateModified, core
+	} else {
+		if state == stateModified && owner != core {
+			state = stateShared // writer downgrades on a remote read
+		} else if state == stateInvalid {
+			state = stateShared
+		}
+		sharers |= self
+	}
+	m.lines[line] = pack(sharers, state, owner)
+	*m.tagSlot(core, line) = line
+	return lat
+}
+
+// Peek returns the directory view of a line (for tests and counters).
+func (m *Model) Peek(line int32) (sharers uint64, modified bool, owner int) {
+	s, st, o := unpack(m.lines[line])
+	return s, st == stateModified, o
+}
+
+// WriterSocket returns the socket holding a modified copy of the line,
+// or -1 if the line is not in modified state. Used for statistics on
+// cross-socket invalidation traffic.
+func (m *Model) WriterSocket(line int32) int {
+	_, st, o := unpack(m.lines[line])
+	if st != stateModified {
+		return -1
+	}
+	return m.prof.SocketOfCore(o)
+}

@@ -1,0 +1,167 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"natle/internal/machine"
+	"natle/internal/vtime"
+)
+
+// at returns a virtual time far enough from its neighbours that line
+// transfers never queue in these latency assertions.
+func at(step int) vtime.Time { return vtime.Time(step) * vtime.Time(vtime.Microsecond) }
+
+func newModel() (*Model, *machine.Profile) {
+	p := machine.LargeX52()
+	m := New(p)
+	m.EnsureLines(256)
+	return m, p
+}
+
+func TestColdReadIsDRAM(t *testing.T) {
+	m, p := newModel()
+	if lat := m.Access(at(1), 0, 0, 0, 1, false); lat != p.LocalDRAM {
+		t.Errorf("cold local read latency %v, want %v", lat, p.LocalDRAM)
+	}
+	if lat := m.Access(at(2), 0, 0, 1, 2, false); lat != p.RemoteDRAM {
+		t.Errorf("cold remote-home read latency %v, want %v", lat, p.RemoteDRAM)
+	}
+}
+
+func TestRepeatReadHitsL1(t *testing.T) {
+	m, p := newModel()
+	m.Access(at(1), 0, 0, 0, 1, false)
+	if lat := m.Access(at(2), 0, 0, 0, 1, false); lat != p.L1Hit {
+		t.Errorf("repeat read latency %v, want L1 %v", lat, p.L1Hit)
+	}
+}
+
+func TestSameSocketTransfer(t *testing.T) {
+	m, p := newModel()
+	m.Access(at(1), 0, 0, 0, 1, true) // core 0 modifies
+	if lat := m.Access(at(2), 1, 0, 0, 1, false); lat != p.L3Hit {
+		t.Errorf("same-socket dirty read %v, want %v", lat, p.L3Hit)
+	}
+}
+
+func TestCrossSocketTransfer(t *testing.T) {
+	m, p := newModel()
+	m.Access(at(1), 0, 0, 0, 1, true) // socket-0 core modifies
+	if lat := m.Access(at(2), 20, 1, 0, 1, false); lat != p.RemoteHit {
+		t.Errorf("cross-socket dirty read %v, want %v", lat, p.RemoteHit)
+	}
+	// After the remote read the line is shared; a same-socket core of
+	// the writer reads it cheaply again.
+	if lat := m.Access(at(3), 0, 0, 0, 1, false); lat != p.L1Hit {
+		t.Errorf("writer re-read %v, want L1 %v", lat, p.L1Hit)
+	}
+}
+
+func TestWriteInvalidationCosts(t *testing.T) {
+	m, p := newModel()
+	m.Access(at(1), 0, 0, 0, 1, false)  // socket 0 reads
+	m.Access(at(2), 20, 1, 0, 1, false) // socket 1 reads
+	lat := m.Access(at(3), 1, 0, 0, 1, true)
+	if lat < p.RemoteInval {
+		t.Errorf("write with remote sharers cost %v, want >= %v", lat, p.RemoteInval)
+	}
+	if m.Stats.RemoteInvals != 1 {
+		t.Errorf("RemoteInvals = %d, want 1", m.Stats.RemoteInvals)
+	}
+	// Invalidated reader now misses.
+	if lat := m.Access(at(4), 20, 1, 0, 1, false); lat != p.RemoteHit {
+		t.Errorf("invalidated reader re-read %v, want %v", lat, p.RemoteHit)
+	}
+}
+
+func TestSingleModifiedOwnerInvariant(t *testing.T) {
+	// Property: after any access sequence, a modified line has exactly
+	// one sharer (its owner).
+	p := machine.LargeX52()
+	f := func(ops []uint16) bool {
+		m := New(p)
+		m.EnsureLines(16)
+		for _, op := range ops {
+			core := int(op) % p.Cores()
+			line := int32(op>>6) % 16
+			write := op&1 == 1
+			m.Access(0, core, p.SocketOfCore(core), 0, line, write)
+			_ = write
+			sharers, modified, owner := m.Peek(line)
+			if modified {
+				if sharers != 1<<uint(owner) {
+					return false
+				}
+			}
+			if write && !modified {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrivateCacheCapacityEviction(t *testing.T) {
+	// Two lines mapping to the same direct-mapped set evict each
+	// other: the second read of the first line is not an L1 hit.
+	m, p := newModel()
+	m.EnsureLines(2*p.PrivateCacheSets + 8)
+	a := int32(1)
+	b := a + int32(p.PrivateCacheSets)
+	m.Access(at(1), 0, 0, 0, a, false)
+	m.Access(at(2), 0, 0, 0, b, false) // evicts a from core 0's tags
+	if lat := m.Access(at(3), 0, 0, 0, a, false); lat == p.L1Hit {
+		t.Error("conflicting tag should have evicted the line from the private cache")
+	} else if lat != p.L3Hit {
+		t.Errorf("evicted line re-read %v, want L3 %v", lat, p.L3Hit)
+	}
+}
+
+func TestWriterSocket(t *testing.T) {
+	m, p := newModel()
+	if s := m.WriterSocket(3); s != -1 {
+		t.Errorf("WriterSocket on clean line = %d", s)
+	}
+	m.Access(at(1), 20, 1, 0, 3, true)
+	if s := m.WriterSocket(3); s != 1 {
+		t.Errorf("WriterSocket = %d, want 1", s)
+	}
+	_ = p
+}
+
+func TestTooManyCoresPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for >56 cores")
+		}
+	}()
+	p := machine.LargeX52()
+	p.CoresPerSocket = 40
+	New(p)
+}
+
+func TestLineTransferQueueSerializesHotLine(t *testing.T) {
+	p := machine.LargeX52()
+	p.LineTransferQueue = true
+	m := New(p)
+	m.EnsureLines(8)
+	// Two back-to-back transfers of the same line at the same instant:
+	// the second must wait out the first.
+	first := m.Access(at(1), 0, 0, 0, 1, true)
+	second := m.Access(at(1), 20, 1, 0, 1, true)
+	if second <= p.RemoteHit {
+		t.Errorf("second transfer %v did not queue behind the first (%v)", second, first)
+	}
+	// With the flag off, the same pattern does not queue.
+	p2 := machine.LargeX52()
+	m2 := New(p2)
+	m2.EnsureLines(8)
+	m2.Access(at(1), 0, 0, 0, 1, true)
+	if lat := m2.Access(at(1), 20, 1, 0, 1, true); lat > p2.RemoteHit+p2.RemoteInval {
+		t.Errorf("unqueued transfer cost %v; expected plain latency", lat)
+	}
+}

@@ -1,0 +1,85 @@
+package cctsa
+
+import (
+	"testing"
+
+	"natle/internal/natle"
+	"natle/internal/vtime"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.GenomeLen = 1 << 12
+	cfg.Coverage = 4
+	return cfg
+}
+
+func TestSingleThreadAssembles(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Threads = 1
+	cfg.Seed = 1
+	r := Run(cfg)
+	if r.Contigs == 0 {
+		t.Error("no contigs assembled")
+	}
+	if r.KmersSeen == 0 {
+		t.Error("no k-mers processed")
+	}
+	if r.Runtime <= 0 {
+		t.Errorf("runtime = %v", r.Runtime)
+	}
+}
+
+func TestMultiThreadMatchesWorkTotal(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Threads = 16
+	cfg.Seed = 2
+	r := Run(cfg) // validation inside Run panics on mismatch
+	if r.HTM.Commits == 0 {
+		t.Error("no transactions committed")
+	}
+}
+
+func TestScalesWithinSocket(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Seed = 3
+	cfg.Threads = 1
+	r1 := Run(cfg)
+	cfg.Threads = 16
+	r16 := Run(cfg)
+	if r16.Runtime >= r1.Runtime {
+		t.Errorf("16 threads (%v) not faster than 1 (%v)", r16.Runtime, r1.Runtime)
+	}
+}
+
+func TestNATLEProducesTimeline(t *testing.T) {
+	cfg := smallConfig()
+	cfg.GenomeLen = 1 << 13
+	cfg.Threads = 48
+	cfg.Seed = 4
+	cfg.Lock = "natle"
+	n := natle.DefaultConfig()
+	n.ProfilingLen = 30 * vtime.Microsecond
+	n.QuantumLen = 30 * vtime.Microsecond
+	n.WarmupThreshold = 32
+	cfg.NATLE = &n
+	r := Run(cfg)
+	if len(r.Timeline) == 0 {
+		t.Error("NATLE recorded no cycles (run too short for the configured cycle length?)")
+	}
+	for _, m := range r.Timeline {
+		if m.Socket0Share < 0 || m.Socket0Share > 1 {
+			t.Errorf("socket-0 share %v out of [0,1]", m.Socket0Share)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Threads = 8
+	cfg.Seed = 5
+	a, b := Run(cfg), Run(cfg)
+	if a.Runtime != b.Runtime || a.Contigs != b.Contigs || a.KmersSeen != b.KmersSeen {
+		t.Errorf("identical configs diverged: %+v vs %+v", a, b)
+	}
+}

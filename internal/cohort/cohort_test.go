@@ -1,0 +1,110 @@
+package cohort
+
+import (
+	"testing"
+
+	"natle/internal/htm"
+	"natle/internal/machine"
+	"natle/internal/sim"
+	"natle/internal/vtime"
+)
+
+func TestMutualExclusion(t *testing.T) {
+	const threads, iters = 16, 60
+	e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, threads, 1)
+	s := htm.NewSystem(e, 1<<12)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		l := New(s, c, 8)
+		inCS, maxIn, count := 0, 0, 0
+		for i := 0; i < threads; i++ {
+			e.Spawn(c, func(w *sim.Ctx) {
+				for j := 0; j < iters; j++ {
+					l.Critical(w, func() {
+						inCS++
+						if inCS > maxIn {
+							maxIn = inCS
+						}
+						w.AdvanceIdle(50 * vtime.Nanosecond)
+						w.Checkpoint()
+						count++
+						inCS--
+					})
+				}
+			})
+		}
+		c.SetIdle(true)
+		c.WaitOthers(vtime.Microsecond)
+		if maxIn != 1 {
+			t.Errorf("max threads in CS = %d", maxIn)
+		}
+		if count != threads*iters {
+			t.Errorf("count = %d, want %d", count, threads*iters)
+		}
+	})
+	e.Run()
+}
+
+func TestCohortHandoffLocality(t *testing.T) {
+	// Under cross-socket contention, consecutive critical sections
+	// should mostly stay on one socket (that is the point of the lock).
+	const threads = 48
+	e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, threads, 3)
+	s := htm.NewSystem(e, 1<<12)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		l := New(s, c, DefaultMaxPass)
+		var order []int
+		started := false
+		var deadline vtime.Time
+		for i := 0; i < threads; i++ {
+			e.Spawn(c, func(w *sim.Ctx) {
+				w.WaitUntil(500*vtime.Nanosecond, func() bool { return started })
+				for w.Now() < deadline {
+					l.Critical(w, func() {
+						order = append(order, w.Socket())
+						w.AdvanceIdle(80 * vtime.Nanosecond)
+					})
+				}
+			})
+		}
+		deadline = c.Now().Add(300 * vtime.Microsecond)
+		started = true
+		c.SetIdle(true)
+		c.WaitOthers(vtime.Microsecond)
+		if len(order) < 100 {
+			t.Fatalf("only %d acquisitions", len(order))
+		}
+		switches := 0
+		bySocket := map[int]int{}
+		for i, s := range order {
+			bySocket[s]++
+			if i > 0 && order[i-1] != s {
+				switches++
+			}
+		}
+		if ratio := float64(switches) / float64(len(order)); ratio > 0.2 {
+			t.Errorf("socket switch ratio %.2f; cohorting should keep it low", ratio)
+		}
+		// Bounded unfairness: both sockets must be served.
+		if bySocket[0] == 0 || bySocket[1] == 0 {
+			t.Errorf("a socket starved: %v", bySocket)
+		}
+	})
+	e.Run()
+}
+
+func TestSingleThreadOverheadIsBounded(t *testing.T) {
+	e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, 1, 5)
+	s := htm.NewSystem(e, 1<<12)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		l := New(s, c, 8)
+		start := c.Now()
+		for i := 0; i < 100; i++ {
+			l.Critical(c, func() {})
+		}
+		per := c.Now().Sub(start) / 100
+		if per > 2*vtime.Microsecond {
+			t.Errorf("uncontended acquire+release = %v each; too expensive", per)
+		}
+	})
+	e.Run()
+}

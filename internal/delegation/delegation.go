@@ -1,0 +1,142 @@
+// Package delegation implements the client/server baseline the paper
+// explored before settling on NATLE (Section 4.1): each set operation
+// is delegated to a server thread on the socket where its key's data
+// lives, over message-passing channels built on shared (simulated)
+// memory.
+//
+// The key range is split in half; a dedicated server thread per socket
+// owns one half (so the half's nodes stay local to that socket's
+// caches) and executes operations sent by client threads. Clients may
+// pack several operations into one request (the batching optimization
+// the paper says recovered some of the overhead).
+//
+// As in the paper, delegation roughly doubles the per-operation
+// execution rate of the servers (all accesses are socket-local), but
+// the round-trip coordination between clients and servers costs more
+// than it saves at moderate thread counts.
+package delegation
+
+import (
+	"natle/internal/htm"
+	"natle/internal/mem"
+	"natle/internal/sim"
+	"natle/internal/vtime"
+)
+
+// Op encodes one delegated set operation in a single word.
+type Op uint64
+
+// Operation codes.
+const (
+	OpInsert   = 1
+	OpDelete   = 2
+	OpContains = 3
+)
+
+// MakeOp packs an opcode and key.
+func MakeOp(code int, key int64) Op { return Op(uint64(key)<<2 | uint64(code)) }
+
+// Decode unpacks an operation.
+func (o Op) Decode() (code int, key int64) { return int(o & 3), int64(o >> 2) }
+
+// MaxBatch is the largest number of operations per request message
+// (bounded by the one-line request layout).
+const MaxBatch = 6
+
+// Request/response slot layout. Each client-server pair has one slot:
+// a request line written by the client and polled by the server, and a
+// response line written by the server and polled by the client —
+// separate lines so the two directions do not false-share.
+const (
+	reqSeq   = 0 // word: client increments to publish a request
+	reqCount = 1 // word: operations in this request
+	reqOps   = 2 // words 2..7: packed operations
+
+	respSeq    = 0 // word (second line): server echoes reqSeq when done
+	respResult = 1 // word: bitmask of per-op boolean results
+)
+
+// Executor runs delegated operations on the server's local data.
+type Executor interface {
+	Execute(c *sim.Ctx, code int, key int64) bool
+}
+
+// Channel is the per-client mailbox array for one server.
+type Channel struct {
+	sys     *htm.System
+	slots   mem.Addr // nClients * 2 lines
+	clients int
+}
+
+// NewChannel allocates mailboxes for nClients, homed on the server's
+// socket.
+func NewChannel(sys *htm.System, c *sim.Ctx, nClients, socket int) *Channel {
+	return &Channel{
+		sys:     sys,
+		slots:   sys.AllocHome(c, nClients*2*mem.WordsPerLine, socket),
+		clients: nClients,
+	}
+}
+
+func (ch *Channel) reqLine(slot int) mem.Addr {
+	return ch.slots + mem.Addr(slot*2*mem.WordsPerLine)
+}
+func (ch *Channel) respLine(slot int) mem.Addr {
+	return ch.reqLine(slot) + mem.WordsPerLine
+}
+
+// Submit sends ops (at most MaxBatch) from the client in the given
+// slot and blocks until the server responds; it returns the per-op
+// boolean results.
+func (ch *Channel) Submit(c *sim.Ctx, slot int, ops []Op) []bool {
+	if len(ops) == 0 || len(ops) > MaxBatch {
+		panic("delegation: bad batch size")
+	}
+	req, resp := ch.reqLine(slot), ch.respLine(slot)
+	seq := ch.sys.Read(c, req+reqSeq) + 1
+	for i, op := range ops {
+		ch.sys.Write(c, req+reqOps+mem.Addr(i), uint64(op))
+	}
+	ch.sys.Write(c, req+reqCount, uint64(len(ops)))
+	ch.sys.Write(c, req+reqSeq, seq) // publish last
+	backoff := 100 * vtime.Nanosecond
+	for ch.sys.Read(c, resp+respSeq) != seq {
+		c.AdvanceIdle(backoff)
+		if backoff < 2*vtime.Microsecond {
+			backoff += backoff / 2
+		}
+		c.Yield()
+	}
+	bits := ch.sys.Read(c, resp+respResult)
+	out := make([]bool, len(ops))
+	for i := range out {
+		out[i] = bits&(1<<uint(i)) != 0
+	}
+	return out
+}
+
+// Serve polls all slots once, executing any pending requests on exec;
+// it reports whether any work was found. The server thread calls this
+// in a loop until its stop condition holds.
+func (ch *Channel) Serve(c *sim.Ctx, exec Executor) bool {
+	progress := false
+	for slot := 0; slot < ch.clients; slot++ {
+		req, resp := ch.reqLine(slot), ch.respLine(slot)
+		seq := ch.sys.Read(c, req+reqSeq)
+		if seq == 0 || ch.sys.Read(c, resp+respSeq) == seq {
+			continue
+		}
+		n := int(ch.sys.Read(c, req+reqCount))
+		var bits uint64
+		for i := 0; i < n && i < MaxBatch; i++ {
+			code, key := Op(ch.sys.Read(c, req+reqOps+mem.Addr(i))).Decode()
+			if exec.Execute(c, code, key) {
+				bits |= 1 << uint(i)
+			}
+		}
+		ch.sys.Write(c, resp+respResult, bits)
+		ch.sys.Write(c, resp+respSeq, seq)
+		progress = true
+	}
+	return progress
+}

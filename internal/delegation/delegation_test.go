@@ -1,0 +1,120 @@
+package delegation
+
+import (
+	"testing"
+
+	"natle/internal/htm"
+	"natle/internal/machine"
+	"natle/internal/sim"
+	"natle/internal/vtime"
+)
+
+func TestOpEncoding(t *testing.T) {
+	for _, c := range []struct {
+		code int
+		key  int64
+	}{{OpInsert, 0}, {OpDelete, 12345}, {OpContains, 1 << 40}} {
+		code, key := MakeOp(c.code, c.key).Decode()
+		if code != c.code || key != c.key {
+			t.Errorf("round trip (%d,%d) -> (%d,%d)", c.code, c.key, code, key)
+		}
+	}
+}
+
+// echoExec records executed operations and returns key%2==0.
+type echoExec struct{ got []Op }
+
+func (e *echoExec) Execute(c *sim.Ctx, code int, key int64) bool {
+	e.got = append(e.got, MakeOp(code, key))
+	return key%2 == 0
+}
+
+func TestSubmitServeRoundTrip(t *testing.T) {
+	e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, 2, 1)
+	s := htm.NewSystem(e, 1<<12)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		ch := NewChannel(s, c, 1, 0)
+		exec := &echoExec{}
+		stop := false
+		e.Spawn(c, func(w *sim.Ctx) { // server
+			for !stop {
+				if !ch.Serve(w, exec) {
+					w.AdvanceIdle(200 * vtime.Nanosecond)
+					w.Yield()
+				}
+			}
+		})
+		e.Spawn(c, func(w *sim.Ctx) { // client in slot 0
+			res := ch.Submit(w, 0, []Op{
+				MakeOp(OpInsert, 2), MakeOp(OpDelete, 3), MakeOp(OpContains, 4),
+			})
+			if !res[0] || res[1] || !res[2] {
+				t.Errorf("results = %v, want [true false true]", res)
+			}
+			// Second batch reuses the slot.
+			res = ch.Submit(w, 0, []Op{MakeOp(OpInsert, 7)})
+			if res[0] {
+				t.Errorf("second batch result = %v, want [false]", res)
+			}
+			stop = true
+		})
+		c.SetIdle(true)
+		c.WaitOthers(vtime.Microsecond)
+		if len(exec.got) != 4 {
+			t.Errorf("server executed %d ops, want 4", len(exec.got))
+		}
+	})
+	e.Run()
+}
+
+func TestManyClientsAllServed(t *testing.T) {
+	const clients, perClient = 8, 40
+	e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, clients+2, 3)
+	s := htm.NewSystem(e, 1<<14)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		ch := NewChannel(s, c, clients, 0)
+		exec := &echoExec{}
+		stop := false
+		done := 0
+		e.SpawnOn(c, 17, func(w *sim.Ctx) {
+			for !stop {
+				if !ch.Serve(w, exec) {
+					w.AdvanceIdle(200 * vtime.Nanosecond)
+					w.Yield()
+				}
+			}
+		})
+		for i := 0; i < clients; i++ {
+			slot := i
+			e.Spawn(c, func(w *sim.Ctx) {
+				for j := 0; j < perClient; j++ {
+					ch.Submit(w, slot, []Op{MakeOp(OpInsert, int64(slot*1000+j))})
+				}
+				done++
+			})
+		}
+		c.SetIdle(true)
+		c.WaitUntil(vtime.Microsecond, func() bool { return done == clients })
+		stop = true
+		c.WaitOthers(vtime.Microsecond)
+		if len(exec.got) != clients*perClient {
+			t.Errorf("served %d ops, want %d", len(exec.got), clients*perClient)
+		}
+	})
+	e.Run()
+}
+
+func TestBadBatchPanics(t *testing.T) {
+	e := sim.New(machine.SmallI7(), machine.FillSocketFirst{}, 1, 5)
+	s := htm.NewSystem(e, 1<<12)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		ch := NewChannel(s, c, 1, 0)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for oversized batch")
+			}
+		}()
+		ch.Submit(c, 0, make([]Op, MaxBatch+1))
+	})
+	e.Run()
+}

@@ -1,0 +1,383 @@
+package harness
+
+import (
+	"fmt"
+
+	"natle/internal/machine"
+	"natle/internal/sets"
+	"natle/internal/tle"
+	"natle/internal/vtime"
+	"natle/internal/workload"
+)
+
+// run executes one microbenchmark trial with the scale's defaults.
+func (sc Scale) run(cfg workload.Config) *workload.Result {
+	if cfg.Seed == 0 {
+		cfg.Seed = sc.Seed
+	}
+	if cfg.Duration == 0 {
+		if cfg.Lock == workload.LockNATLE {
+			cfg.Duration, cfg.Warmup = sc.NATLEDur, sc.NATLEWarmup
+		} else {
+			cfg.Duration, cfg.Warmup = sc.Dur, sc.Warmup
+		}
+	}
+	if cfg.Lock == workload.LockNATLE && cfg.NATLE == nil {
+		n := sc.NATLE
+		cfg.NATLE = &n
+	}
+	return workload.Run(cfg)
+}
+
+// Fig01 reproduces Figure 1: speedup of the 100%-update AVL
+// microbenchmark (keys [0,2048)) on the large and small machines.
+func Fig01(sc Scale) *Figure {
+	f := &Figure{
+		ID:     "fig01",
+		Title:  "AVL tree, 100% updates, keys [0,2048): speedup over 1 thread",
+		XLabel: "threads",
+		YLabel: "speedup",
+	}
+	for _, m := range []struct {
+		name    string
+		prof    *machine.Profile
+		threads []int
+	}{
+		{"large", large(), sc.LargeThreads},
+		{"small", small(), sc.SmallThreads},
+	} {
+		var base float64
+		for _, n := range m.threads {
+			r := sc.run(workload.Config{
+				Prof: m.prof, Threads: n, UpdatePct: 100, KeyRange: 2048,
+			})
+			if base == 0 {
+				base = r.Throughput() / float64(n) // n is 1 in the provided scales
+			}
+			f.Add(m.name, float64(n), r.Throughput()/base)
+		}
+	}
+	return f
+}
+
+// retryPolicies is the Figure 2(a) policy matrix.
+func retryPolicies() []tle.Policy {
+	return []tle.Policy{
+		{Attempts: 5, HonorHint: true},
+		{Attempts: 20, HonorHint: true},
+		{Attempts: 5},
+		{Attempts: 20},
+		{Attempts: 5, CountLockHeld: true},
+		{Attempts: 20, CountLockHeld: true},
+	}
+}
+
+// Fig02a reproduces Figure 2(a): TLE retry policies on a large AVL
+// tree (keys [0,131072)), 100% updates.
+func Fig02a(sc Scale) *Figure {
+	f := &Figure{
+		ID:     "fig02a",
+		Title:  "AVL tree, 100% updates, keys [0,131072): retry policies, speedup over 1 thread",
+		XLabel: "threads",
+		YLabel: "speedup",
+	}
+	for _, pol := range retryPolicies() {
+		var base float64
+		for _, n := range sc.LargeThreads {
+			r := sc.run(workload.Config{
+				Threads: n, UpdatePct: 100, KeyRange: 131072, TLE: pol,
+				MemWords: 1 << 22,
+			})
+			if base == 0 {
+				base = r.Throughput()
+			}
+			f.Add(pol.Name(), float64(n), r.Throughput()/base)
+		}
+	}
+	return f
+}
+
+// Fig02b reproduces Figure 2(b): the percentage of TLE-20 critical
+// sections that commit in a transaction after at least one earlier
+// attempt failed with the hint bit clear.
+func Fig02b(sc Scale) *Figure {
+	f := &Figure{
+		ID:     "fig02b",
+		Title:  "Percent of operations committing after a hint-clear failure (TLE-20)",
+		XLabel: "threads",
+		YLabel: "percent",
+	}
+	for _, n := range sc.LargeThreads {
+		r := sc.run(workload.Config{
+			Threads: n, UpdatePct: 100, KeyRange: 131072, MemWords: 1 << 22,
+		})
+		pct := 0.0
+		if r.TLE.Commits > 0 {
+			pct = 100 * float64(r.TLE.CommitsAfterNoHint) / float64(r.TLE.Commits)
+		}
+		f.Add("TLE-20", float64(n), pct)
+	}
+	return f
+}
+
+// Fig03 reproduces Figure 3: read-only vs 2%-update workloads on the
+// small AVL tree.
+func Fig03(sc Scale) *Figure {
+	f := &Figure{
+		ID:     "fig03",
+		Title:  "AVL tree, keys [0,2048): 100% lookup vs 2% updates, speedup over 1 thread",
+		XLabel: "threads",
+		YLabel: "speedup",
+	}
+	for _, upd := range []int{0, 2} {
+		name := "read-only"
+		if upd > 0 {
+			name = fmt.Sprintf("%d%% updates", upd)
+		}
+		var base float64
+		for _, n := range sc.LargeThreads {
+			r := sc.run(workload.Config{Threads: n, UpdatePct: upd, KeyRange: 2048})
+			if base == 0 {
+				base = r.Throughput()
+			}
+			f.Add(name, float64(n), r.Throughput()/base)
+		}
+	}
+	return f
+}
+
+// Fig04 reproduces Figure 4: TLE vs no synchronization on the
+// search-and-replace workload (keys [0,4096)).
+func Fig04(sc Scale) *Figure {
+	f := &Figure{
+		ID:     "fig04",
+		Title:  "Search-and-replace, AVL keys [0,4096): TLE vs no synchronization, speedup",
+		XLabel: "threads",
+		YLabel: "speedup",
+	}
+	for _, kind := range []workload.LockKind{workload.LockTLE, workload.LockNoSync} {
+		var base float64
+		for _, n := range sc.LargeThreads {
+			r := sc.run(workload.Config{
+				Threads: n, KeyRange: 4096, SearchReplace: true, Lock: kind,
+			})
+			if base == 0 {
+				base = r.Throughput()
+			}
+			f.Add(string(kind), float64(n), r.Throughput()/base)
+		}
+	}
+	return f
+}
+
+// Fig05 reproduces Figure 5: the abort-rate breakdown for the Fig 4
+// TLE curve.
+func Fig05(sc Scale) *Figure {
+	f := &Figure{
+		ID:     "fig05",
+		Title:  "Abort rate by cause for the Fig 4 TLE curve (% of attempts)",
+		XLabel: "threads",
+		YLabel: "percent of attempts",
+	}
+	for _, n := range sc.LargeThreads {
+		r := sc.run(workload.Config{Threads: n, KeyRange: 4096, SearchReplace: true})
+		at := float64(r.TLE.Attempts)
+		if at == 0 {
+			continue
+		}
+		f.Add("total", float64(n), 100*float64(r.HTM.TotalAborts())/at)
+		f.Add("conflict", float64(n), 100*float64(r.TLE.Aborts[1])/at)
+		f.Add("capacity", float64(n), 100*float64(r.TLE.Aborts[2])/at)
+		f.Add("lock-held", float64(n), 100*float64(r.TLE.Aborts[4])/at)
+	}
+	return f
+}
+
+// Fig06 reproduces Figure 6: a 36-thread single-socket run with an
+// artificial delay before each commit; the x axis is the delay, the
+// series are the abort rate and the conflict share of aborts.
+func Fig06(sc Scale) *Figure {
+	f := &Figure{
+		ID:     "fig06",
+		Title:  "36 threads on one socket, delay before commit (AVL keys [0,131072), 100% upd)",
+		XLabel: "delay (us)",
+		YLabel: "percent",
+		Notes: []string{
+			"paper's x axis is delay-loop iterations; ours is the equivalent virtual time",
+		},
+	}
+	for _, us := range []float64{0, 0.5, 1, 2, 4, 8, 16, 32, 43} {
+		r := sc.run(workload.Config{
+			Threads: 36, Pin: machine.SingleSocket{}, UpdatePct: 100,
+			KeyRange: 131072, MemWords: 1 << 22,
+			CommitDelay: vtime.Duration(us * float64(vtime.Microsecond)),
+		})
+		aborts := float64(r.HTM.TotalAborts())
+		attempts := float64(r.HTM.Starts)
+		if attempts == 0 {
+			continue
+		}
+		f.Add("abort rate", us, 100*aborts/attempts)
+		conflictShare := 0.0
+		if aborts > 0 {
+			conflictShare = 100 * float64(r.HTM.Aborts[1]) / aborts
+		}
+		f.Add("conflict share of aborts", us, conflictShare)
+		// The paper's footnote 1 reports the average successful
+		// transaction length (~61 ns without delay, ~43 us at the
+		// maximum delay).
+		f.Add("avg tx length (us)", us, r.HTM.AvgCommitDuration().Seconds()*1e6)
+	}
+	return f
+}
+
+// Fig07 reproduces Figure 7: AVL vs leaf-oriented BST with 20% updates
+// and keys [0,2048).
+func Fig07(sc Scale) *Figure {
+	f := &Figure{
+		ID:     "fig07",
+		Title:  "AVL vs leaf-oriented BST, 20% updates, keys [0,2048): throughput (ops/s)",
+		XLabel: "threads",
+		YLabel: "ops/s",
+	}
+	for _, kind := range []sets.Kind{sets.KindAVL, sets.KindLeafBST} {
+		for _, n := range sc.LargeThreads {
+			r := sc.run(workload.Config{Threads: n, UpdatePct: 20, KeyRange: 2048, SetKind: kind})
+			f.Add(string(kind), float64(n), r.Throughput())
+		}
+	}
+	return f
+}
+
+// Fig12 reproduces Figure 12: TLE vs NATLE on the AVL tree (keys
+// [0,2048)) for 0/20/100% updates, without and with external work.
+func Fig12(sc Scale) *Figure {
+	f := &Figure{
+		ID:     "fig12",
+		Title:  "AVL keys [0,2048): TLE vs NATLE, ops/s (panels: upd% x external work)",
+		XLabel: "threads",
+		YLabel: "ops/s",
+	}
+	for _, work := range []int{0, 256} {
+		for _, upd := range []int{0, 20, 100} {
+			for _, kind := range []workload.LockKind{workload.LockTLE, workload.LockNATLE} {
+				name := fmt.Sprintf("%s/upd%d/work%d", kind, upd, work)
+				for _, n := range sc.LargeThreads {
+					r := sc.run(workload.Config{
+						Threads: n, UpdatePct: upd, KeyRange: 2048,
+						ExternalWork: work, Lock: kind,
+					})
+					f.Add(name, float64(n), r.Throughput())
+				}
+			}
+		}
+	}
+	return f
+}
+
+// Fig13 reproduces Figure 13: unbalanced BSTs and skip-lists with
+// external work (keys [0,2048)).
+func Fig13(sc Scale) *Figure {
+	f := &Figure{
+		ID:     "fig13",
+		Title:  "Leaf-oriented BST and skip-list, keys [0,2048), external work: ops/s",
+		XLabel: "threads",
+		YLabel: "ops/s",
+	}
+	for _, kind := range []sets.Kind{sets.KindLeafBST, sets.KindSkipList} {
+		for _, upd := range []int{20, 100} {
+			for _, lk := range []workload.LockKind{workload.LockTLE, workload.LockNATLE} {
+				name := fmt.Sprintf("%s/%s/upd%d", kind, lk, upd)
+				for _, n := range sc.LargeThreads {
+					r := sc.run(workload.Config{
+						Threads: n, UpdatePct: upd, KeyRange: 2048,
+						SetKind: kind, ExternalWork: 256, Lock: lk,
+					})
+					f.Add(name, float64(n), r.Throughput())
+				}
+			}
+		}
+	}
+	return f
+}
+
+// Fig14 reproduces Figure 14: the leaf-oriented BST with a tiny key
+// range [0,128), where even leaf-only updates conflict.
+func Fig14(sc Scale) *Figure {
+	f := &Figure{
+		ID:     "fig14",
+		Title:  "Leaf-oriented BST, keys [0,128): ops/s",
+		XLabel: "threads",
+		YLabel: "ops/s",
+	}
+	for _, upd := range []int{40, 100} {
+		for _, lk := range []workload.LockKind{workload.LockTLE, workload.LockNATLE} {
+			name := fmt.Sprintf("%s/upd%d", lk, upd)
+			for _, n := range sc.LargeThreads {
+				r := sc.run(workload.Config{
+					Threads: n, UpdatePct: upd, KeyRange: 128,
+					SetKind: sets.KindLeafBST, ExternalWork: 256, Lock: lk,
+				})
+				f.Add(name, float64(n), r.Throughput())
+			}
+		}
+	}
+	return f
+}
+
+// Fig15 reproduces Figure 15: alternative pinning policies
+// (alternating sockets, and unpinned under the simulated OS scheduler)
+// for the 100%-update AVL workload with external work.
+func Fig15(sc Scale) *Figure {
+	f := &Figure{
+		ID:     "fig15",
+		Title:  "AVL keys [0,2048), 100% upd, external work: pinning policies, ops/s",
+		XLabel: "threads",
+		YLabel: "ops/s",
+	}
+	for _, pin := range []machine.PinPolicy{machine.Alternating{}, machine.Unpinned{}} {
+		for _, lk := range []workload.LockKind{workload.LockTLE, workload.LockNATLE} {
+			name := fmt.Sprintf("%s/%s", pin.Name(), lk)
+			for _, n := range sc.LargeThreads {
+				r := sc.run(workload.Config{
+					Threads: n, Pin: pin, UpdatePct: 100, KeyRange: 2048,
+					ExternalWork: 256, Lock: lk,
+				})
+				f.Add(name, float64(n), r.Throughput())
+			}
+		}
+	}
+	return f
+}
+
+// Fig16 reproduces Figure 16: two AVL trees, one update-only and one
+// search-only, with combined and per-tree throughput.
+func Fig16(sc Scale) *Figure {
+	f := &Figure{
+		ID:     "fig16",
+		Title:  "Two AVL trees (update-only + search-only), keys [0,2048): ops/s",
+		XLabel: "threads",
+		YLabel: "ops/s",
+	}
+	for _, lk := range []workload.LockKind{workload.LockTLE, workload.LockNATLE} {
+		for _, n := range sc.LargeThreads {
+			if n%2 == 1 {
+				continue // the paper runs even thread counts only
+			}
+			cfg := workload.Config{Threads: n, KeyRange: 2048, Lock: lk}
+			if lk == workload.LockNATLE {
+				ncfg := sc.NATLE
+				cfg.NATLE = &ncfg
+				cfg.Duration, cfg.Warmup = sc.NATLEDur, sc.NATLEWarmup
+			} else {
+				cfg.Duration, cfg.Warmup = sc.Dur, sc.Warmup
+			}
+			cfg.Seed = sc.Seed
+			r := workload.RunTwoTrees(workload.TwoTreesConfig{Base: cfg, SearchWork: 256})
+			f.Add(string(lk)+"/combined", float64(n), r.CombinedThroughput())
+			f.Add(string(lk)+"/updates", float64(n), r.UpdateThroughput())
+			f.Add(string(lk)+"/searches", float64(n), r.SearchThroughput())
+		}
+	}
+	return f
+}

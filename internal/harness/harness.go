@@ -1,0 +1,180 @@
+// Package harness regenerates the paper's tables and figures on the
+// simulated machine. Each FigNN function returns a Figure whose series
+// correspond to the curves in the paper; cmd/figures prints them and
+// bench_test.go wraps them as benchmarks.
+//
+// A Scale selects the sweep density and trial lengths: QuickScale keeps
+// host time low (tests, benchmarks); FullScale is for regenerating the
+// record in EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"natle/internal/machine"
+	"natle/internal/natle"
+	"natle/internal/vtime"
+)
+
+// Series is one curve: parallel X/Y vectors.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a reproduced chart or table.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Add appends a point to the named series, creating it if needed.
+func (f *Figure) Add(series string, x, y float64) {
+	for i := range f.Series {
+		if f.Series[i].Name == series {
+			f.Series[i].X = append(f.Series[i].X, x)
+			f.Series[i].Y = append(f.Series[i].Y, y)
+			return
+		}
+	}
+	f.Series = append(f.Series, Series{Name: series, X: []float64{x}, Y: []float64{y}})
+}
+
+// String renders the figure as an aligned text table (rows = x values,
+// one column per series).
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", f.ID, f.Title)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	xs := f.xUnion()
+	fmt.Fprintf(&b, "%14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %18s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%14.6g", x)
+		for _, s := range f.Series {
+			if y, ok := lookup(s, x); ok {
+				fmt.Fprintf(&b, " %18.6g", y)
+			} else {
+				fmt.Fprintf(&b, " %18s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values with a header row.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range f.xUnion() {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			if y, ok := lookup(s, x); ok {
+				fmt.Fprintf(&b, "%g", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (f *Figure) xUnion() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for i, v := range s.X {
+		if v == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Scale selects sweep density and trial lengths.
+type Scale struct {
+	LargeThreads []int // thread counts on the two-socket machine
+	SmallThreads []int // thread counts on the single-socket machine
+
+	Dur    vtime.Duration // measured trial length (TLE/plain trials)
+	Warmup vtime.Duration
+
+	NATLEDur    vtime.Duration // trial length for NATLE comparisons
+	NATLEWarmup vtime.Duration
+	NATLE       natle.Config
+
+	Seed int64
+}
+
+// QuickScale keeps host time small: coarse sweeps, short trials, short
+// NATLE cycles (ratios preserved). Used by tests and benchmarks.
+func QuickScale() Scale {
+	n := natle.DefaultConfig()
+	// Keep the profiling windows long enough to amortize cross-socket
+	// cache migration (~100us per mode) but shorten the quanta so a
+	// few cycles fit in a short trial.
+	n.ProfilingLen = 300 * vtime.Microsecond
+	n.QuantumLen = 100 * vtime.Microsecond
+	n.WarmupThreshold = 64
+	return Scale{
+		LargeThreads: []int{1, 9, 18, 36, 42, 54, 72},
+		SmallThreads: []int{1, 2, 4, 6, 8},
+		Dur:          400 * vtime.Microsecond,
+		Warmup:       150 * vtime.Microsecond,
+		NATLEDur:     3600 * vtime.Microsecond,
+		NATLEWarmup:  1300 * vtime.Microsecond,
+		NATLE:        n,
+		Seed:         1,
+	}
+}
+
+// FullScale is the EXPERIMENTS.md record scale: dense sweeps and the
+// default (larger) NATLE cycle.
+func FullScale() Scale {
+	return Scale{
+		LargeThreads: []int{1, 2, 4, 8, 12, 18, 24, 30, 36, 37, 40, 44, 48, 54, 60, 66, 72},
+		SmallThreads: []int{1, 2, 3, 4, 5, 6, 7, 8},
+		Dur:          2 * vtime.Millisecond,
+		Warmup:       400 * vtime.Microsecond,
+		NATLEDur:     9 * vtime.Millisecond,
+		NATLEWarmup:  3300 * vtime.Microsecond,
+		NATLE:        natle.DefaultConfig(),
+		Seed:         1,
+	}
+}
+
+// large returns the big-machine profile (one place to swap for tests).
+func large() *machine.Profile { return machine.LargeX52() }
+
+// small returns the small-machine profile.
+func small() *machine.Profile { return machine.SmallI7() }

@@ -1,0 +1,530 @@
+// Package htm implements a best-effort hardware transactional memory
+// on top of the simulated memory (package mem) and cache model
+// (package cache), mirroring Intel TSX/RTM as observed on Haswell:
+//
+//   - conflict detection is eager and at cache-line granularity;
+//   - the requester wins: when a thread accesses a line inside another
+//     in-flight transaction's write set (or writes a line in its read
+//     set), the *other* transaction receives the invalidation and
+//     aborts;
+//   - transactional writes are buffered and become visible atomically
+//     at commit; an aborted transaction's writes are discarded;
+//   - an abort carries a condition code (conflict, capacity, explicit,
+//     lock-held) and a hint bit indicating whether the hardware thinks
+//     a retry may succeed — set for conflicts, clear for capacity;
+//   - capacity is bounded by the private-cache-sized write set and a
+//     larger read set; when the hyperthread sibling is active both
+//     bounds are halved and transactions additionally suffer a small
+//     transient-eviction probability, so a transaction may abort with
+//     the hint clear and *still* succeed when retried — the effect the
+//     paper documents in Figure 2.
+//
+// Aborts unwind the transaction body with a panic carrying an
+// AbortSignal; System.Try recovers it and reports the outcome, which is
+// how the lock-elision layers (packages tle and natle) retry.
+package htm
+
+import (
+	"fmt"
+	bits64 "math/bits"
+
+	"natle/internal/cache"
+	"natle/internal/machine"
+	"natle/internal/mem"
+	"natle/internal/sim"
+	"natle/internal/vtime"
+)
+
+// Code is a transaction abort condition code.
+type Code uint8
+
+// Abort condition codes.
+const (
+	CodeNone     Code = iota
+	CodeConflict      // data conflict with another thread
+	CodeCapacity      // read/write set overflowed the tracking capacity
+	CodeExplicit      // explicit abort (XABORT) by the program
+	CodeLockHeld      // explicit abort because the elided lock was held
+	numCodes
+)
+
+// String returns the name of the abort code.
+func (c Code) String() string {
+	switch c {
+	case CodeNone:
+		return "none"
+	case CodeConflict:
+		return "conflict"
+	case CodeCapacity:
+		return "capacity"
+	case CodeExplicit:
+		return "explicit"
+	case CodeLockHeld:
+		return "lock-held"
+	}
+	return fmt.Sprintf("code(%d)", uint8(c))
+}
+
+// AbortSignal is the panic payload used to unwind an aborted
+// transaction body. It is recovered by System.Try.
+type AbortSignal struct {
+	Code Code
+	Hint bool // hardware hint: retry may succeed
+}
+
+// Outcome describes one transactional attempt.
+type Outcome struct {
+	Committed bool
+	Code      Code
+	Hint      bool
+}
+
+// Stats aggregates transaction counters for one System.
+type Stats struct {
+	Starts  uint64
+	Commits uint64
+	Aborts  [numCodes]uint64
+
+	// CommitDurTotal accumulates the virtual duration of committed
+	// transactions (begin to commit); CommitDurTotal / Commits is the
+	// average successful-transaction length the paper reports in the
+	// Figure 6 footnote.
+	CommitDurTotal vtime.Duration
+}
+
+// AvgCommitDuration returns the mean committed-transaction length.
+func (s *Stats) AvgCommitDuration() vtime.Duration {
+	if s.Commits == 0 {
+		return 0
+	}
+	return s.CommitDurTotal / vtime.Duration(s.Commits)
+}
+
+// TotalAborts sums aborts over all condition codes.
+func (s *Stats) TotalAborts() uint64 {
+	var n uint64
+	for _, a := range s.Aborts {
+		n += a
+	}
+	return n
+}
+
+// AbortRate returns aborted attempts / started attempts.
+func (s *Stats) AbortRate() float64 {
+	if s.Starts == 0 {
+		return 0
+	}
+	return float64(s.TotalAborts()) / float64(s.Starts)
+}
+
+// Sub returns the counter deltas s - t (for windowed measurement).
+func (s Stats) Sub(t Stats) Stats {
+	s.Starts -= t.Starts
+	s.Commits -= t.Commits
+	for i := range s.Aborts {
+		s.Aborts[i] -= t.Aborts[i]
+	}
+	s.CommitDurTotal -= t.CommitDurTotal
+	return s
+}
+
+// maxSlots bounds concurrently live threads (transaction slots are
+// recycled when threads finish).
+const maxSlots = 128
+
+// System is the shared-memory + HTM runtime for one simulated machine.
+// All simulated data structures, locks, and applications perform their
+// shared accesses through it.
+type System struct {
+	Eng   *sim.Engine
+	Mem   *mem.Space
+	Cache *cache.Model
+	prof  *machine.Profile
+
+	regReaders [][2]uint64 // per line: bitmask of tx slots with the line in their read set
+	regWriter  []int16     // per line: tx slot with the line in its write set, or -1
+
+	slotOwner [maxSlots]*txState
+	freeSlots []int16
+
+	Stats Stats
+
+	// CommitDelay, if non-nil, is invoked immediately before each
+	// transactional commit; it is the injection hook used by the Fig 6
+	// experiment (spinning before XEND to widen the contention window).
+	CommitDelay func(c *sim.Ctx)
+
+	allocCost vtime.Duration
+}
+
+// NewSystem creates the runtime for one engine, with a memory pre-sized
+// to capWords.
+func NewSystem(e *sim.Engine, capWords int) *System {
+	s := &System{
+		Eng:       e,
+		Mem:       mem.NewSpace(capWords),
+		Cache:     cache.New(e.Prof),
+		prof:      e.Prof,
+		allocCost: 30 * vtime.Nanosecond,
+	}
+	for i := maxSlots - 1; i >= 0; i-- {
+		s.freeSlots = append(s.freeSlots, int16(i))
+	}
+	s.Mem.OnGrow = s.ensureLines
+	s.ensureLines(s.Mem.Lines())
+	e.OnThreadFinish = s.releaseThread
+	return s
+}
+
+type txState struct {
+	slot    int16
+	active  bool
+	aborted bool
+	code    Code
+	hint    bool
+	beginAt vtime.Time
+
+	readLines  []int32
+	writeLines []int32
+	wbAddr     []mem.Addr
+	wbVal      []uint64
+	wbIdx      map[mem.Addr]int32
+}
+
+func (s *System) state(c *sim.Ctx) *txState {
+	if t, ok := c.TxSlot.(*txState); ok {
+		return t
+	}
+	if len(s.freeSlots) == 0 {
+		panic("htm: too many concurrently live threads")
+	}
+	slot := s.freeSlots[len(s.freeSlots)-1]
+	s.freeSlots = s.freeSlots[:len(s.freeSlots)-1]
+	t := &txState{slot: slot, wbIdx: make(map[mem.Addr]int32, 64)}
+	s.slotOwner[slot] = t
+	c.TxSlot = t
+	return t
+}
+
+func (s *System) releaseThread(c *sim.Ctx) {
+	t, ok := c.TxSlot.(*txState)
+	if !ok {
+		return
+	}
+	if t.active {
+		s.doAbort(t, CodeExplicit, false)
+		t.active = false
+	}
+	s.slotOwner[t.slot] = nil
+	s.freeSlots = append(s.freeSlots, t.slot)
+	c.TxSlot = nil
+}
+
+func (s *System) ensureLines(n int) {
+	s.Cache.EnsureLines(n)
+	for len(s.regWriter) < n {
+		s.regWriter = append(s.regWriter, -1)
+		s.regReaders = append(s.regReaders, [2]uint64{})
+	}
+}
+
+// Alloc reserves nWords of line-aligned simulated memory homed on the
+// calling thread's socket, charging the allocation cost.
+func (s *System) Alloc(c *sim.Ctx, nWords int) mem.Addr {
+	return s.AllocHome(c, nWords, c.Socket())
+}
+
+// AllocHome is Alloc with an explicit home socket.
+func (s *System) AllocHome(c *sim.Ctx, nWords, socket int) mem.Addr {
+	c.Advance(s.allocCost)
+	a := s.Mem.Alloc(nWords, socket)
+	s.ensureLines(s.Mem.Lines())
+	return a
+}
+
+// InTx reports whether the calling thread is inside a transaction.
+func (s *System) InTx(c *sim.Ctx) bool { return s.state(c).active }
+
+// Slot returns the thread's dense transaction-slot index in
+// [0, MaxThreads). Slots are recycled when threads finish, so they
+// serve as per-live-thread ids (NATLE indexes its acquisitions matrix
+// with them).
+func (s *System) Slot(c *sim.Ctx) int { return int(s.state(c).slot) }
+
+// MaxThreads is the maximum number of concurrently live simulated
+// threads supported by one System.
+const MaxThreads = maxSlots
+
+// --- conflict bookkeeping ---
+
+func readerBit(slot int16) (int, uint64) { return int(slot >> 6), 1 << uint(slot&63) }
+
+func (s *System) hasReader(line int32, slot int16) bool {
+	w, b := readerBit(slot)
+	return s.regReaders[line][w]&b != 0
+}
+
+// doAbort marks an in-flight transaction aborted (requester-wins) and
+// removes its registrations so it causes no further conflicts.
+func (s *System) doAbort(t *txState, code Code, hint bool) {
+	if t == nil || !t.active || t.aborted {
+		return
+	}
+	t.aborted = true
+	t.code = code
+	t.hint = hint
+	s.Stats.Aborts[code]++
+	s.unregister(t)
+}
+
+func (s *System) unregister(t *txState) {
+	w, b := readerBit(t.slot)
+	for _, line := range t.readLines {
+		s.regReaders[line][w] &^= b
+	}
+	for _, line := range t.writeLines {
+		if s.regWriter[line] == t.slot {
+			s.regWriter[line] = -1
+		}
+	}
+}
+
+// abortConflictors aborts every in-flight transaction (other than the
+// one in slot self) that would receive an invalidation from the given
+// access: the line's transactional writer always, and for writes also
+// every transactional reader.
+func (s *System) abortConflictors(line int32, self int16, write bool) {
+	if w := s.regWriter[line]; w >= 0 && w != self {
+		s.doAbort(s.slotOwner[w], CodeConflict, true)
+	}
+	if !write {
+		return
+	}
+	r := s.regReaders[line]
+	if r[0] == 0 && r[1] == 0 {
+		return
+	}
+	for wi := 0; wi < 2; wi++ {
+		bits := r[wi]
+		for bits != 0 {
+			bit := bits & (-bits)
+			bits &^= bit
+			slot := int16(wi<<6) | int16(bits64.TrailingZeros64(bit))
+			if slot != self {
+				s.doAbort(s.slotOwner[slot], CodeConflict, true)
+			}
+		}
+	}
+}
+
+// finishAbort completes an abort on the victim's own thread: it
+// discards the write buffer, charges the abort cost, and unwinds the
+// transaction body.
+func (s *System) finishAbort(c *sim.Ctx, t *txState) {
+	t.active = false
+	s.clearSets(t)
+	c.Advance(s.prof.TxAbortCost)
+	panic(AbortSignal{Code: t.code, Hint: t.hint})
+}
+
+func (s *System) clearSets(t *txState) {
+	t.readLines = t.readLines[:0]
+	t.writeLines = t.writeLines[:0]
+	t.wbAddr = t.wbAddr[:0]
+	t.wbVal = t.wbVal[:0]
+	clear(t.wbIdx)
+}
+
+// capacity bounds, halved when the hyperthread sibling is active.
+func (s *System) caps(c *sim.Ctx) (writeCap, readCap int) {
+	writeCap, readCap = s.prof.TxWriteCap, s.prof.TxReadCap
+	if c.SiblingActive() {
+		writeCap /= 2
+		readCap /= 2
+	}
+	return
+}
+
+// trackNewLine performs the capacity accounting for a line newly added
+// to the transaction's footprint and triggers a capacity abort (hint
+// clear) on overflow or transient eviction.
+func (s *System) trackNewLine(c *sim.Ctx, t *txState) {
+	writeCap, readCap := s.caps(c)
+	if len(t.writeLines) > writeCap || len(t.readLines) > readCap {
+		s.doAbort(t, CodeCapacity, false)
+		s.finishAbort(c, t)
+	}
+	if c.SiblingActive() && s.prof.TransientEvictProb > 0 &&
+		c.Float64() < s.prof.TransientEvictProb {
+		s.doAbort(t, CodeCapacity, false)
+		s.finishAbort(c, t)
+	}
+}
+
+// --- the access API ---
+
+// Read performs one simulated word read, transactional if the thread is
+// inside a transaction.
+func (s *System) Read(c *sim.Ctx, a mem.Addr) uint64 {
+	c.Checkpoint()
+	t := s.state(c)
+	line := mem.LineOf(a)
+	if t.active {
+		if t.aborted {
+			s.finishAbort(c, t)
+		}
+		if i, ok := t.wbIdx[a]; ok {
+			c.Advance(s.prof.L1Hit + s.prof.BaseOp)
+			return t.wbVal[i]
+		}
+		s.abortConflictors(line, t.slot, false)
+		if !s.hasReader(line, t.slot) {
+			w, b := readerBit(t.slot)
+			s.regReaders[line][w] |= b
+			t.readLines = append(t.readLines, line)
+			s.trackNewLine(c, t)
+		}
+	} else {
+		s.abortConflictors(line, t.slot, false)
+	}
+	lat := s.Cache.Access(c.Now(), c.Core(), c.Socket(), s.Mem.Home(a), line, false)
+	c.Advance(lat + s.prof.BaseOp)
+	return s.Mem.Raw(a)
+}
+
+// Write performs one simulated word write, buffered if transactional.
+func (s *System) Write(c *sim.Ctx, a mem.Addr, v uint64) {
+	c.Checkpoint()
+	t := s.state(c)
+	line := mem.LineOf(a)
+	if t.active {
+		if t.aborted {
+			s.finishAbort(c, t)
+		}
+		s.abortConflictors(line, t.slot, true)
+		if s.regWriter[line] != t.slot {
+			s.regWriter[line] = t.slot
+			t.writeLines = append(t.writeLines, line)
+			s.trackNewLine(c, t)
+		}
+		if i, ok := t.wbIdx[a]; ok {
+			t.wbVal[i] = v
+		} else {
+			t.wbIdx[a] = int32(len(t.wbAddr))
+			t.wbAddr = append(t.wbAddr, a)
+			t.wbVal = append(t.wbVal, v)
+		}
+	} else {
+		s.abortConflictors(line, t.slot, true)
+		s.Mem.SetRaw(a, v)
+	}
+	lat := s.Cache.Access(c.Now(), c.Core(), c.Socket(), s.Mem.Home(a), line, true)
+	c.Advance(lat + s.prof.BaseOp)
+}
+
+// CAS performs a non-transactional atomic compare-and-swap (used by the
+// fallback spin lock and by NATLE's profiling state machine). Calling
+// it inside a transaction is a programming error.
+func (s *System) CAS(c *sim.Ctx, a mem.Addr, old, new uint64) bool {
+	t := s.state(c)
+	if t.active {
+		panic("htm: CAS inside a transaction")
+	}
+	c.Checkpoint()
+	line := mem.LineOf(a)
+	s.abortConflictors(line, t.slot, true)
+	lat := s.Cache.Access(c.Now(), c.Core(), c.Socket(), s.Mem.Home(a), line, true)
+	c.Advance(lat + s.prof.BaseOp)
+	if s.Mem.Raw(a) != old {
+		return false
+	}
+	s.Mem.SetRaw(a, new)
+	return true
+}
+
+// Add performs a non-transactional atomic fetch-and-add and returns the
+// new value.
+func (s *System) Add(c *sim.Ctx, a mem.Addr, delta uint64) uint64 {
+	t := s.state(c)
+	if t.active {
+		panic("htm: Add inside a transaction")
+	}
+	c.Checkpoint()
+	line := mem.LineOf(a)
+	s.abortConflictors(line, t.slot, true)
+	lat := s.Cache.Access(c.Now(), c.Core(), c.Socket(), s.Mem.Home(a), line, true)
+	c.Advance(lat + s.prof.BaseOp)
+	v := s.Mem.Raw(a) + delta
+	s.Mem.SetRaw(a, v)
+	return v
+}
+
+// Abort explicitly aborts the calling thread's transaction with the
+// given condition code (XABORT). The hint bit is clear, as on Intel
+// explicit aborts.
+func (s *System) Abort(c *sim.Ctx, code Code) {
+	t := s.state(c)
+	if !t.active {
+		panic("htm: Abort outside a transaction")
+	}
+	if !t.aborted {
+		s.doAbort(t, code, false)
+	}
+	s.finishAbort(c, t)
+}
+
+func (s *System) begin(c *sim.Ctx, t *txState) {
+	if t.active {
+		panic("htm: nested transactions are not supported")
+	}
+	t.active = true
+	t.aborted = false
+	t.code = CodeNone
+	t.hint = false
+	t.beginAt = c.Now()
+	s.Stats.Starts++
+	c.Advance(s.prof.TxBeginCost)
+}
+
+func (s *System) commit(c *sim.Ctx, t *txState) {
+	c.Checkpoint()
+	if t.aborted {
+		s.finishAbort(c, t)
+	}
+	if s.CommitDelay != nil {
+		s.CommitDelay(c)
+		c.Checkpoint()
+		if t.aborted {
+			s.finishAbort(c, t)
+		}
+	}
+	for i, a := range t.wbAddr {
+		s.Mem.SetRaw(a, t.wbVal[i])
+	}
+	s.unregister(t)
+	t.active = false
+	s.clearSets(t)
+	s.Stats.Commits++
+	s.Stats.CommitDurTotal += c.Now().Sub(t.beginAt)
+	c.Advance(s.prof.TxCommitCost)
+}
+
+// Try runs body inside one best-effort transaction attempt and reports
+// the outcome. The body must be restartable: it is unwound on abort and
+// may be re-run by the caller.
+func (s *System) Try(c *sim.Ctx, body func()) (o Outcome) {
+	t := s.state(c)
+	defer func() {
+		if r := recover(); r != nil {
+			a, ok := r.(AbortSignal)
+			if !ok {
+				panic(r)
+			}
+			o = Outcome{Committed: false, Code: a.Code, Hint: a.Hint}
+		}
+	}()
+	s.begin(c, t)
+	body()
+	s.commit(c, t)
+	return Outcome{Committed: true}
+}

@@ -1,0 +1,257 @@
+package htm
+
+import (
+	"testing"
+
+	"natle/internal/machine"
+	"natle/internal/mem"
+	"natle/internal/sim"
+	"natle/internal/vtime"
+)
+
+// retry keeps attempting a transaction until it commits, with
+// exponential backoff so mutually aborting transactions make progress
+// (without a fallback lock, best-effort HTM can livelock otherwise).
+func retry(s *System, c *sim.Ctx, body func()) {
+	backoff := 50 * vtime.Nanosecond
+	for {
+		if o := s.Try(c, body); o.Committed {
+			return
+		}
+		c.AdvanceIdle(vtime.Duration(c.Intn(int(backoff)) + 1))
+		c.Yield()
+		if backoff < 100*vtime.Microsecond {
+			backoff *= 2
+		}
+	}
+}
+
+func TestTransactionalCounter(t *testing.T) {
+	const threads, incrs = 8, 200
+	e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, threads, 1)
+	s := NewSystem(e, 1<<12)
+	ctr := s.Mem.Alloc(1, 0)
+	for i := 0; i < threads; i++ {
+		e.Spawn(nil, func(c *sim.Ctx) {
+			for j := 0; j < incrs; j++ {
+				retry(s, c, func() {
+					s.Write(c, ctr, s.Read(c, ctr)+1)
+				})
+			}
+		})
+	}
+	e.Run()
+	if got := s.Mem.Raw(ctr); got != threads*incrs {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, threads*incrs)
+	}
+	if s.Stats.Commits != threads*incrs {
+		t.Errorf("commits = %d, want %d", s.Stats.Commits, threads*incrs)
+	}
+	if s.Stats.Aborts[CodeConflict] == 0 {
+		t.Error("expected at least some conflict aborts on a contended counter")
+	}
+}
+
+func TestBufferedWritesInvisibleUntilCommit(t *testing.T) {
+	e := sim.New(machine.SmallI7(), machine.FillSocketFirst{}, 2, 3)
+	s := NewSystem(e, 1<<10)
+	a := s.Mem.Alloc(1, 0)
+	s.Mem.SetRaw(a, 7)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		o := s.Try(c, func() {
+			s.Write(c, a, 99)
+			if got := s.Read(c, a); got != 99 {
+				t.Errorf("tx sees its own write as %d, want 99", got)
+			}
+			if raw := s.Mem.Raw(a); raw != 7 {
+				t.Errorf("buffered write leaked to memory: %d", raw)
+			}
+			s.Abort(c, CodeExplicit)
+		})
+		if o.Committed {
+			t.Error("transaction committed despite explicit abort")
+		}
+		if o.Code != CodeExplicit {
+			t.Errorf("abort code = %v, want explicit", o.Code)
+		}
+		if got := s.Mem.Raw(a); got != 7 {
+			t.Errorf("memory = %d after abort, want 7", got)
+		}
+		retry(s, c, func() { s.Write(c, a, 42) })
+		if got := s.Mem.Raw(a); got != 42 {
+			t.Errorf("memory = %d after commit, want 42", got)
+		}
+	})
+	e.Run()
+}
+
+func TestRequesterWinsConflict(t *testing.T) {
+	// Thread B (non-transactional) writes a line inside thread A's
+	// read set; A must abort with a conflict code and the hint set.
+	e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, 2, 5)
+	s := NewSystem(e, 1<<10)
+	a := s.Mem.Alloc(1, 0)
+	flag := make(chan struct{}, 1) // host-side ordering helper
+	var outcome Outcome
+	e.Spawn(nil, func(c *sim.Ctx) {
+		outcome = s.Try(c, func() {
+			_ = s.Read(c, a)
+			flag <- struct{}{}
+			// Give B time to write: advance past B's action.
+			for i := 0; i < 50; i++ {
+				c.AdvanceIdle(100 * vtime.Nanosecond)
+				c.Yield()
+			}
+			_ = s.Read(c, a) // must observe the abort
+		})
+	})
+	e.Spawn(nil, func(c *sim.Ctx) {
+		c.AdvanceIdle(vtime.Microsecond)
+		c.Yield()
+		s.Write(c, a, 1)
+	})
+	e.Run()
+	<-flag
+	if outcome.Committed {
+		t.Fatal("reader transaction committed despite conflicting write")
+	}
+	if outcome.Code != CodeConflict || !outcome.Hint {
+		t.Fatalf("outcome = %+v, want conflict with hint set", outcome)
+	}
+}
+
+func TestWriteCapacityAbort(t *testing.T) {
+	p := machine.LargeX52()
+	e := sim.New(p, machine.FillSocketFirst{}, 1, 9)
+	s := NewSystem(e, 1<<20)
+	base := s.Mem.Alloc((p.TxWriteCap+8)*mem.WordsPerLine, 0)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		o := s.Try(c, func() {
+			for i := 0; i <= p.TxWriteCap+1; i++ {
+				s.Write(c, base+mem.Addr(i*mem.WordsPerLine), 1)
+			}
+		})
+		if o.Committed {
+			t.Error("transaction with oversized write set committed")
+		}
+		if o.Code != CodeCapacity || o.Hint {
+			t.Errorf("outcome = %+v, want capacity abort with hint clear", o)
+		}
+	})
+	e.Run()
+	// All buffered writes must have been discarded.
+	for i := 0; i <= p.TxWriteCap+1; i++ {
+		if v := s.Mem.Raw(base + mem.Addr(i*mem.WordsPerLine)); v != 0 {
+			t.Fatalf("aborted write leaked at line %d", i)
+		}
+	}
+}
+
+func TestReadOnlyTransactionsDoNotConflict(t *testing.T) {
+	const threads = 16
+	e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, threads, 11)
+	s := NewSystem(e, 1<<12)
+	a := s.Mem.Alloc(8, 0)
+	for i := 0; i < threads; i++ {
+		e.Spawn(nil, func(c *sim.Ctx) {
+			for j := 0; j < 100; j++ {
+				o := s.Try(c, func() {
+					for w := 0; w < 8; w++ {
+						_ = s.Read(c, a+mem.Addr(w))
+					}
+				})
+				if !o.Committed {
+					t.Errorf("read-only transaction aborted: %+v", o)
+					return
+				}
+			}
+		})
+	}
+	e.Run()
+	if s.Stats.TotalAborts() != 0 {
+		t.Errorf("aborts = %d on a read-only workload, want 0", s.Stats.TotalAborts())
+	}
+}
+
+func TestCommitDelayWidensContentionWindow(t *testing.T) {
+	// The Fig 6 mechanism: the same workload with a long pre-commit
+	// delay must suffer a much higher abort rate.
+	run := func(delay vtime.Duration) float64 {
+		const threads = 8
+		e := sim.New(machine.LargeX52(), machine.SingleSocket{}, threads, 21)
+		s := NewSystem(e, 1<<14)
+		if delay > 0 {
+			s.CommitDelay = func(c *sim.Ctx) {
+				steps := int(delay / (200 * vtime.Nanosecond))
+				for i := 0; i < steps; i++ {
+					c.Advance(200 * vtime.Nanosecond)
+					c.Checkpoint()
+				}
+			}
+		}
+		cells := s.Mem.Alloc(64*mem.WordsPerLine, 0)
+		for i := 0; i < threads; i++ {
+			e.Spawn(nil, func(c *sim.Ctx) {
+				for j := 0; j < 150; j++ {
+					cell := cells + mem.Addr(c.Intn(64)*mem.WordsPerLine)
+					retry(s, c, func() {
+						s.Write(c, cell, s.Read(c, cell)+1)
+					})
+				}
+			})
+		}
+		e.Run()
+		return s.Stats.AbortRate()
+	}
+	fast, slow := run(0), run(20*vtime.Microsecond)
+	if slow < fast*3 && slow < 0.2 {
+		t.Errorf("abort rate with delay = %.3f, without = %.3f; expected a large increase", slow, fast)
+	}
+}
+
+func TestSlotRecycling(t *testing.T) {
+	// Spawn far more threads (sequentially) than there are slots.
+	e := sim.New(machine.SmallI7(), machine.FillSocketFirst{}, 2, 13)
+	s := NewSystem(e, 1<<10)
+	ctr := s.Mem.Alloc(1, 0)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		for batch := 0; batch < 40; batch++ {
+			for i := 0; i < 8; i++ {
+				e.Spawn(c, func(k *sim.Ctx) {
+					retry(s, k, func() { s.Write(k, ctr, s.Read(k, ctr)+1) })
+				})
+			}
+			c.WaitOthers(vtime.Microsecond)
+		}
+	})
+	e.Run()
+	if got := s.Mem.Raw(ctr); got != 320 {
+		t.Fatalf("counter = %d, want 320", got)
+	}
+}
+
+func TestAvgCommitDurationTracksDelay(t *testing.T) {
+	run := func(delay vtime.Duration) vtime.Duration {
+		e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, 1, 31)
+		s := NewSystem(e, 1<<12)
+		if delay > 0 {
+			s.CommitDelay = func(c *sim.Ctx) { c.AdvanceIdle(delay) }
+		}
+		e.Spawn(nil, func(c *sim.Ctx) {
+			a := s.Alloc(c, 1)
+			for i := 0; i < 50; i++ {
+				retry(s, c, func() { s.Write(c, a, uint64(i)) })
+			}
+		})
+		e.Run()
+		return s.Stats.AvgCommitDuration()
+	}
+	short := run(0)
+	long := run(40 * vtime.Microsecond)
+	if short <= 0 || short > vtime.Microsecond {
+		t.Errorf("undelayed avg tx length = %v; expected tens of ns", short)
+	}
+	if long < 40*vtime.Microsecond {
+		t.Errorf("delayed avg tx length = %v, want >= 40us", long)
+	}
+}

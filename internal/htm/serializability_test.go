@@ -1,0 +1,235 @@
+package htm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"natle/internal/machine"
+	"natle/internal/mem"
+	"natle/internal/sim"
+	"natle/internal/vtime"
+)
+
+// TestSerializabilityBankTransfer runs concurrent transactional
+// transfers between accounts and checks, both inside read-only
+// transactions (snapshot consistency) and at the end (conservation),
+// that committed transactions appear atomic.
+func TestSerializabilityBankTransfer(t *testing.T) {
+	f := func(seed int64) bool {
+		const accounts, threads, opsPer = 32, 12, 120
+		const initial = 1000
+		ok := true
+		e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, threads, seed)
+		s := NewSystem(e, 1<<14)
+		var base mem.Addr
+		e.Spawn(nil, func(c *sim.Ctx) {
+			base = s.Alloc(c, accounts*mem.WordsPerLine)
+			at := func(i int) mem.Addr { return base + mem.Addr(i*mem.WordsPerLine) }
+			for i := 0; i < accounts; i++ {
+				s.Write(c, at(i), initial)
+			}
+			for i := 0; i < threads; i++ {
+				e.Spawn(c, func(w *sim.Ctx) {
+					for j := 0; j < opsPer; j++ {
+						if w.Intn(8) == 0 {
+							// Read-only audit: the in-transaction sum
+							// must equal the invariant.
+							var sum uint64
+							o := s.Try(w, func() {
+								sum = 0
+								for i := 0; i < accounts; i++ {
+									sum += s.Read(w, at(i))
+								}
+							})
+							if o.Committed && sum != accounts*initial {
+								ok = false
+							}
+							continue
+						}
+						from, to := w.Intn(accounts), w.Intn(accounts)
+						if from == to {
+							continue
+						}
+						amt := uint64(w.Intn(50))
+						retryBank(s, w, func() {
+							bf := s.Read(w, at(from))
+							if bf < amt {
+								return
+							}
+							s.Write(w, at(from), bf-amt)
+							s.Write(w, at(to), s.Read(w, at(to))+amt)
+						})
+					}
+				})
+			}
+			c.SetIdle(true)
+			c.WaitOthers(vtime.Microsecond)
+			var sum uint64
+			for i := 0; i < accounts; i++ {
+				sum += s.Mem.Raw(at(i))
+			}
+			if sum != accounts*initial {
+				ok = false
+			}
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+func retryBank(s *System, c *sim.Ctx, body func()) {
+	backoff := 100 * vtime.Nanosecond
+	for {
+		if o := s.Try(c, body); o.Committed {
+			return
+		}
+		c.AdvanceIdle(vtime.Duration(c.Intn(int(backoff)) + 1))
+		c.Yield()
+		if backoff < 50*vtime.Microsecond {
+			backoff *= 2
+		}
+	}
+}
+
+// TestZombieTransactionCausesNoHarm aborts a transaction from outside
+// and lets the victim keep issuing reads; the victim must unwind at
+// its next access and must not have aborted anyone else meanwhile.
+func TestZombieTransactionCausesNoHarm(t *testing.T) {
+	e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, 3, 7)
+	s := NewSystem(e, 1<<12)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		a := s.Alloc(c, 1)
+		b := s.Alloc(c, 1)
+		victimAborted := false
+		bystanderOK := true
+		e.Spawn(c, func(w *sim.Ctx) { // victim
+			o := s.Try(w, func() {
+				_ = s.Read(w, a)
+				for i := 0; i < 1000; i++ {
+					w.AdvanceIdle(200 * vtime.Nanosecond)
+					w.Checkpoint()
+				}
+				_ = s.Read(w, b) // must panic here after the abort
+				t.Error("zombie transaction executed past its abort point")
+			})
+			victimAborted = !o.Committed
+		})
+		e.Spawn(c, func(w *sim.Ctx) { // attacker + bystander
+			w.AdvanceIdle(2 * vtime.Microsecond)
+			w.Checkpoint()
+			s.Write(w, a, 1) // aborts the victim
+			// Bystander transaction on b must be untouched by the
+			// victim's pending unwind.
+			o := s.Try(w, func() { s.Write(w, b, 2) })
+			bystanderOK = o.Committed
+		})
+		c.SetIdle(true)
+		c.WaitOthers(vtime.Microsecond)
+		if !victimAborted {
+			t.Error("victim survived a conflicting write")
+		}
+		if !bystanderOK {
+			t.Error("bystander transaction was aborted by a zombie")
+		}
+	})
+	e.Run()
+}
+
+// TestAbortStorm injects constant explicit aborts and checks that the
+// runtime's bookkeeping (slots, registrations, stats) stays sound.
+func TestAbortStorm(t *testing.T) {
+	e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, 8, 11)
+	s := NewSystem(e, 1<<12)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		a := s.Alloc(c, 1)
+		for i := 0; i < 8; i++ {
+			e.Spawn(c, func(w *sim.Ctx) {
+				for j := 0; j < 200; j++ {
+					s.Try(w, func() {
+						_ = s.Read(w, a)
+						s.Write(w, a, 1)
+						s.Abort(w, CodeExplicit)
+					})
+				}
+			})
+		}
+		c.SetIdle(true)
+		c.WaitOthers(vtime.Microsecond)
+		if s.Stats.Commits != 0 {
+			t.Errorf("commits = %d, want 0", s.Stats.Commits)
+		}
+		if s.Stats.Aborts[CodeExplicit] != 8*200 {
+			t.Errorf("explicit aborts = %d, want 1600", s.Stats.Aborts[CodeExplicit])
+		}
+		if got := s.Mem.Raw(a); got != 0 {
+			t.Errorf("memory = %d after pure-abort storm, want 0", got)
+		}
+		// No stale registrations: a fresh transaction must commit.
+		o := s.Try(c, func() { s.Write(c, a, 9) })
+		if !o.Committed {
+			t.Errorf("post-storm transaction failed: %+v", o)
+		}
+	})
+	e.Run()
+}
+
+// TestReadCapacityAbort exercises the read-set bound (the write-set
+// bound is covered in htm_test.go).
+func TestReadCapacityAbort(t *testing.T) {
+	p := machine.LargeX52()
+	p.TxReadCap = 64 // tighten for test speed
+	e := sim.New(p, machine.FillSocketFirst{}, 1, 13)
+	s := NewSystem(e, 1<<16)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		base := s.Alloc(c, 70*mem.WordsPerLine)
+		o := s.Try(c, func() {
+			for i := 0; i < 66; i++ {
+				_ = s.Read(c, base+mem.Addr(i*mem.WordsPerLine))
+			}
+		})
+		if o.Committed || o.Code != CodeCapacity || o.Hint {
+			t.Errorf("outcome = %+v, want capacity abort with hint clear", o)
+		}
+	})
+	e.Run()
+}
+
+// TestSiblingHalvesCapacity verifies the hyperthread capacity model.
+func TestSiblingHalvesCapacity(t *testing.T) {
+	p := machine.LargeX52()
+	p.TransientEvictProb = 0 // isolate the halving
+	run := func(sibling bool) Outcome {
+		e := sim.New(p, machine.FillSocketFirst{}, 2, 17)
+		s := NewSystem(e, 1<<22)
+		var out Outcome
+		e.Spawn(nil, func(c *sim.Ctx) {
+			// Driver shares core 0 with worker 0 (both pinIdx 0);
+			// SetIdle turns the sibling pressure on/off.
+			c.SetIdle(!sibling)
+			n := p.TxWriteCap/2 + 8 // over half, under full
+			base := s.Alloc(c, (n+4)*mem.WordsPerLine)
+			e.Spawn(c, func(w *sim.Ctx) {
+				out = s.Try(w, func() {
+					for i := 0; i < n; i++ {
+						s.Write(w, base+mem.Addr(i*mem.WordsPerLine), 1)
+					}
+				})
+			})
+			if !sibling {
+				c.SetIdle(true)
+			}
+			c.WaitOthers(vtime.Microsecond)
+		})
+		e.Run()
+		return out
+	}
+	if o := run(false); !o.Committed {
+		t.Errorf("alone: %+v, want commit (under full capacity)", o)
+	}
+	if o := run(true); o.Committed || o.Code != CodeCapacity {
+		t.Errorf("with sibling: %+v, want capacity abort (halved bound)", o)
+	}
+}

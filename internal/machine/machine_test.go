@@ -1,0 +1,92 @@
+package machine
+
+import "testing"
+
+func TestTopology(t *testing.T) {
+	p := LargeX52()
+	if p.Cores() != 36 || p.HWThreads() != 72 {
+		t.Errorf("large topology: %d cores / %d threads", p.Cores(), p.HWThreads())
+	}
+	if SocketOf := p.SocketOfCore(17); SocketOf != 0 {
+		t.Errorf("core 17 on socket %d, want 0", SocketOf)
+	}
+	if s := p.SocketOfCore(18); s != 1 {
+		t.Errorf("core 18 on socket %d, want 1", s)
+	}
+	sm := SmallI7()
+	if sm.Sockets != 1 || sm.HWThreads() != 8 {
+		t.Errorf("small topology: %d sockets / %d threads", sm.Sockets, sm.HWThreads())
+	}
+}
+
+func TestSocketMaskPartition(t *testing.T) {
+	p := LargeX52()
+	m0, m1 := p.SocketMask(0), p.SocketMask(1)
+	if m0&m1 != 0 {
+		t.Error("socket masks overlap")
+	}
+	all := uint64(1)<<uint(p.Cores()) - 1
+	if m0|m1 != all {
+		t.Errorf("socket masks do not cover all cores: %x", m0|m1)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	for _, p := range []*Profile{LargeX52(), SmallI7()} {
+		if !(p.L1Hit < p.L3Hit && p.L3Hit < p.LocalDRAM) {
+			t.Errorf("%s: latency ladder broken", p.Name)
+		}
+		if p.Sockets > 1 && p.RemoteHit <= p.L3Hit {
+			t.Errorf("%s: remote not slower than local", p.Name)
+		}
+	}
+}
+
+func TestAlternatingCoversBothSockets(t *testing.T) {
+	p := LargeX52()
+	alt := Alternating{}
+	seen := map[int]bool{}
+	for i := 0; i < 72; i++ {
+		core := alt.Place(p, i, 72)
+		if core < 0 || core >= p.Cores() {
+			t.Fatalf("Place(%d) = %d out of range", i, core)
+		}
+		seen[p.SocketOfCore(core)] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Error("alternating policy missed a socket")
+	}
+}
+
+func TestFillSocketFirstLoadsAtMostTwoPerCore(t *testing.T) {
+	p := LargeX52()
+	fill := FillSocketFirst{}
+	load := map[int]int{}
+	for i := 0; i < 72; i++ {
+		load[fill.Place(p, i, 72)]++
+	}
+	for core, n := range load {
+		if n != p.ThreadsPerCore {
+			t.Errorf("core %d has %d threads, want %d", core, n, p.ThreadsPerCore)
+		}
+	}
+}
+
+func TestSingleSocketStaysHome(t *testing.T) {
+	p := LargeX52()
+	pol := SingleSocket{Socket: 1}
+	for i := 0; i < 36; i++ {
+		if s := p.SocketOfCore(pol.Place(p, i, 36)); s != 1 {
+			t.Fatalf("thread %d placed on socket %d", i, s)
+		}
+	}
+}
+
+func TestDynamicFlags(t *testing.T) {
+	if (FillSocketFirst{}).Dynamic() || (Alternating{}).Dynamic() || (SingleSocket{}).Dynamic() {
+		t.Error("static policies report dynamic")
+	}
+	if !(Unpinned{}).Dynamic() {
+		t.Error("unpinned policy is not dynamic")
+	}
+}

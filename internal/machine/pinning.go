@@ -1,0 +1,90 @@
+package machine
+
+// PinPolicy decides which core a software thread runs on. Placement is
+// consulted when a thread is created; Dynamic reports whether the
+// policy may later migrate threads (in which case the simulator's OS
+// scheduler periodically rebalances them).
+type PinPolicy interface {
+	// Place returns the core for software thread i of n total threads.
+	Place(p *Profile, i, n int) int
+	// Dynamic reports whether threads may migrate after placement.
+	Dynamic() bool
+	// Name identifies the policy in output.
+	Name() string
+}
+
+// FillSocketFirst is the paper's default pinning policy: the first
+// CoresPerSocket threads go to distinct cores of socket 0, the next
+// CoresPerSocket share those cores via hyperthreading, and the pattern
+// repeats on socket 1. On the large machine, threads 0-35 therefore
+// run on socket 0 and threads 36-71 on socket 1.
+type FillSocketFirst struct{}
+
+// Place implements PinPolicy.
+func (FillSocketFirst) Place(p *Profile, i, n int) int {
+	perSocket := p.CoresPerSocket * p.ThreadsPerCore
+	socket := (i / perSocket) % p.Sockets
+	within := i % perSocket
+	core := within % p.CoresPerSocket // second pass reuses cores (hyperthreads)
+	return socket*p.CoresPerSocket + core
+}
+
+// Dynamic implements PinPolicy.
+func (FillSocketFirst) Dynamic() bool { return false }
+
+// Name implements PinPolicy.
+func (FillSocketFirst) Name() string { return "fill-socket-first" }
+
+// Alternating pins even-numbered threads to socket 0 and odd-numbered
+// threads to socket 1 (Fig 15, left).
+type Alternating struct{}
+
+// Place implements PinPolicy.
+func (Alternating) Place(p *Profile, i, n int) int {
+	socket := i % p.Sockets
+	slot := i / p.Sockets // index within the socket's thread sequence
+	core := slot % p.CoresPerSocket
+	return socket*p.CoresPerSocket + core
+}
+
+// Dynamic implements PinPolicy.
+func (Alternating) Dynamic() bool { return false }
+
+// Name implements PinPolicy.
+func (Alternating) Name() string { return "alternating" }
+
+// Unpinned leaves placement to the simulated OS scheduler, which
+// balances load across sockets (mirroring the observation in the paper
+// that the Linux scheduler spreads threads evenly across sockets) and
+// periodically migrates threads to the least-loaded core.
+type Unpinned struct{}
+
+// Place implements PinPolicy. Initial placement is least-loaded; the
+// engine's scheduler handles subsequent migration.
+func (Unpinned) Place(p *Profile, i, n int) int {
+	// The engine overrides this with load-aware placement; the static
+	// fallback spreads like the alternating policy.
+	return Alternating{}.Place(p, i, n)
+}
+
+// Dynamic implements PinPolicy.
+func (Unpinned) Dynamic() bool { return true }
+
+// Name implements PinPolicy.
+func (Unpinned) Name() string { return "unpinned" }
+
+// SingleSocket pins all threads onto one socket, spreading across cores
+// first and hyperthreads second (used by the Fig 6 delay experiment).
+type SingleSocket struct{ Socket int }
+
+// Place implements PinPolicy.
+func (s SingleSocket) Place(p *Profile, i, n int) int {
+	core := i % p.CoresPerSocket
+	return s.Socket*p.CoresPerSocket + core
+}
+
+// Dynamic implements PinPolicy.
+func (SingleSocket) Dynamic() bool { return false }
+
+// Name implements PinPolicy.
+func (SingleSocket) Name() string { return "single-socket" }

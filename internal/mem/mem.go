@@ -1,0 +1,94 @@
+// Package mem provides the simulated word-addressable shared memory
+// that every data structure and lock in this repository lives in.
+//
+// Memory is an array of 64-bit words grouped into 64-byte cache lines
+// (8 words). The allocator is "HTM-friendly" in the sense of the
+// malloc-placement study the paper cites [Dice et al. 2015]: every
+// allocation is line-aligned and padded to a whole number of lines, so
+// distinct objects never share a cache line (no false sharing between
+// nodes, locks, or counters). Each line records a home socket for NUMA
+// placement of DRAM accesses.
+package mem
+
+// Addr is a word index into the simulated memory. Address 0 is
+// reserved as the nil pointer.
+type Addr uint32
+
+// WordsPerLine is the cache-line size in words (64 bytes).
+const WordsPerLine = 8
+
+// Nil is the null simulated pointer.
+const Nil Addr = 0
+
+// LineOf returns the cache-line index containing addr.
+func LineOf(a Addr) int32 { return int32(a / WordsPerLine) }
+
+// Space is one simulated physical memory.
+type Space struct {
+	words []uint64
+	home  []uint8 // home socket per line
+	next  Addr    // bump cursor, line-aligned
+
+	// OnGrow, if set, is called after the memory grows, with the new
+	// line count; the cache and HTM layers use it to size their
+	// per-line metadata.
+	OnGrow func(lines int)
+}
+
+// NewSpace creates a memory pre-sized to capWords (grown on demand).
+func NewSpace(capWords int) *Space {
+	if capWords < WordsPerLine*16 {
+		capWords = WordsPerLine * 16
+	}
+	s := &Space{
+		words: make([]uint64, 0, capWords),
+		home:  make([]uint8, 0, capWords/WordsPerLine+1),
+	}
+	// Burn line 0 so that Addr 0 can serve as nil.
+	s.grow(WordsPerLine, 0)
+	return s
+}
+
+func (s *Space) grow(nWords, socket int) Addr {
+	base := s.next
+	end := int(base) + nWords
+	for len(s.words) < end {
+		s.words = append(s.words, 0)
+	}
+	for len(s.home) < end/WordsPerLine {
+		s.home = append(s.home, uint8(socket))
+	}
+	s.next = Addr(end)
+	if s.OnGrow != nil {
+		s.OnGrow(end / WordsPerLine)
+	}
+	return base
+}
+
+// Alloc reserves nWords of zeroed, line-aligned memory homed on the
+// given socket and returns its address. Allocations are padded to a
+// whole number of lines.
+func (s *Space) Alloc(nWords, socket int) Addr {
+	if nWords <= 0 {
+		panic("mem: Alloc with non-positive size")
+	}
+	padded := (nWords + WordsPerLine - 1) / WordsPerLine * WordsPerLine
+	return s.grow(padded, socket)
+}
+
+// Words returns the number of allocated words (the high-water mark).
+func (s *Space) Words() int { return int(s.next) }
+
+// Lines returns the number of allocated cache lines.
+func (s *Space) Lines() int { return int(s.next) / WordsPerLine }
+
+// Home returns the home socket of the line containing addr.
+func (s *Space) Home(a Addr) int { return int(s.home[LineOf(a)]) }
+
+// Raw reads a word without any timing or coherence effects. It is used
+// by the simulator runtime itself and by validation code; simulated
+// threads must go through the HTM runtime instead.
+func (s *Space) Raw(a Addr) uint64 { return s.words[a] }
+
+// SetRaw writes a word without any timing or coherence effects.
+func (s *Space) SetRaw(a Addr, v uint64) { s.words[a] = v }

@@ -1,0 +1,89 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNilReserved(t *testing.T) {
+	s := NewSpace(0)
+	a := s.Alloc(1, 0)
+	if a == Nil {
+		t.Fatal("first allocation returned the nil address")
+	}
+	if a%WordsPerLine != 0 {
+		t.Fatalf("allocation %d not line aligned", a)
+	}
+}
+
+func TestAllocationsLineAlignedAndDisjoint(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		s := NewSpace(0)
+		var prevEnd Addr = WordsPerLine // line 0 is reserved
+		for _, raw := range sizes {
+			n := int(raw%40) + 1
+			a := s.Alloc(n, int(raw)%2)
+			if a%WordsPerLine != 0 {
+				return false
+			}
+			if a < prevEnd {
+				return false // overlap with the previous allocation
+			}
+			padded := (n + WordsPerLine - 1) / WordsPerLine * WordsPerLine
+			prevEnd = a + Addr(padded)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHomeSocketRecorded(t *testing.T) {
+	s := NewSpace(0)
+	a0 := s.Alloc(8, 0)
+	a1 := s.Alloc(8, 1)
+	if s.Home(a0) != 0 {
+		t.Errorf("home(a0) = %d", s.Home(a0))
+	}
+	if s.Home(a1) != 1 {
+		t.Errorf("home(a1) = %d", s.Home(a1))
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	s := NewSpace(0)
+	a := s.Alloc(4, 0)
+	s.SetRaw(a+2, 0xDEADBEEF)
+	if got := s.Raw(a + 2); got != 0xDEADBEEF {
+		t.Errorf("Raw = %x", got)
+	}
+	if got := s.Raw(a); got != 0 {
+		t.Errorf("fresh word = %x, want 0", got)
+	}
+}
+
+func TestOnGrowFires(t *testing.T) {
+	s := NewSpace(0)
+	var lastLines int
+	s.OnGrow = func(n int) { lastLines = n }
+	s.Alloc(WordsPerLine*3, 0)
+	if lastLines != s.Lines() {
+		t.Errorf("OnGrow reported %d lines, space has %d", lastLines, s.Lines())
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	if LineOf(0) != 0 || LineOf(7) != 0 || LineOf(8) != 1 || LineOf(17) != 2 {
+		t.Error("LineOf mapping wrong")
+	}
+}
+
+func TestAllocPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSpace(0).Alloc(0, 0)
+}

@@ -1,0 +1,89 @@
+package natle
+
+import (
+	"testing"
+
+	"natle/internal/htm"
+	"natle/internal/machine"
+	"natle/internal/sim"
+	"natle/internal/tle"
+	"natle/internal/vtime"
+)
+
+// The AdaptProfiling extension (the paper's "dynamically adapting
+// these settings" future work): stable decisions stretch the profiling
+// interval; decision changes reset it.
+
+func adaptiveConfig() Config {
+	cfg := testConfig()
+	cfg.AdaptProfiling = true
+	cfg.MaxProfSkip = 4
+	return cfg
+}
+
+// runAdaptive drives a read-only workload long enough for many cycles.
+func runAdaptive(t *testing.T, cfg Config, cycles int) *Lock {
+	t.Helper()
+	e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, 8, 41)
+	s := htm.NewSystem(e, 1<<14)
+	var nl *Lock
+	e.Spawn(nil, func(c *sim.Ctx) {
+		nl = New(s, c, tle.New(s, c, 0, tle.TLE20()), cfg)
+		shared := s.Alloc(c, 1)
+		deadline := c.Now().Add(vtime.Duration(cycles) * cfg.CycleLen())
+		for i := 0; i < 8; i++ {
+			e.Spawn(c, func(w *sim.Ctx) {
+				for w.Now() < deadline {
+					nl.Critical(w, func() { _ = s.Read(w, shared) })
+					w.Work(10)
+				}
+			})
+		}
+		c.SetIdle(true)
+		c.WaitOthers(2 * vtime.Microsecond)
+	})
+	e.Run()
+	return nl
+}
+
+func TestAdaptiveSkipsProfilingWhenStable(t *testing.T) {
+	cycles := 16
+	fixed := runAdaptive(t, testConfig(), cycles)
+	adaptive := runAdaptive(t, adaptiveConfig(), cycles)
+	if len(adaptive.Timeline) >= len(fixed.Timeline) {
+		t.Errorf("adaptive profiled %d cycles, fixed %d; expected fewer",
+			len(adaptive.Timeline), len(fixed.Timeline))
+	}
+	if len(adaptive.Timeline) < 3 {
+		t.Errorf("adaptive profiled only %d cycles; must still profile occasionally",
+			len(adaptive.Timeline))
+	}
+}
+
+func TestAdaptiveSkipStateMachine(t *testing.T) {
+	e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, 1, 43)
+	s := htm.NewSystem(e, 1<<14)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		nl := New(s, c, tle.New(s, c, 0, tle.TLE20()), adaptiveConfig())
+		// Same decision repeatedly -> k grows to the cap.
+		for i := 0; i < 6; i++ {
+			nl.computeBestLockModes(c, stampOf(vtime.Time(i*1000)))
+		}
+		if k := s.Mem.Raw(nl.profEvery); k != 4 {
+			t.Errorf("profEvery = %d after stable streak, want cap 4", k)
+		}
+		// Force a different decision via the counters: bump socket-0
+		// counts far past the warmup threshold for a fresh stamp.
+		stamp := stampOf(vtime.Time(777776))
+		for tid := 0; tid < 8; tid++ {
+			for m := 0; m < 2; m++ {
+				s.Mem.SetRaw(nl.acqAddr(tid, m), packAcq(stamp, 500))
+			}
+		}
+		nl.computeBestLockModes(c, stamp)
+		if k := s.Mem.Raw(nl.profEvery); k != 1 {
+			t.Errorf("profEvery = %d after decision change, want 1", k)
+		}
+	})
+	e.Run()
+}

@@ -1,0 +1,131 @@
+package natle
+
+import (
+	"testing"
+
+	"natle/internal/htm"
+	"natle/internal/machine"
+	"natle/internal/sim"
+	"natle/internal/tle"
+	"natle/internal/vtime"
+)
+
+// testConfig returns a fast NATLE configuration for unit tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ProfilingLen = 30 * vtime.Microsecond
+	cfg.QuantumLen = 30 * vtime.Microsecond
+	cfg.WarmupThreshold = 16
+	return cfg
+}
+
+func TestStagePacking(t *testing.T) {
+	base := vtime.Time(123456788) // not a multiple of 4
+	for stage := uint64(0); stage < 4; stage++ {
+		v := packStage(base, stage)
+		if stageOf(v) != stage {
+			t.Errorf("stageOf(packStage(_, %d)) = %d", stage, stageOf(v))
+		}
+		if baseOf(v) != uint64(base)&^3 {
+			t.Errorf("baseOf lost time bits: %x", baseOf(v))
+		}
+	}
+	// Stage ordering within one base must be monotone, as the CAS
+	// protocol in Figures 10-11 relies on numeric comparison.
+	for s := uint64(0); s < 3; s++ {
+		if packStage(base, s) >= packStage(base, s+1) {
+			t.Errorf("packStage not monotone in stage at %d", s)
+		}
+	}
+}
+
+func TestOtherSocketMode(t *testing.T) {
+	if got := otherSocketMode(0, 2); got != 1 {
+		t.Errorf("otherSocketMode(0,2) = %d, want 1", got)
+	}
+	if got := otherSocketMode(1, 2); got != 0 {
+		t.Errorf("otherSocketMode(1,2) = %d, want 0", got)
+	}
+}
+
+func TestWarmupThresholdForcesBothSockets(t *testing.T) {
+	// With almost no acquisitions during profiling, the decision must
+	// default to the all-sockets mode regardless of the split.
+	e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, 2, 19)
+	s := htm.NewSystem(e, 1<<14)
+	cfg := testConfig()
+	cfg.WarmupThreshold = 1 << 20 // unreachably high
+	e.Spawn(nil, func(c *sim.Ctx) {
+		inner := tle.New(s, c, 0, tle.TLE20())
+		nl := New(s, c, inner, cfg)
+		ctr := s.Alloc(c, 1)
+		deadline := c.Now().Add(2 * vtime.Millisecond)
+		for c.Now() < deadline {
+			nl.Critical(c, func() { s.Write(c, ctr, s.Read(c, ctr)+1) })
+			c.Work(50)
+		}
+		for _, m := range nl.Timeline {
+			if m.FastestMode != 2 || m.SlicePerMille != 1000 {
+				t.Errorf("cycle %d decided mode %d slice %d below warmup threshold",
+					m.Cycle, m.FastestMode, m.SlicePerMille)
+			}
+		}
+		if len(nl.Timeline) == 0 {
+			t.Error("no profiling cycles recorded")
+		}
+	})
+	e.Run()
+}
+
+func TestSocket0ShareAccounting(t *testing.T) {
+	e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, 1, 29)
+	s := htm.NewSystem(e, 1<<12)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		nl := New(s, c, tle.New(s, c, 0, tle.TLE20()), testConfig())
+		cases := []struct {
+			fastest, alternate int
+			slice              int64
+			want               float64
+		}{
+			{2, 0, 1000, 1.0}, // both sockets all the time
+			{0, 1, 600, 0.6},  // socket 0 gets 60% of each quantum
+			{1, 0, 700, 0.3},  // socket 1 fastest; socket 0 gets the rest
+		}
+		for _, cse := range cases {
+			got := nl.socket0Share(cse.fastest, cse.alternate, cse.slice)
+			if diff := got - cse.want; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("socket0Share(%d,%d,%d) = %v, want %v",
+					cse.fastest, cse.alternate, cse.slice, got, cse.want)
+			}
+		}
+	})
+	e.Run()
+}
+
+func TestProfilingStageRaces(t *testing.T) {
+	// Many threads racing into the same profiling phase must leave the
+	// stage machine consistent (exactly stage 3 after finalize) and
+	// never deadlock.
+	const threads = 32
+	e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, threads, 31)
+	s := htm.NewSystem(e, 1<<14)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		nl := New(s, c, tle.New(s, c, 0, tle.TLE20()), testConfig())
+		ctr := s.Alloc(c, 1)
+		deadline := c.Now().Add(1 * vtime.Millisecond)
+		for i := 0; i < threads; i++ {
+			e.Spawn(c, func(w *sim.Ctx) {
+				for w.Now() < deadline {
+					nl.Critical(w, func() { _ = s.Read(w, ctr) })
+					w.Work(5)
+				}
+			})
+		}
+		c.SetIdle(true)
+		c.WaitOthers(2 * vtime.Microsecond)
+		if st := stageOf(s.Mem.Raw(nl.lastProfStart)); st != 3 && st != 1 {
+			t.Errorf("profiling stage machine left in stage %d", st)
+		}
+	})
+	e.Run()
+}

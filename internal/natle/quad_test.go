@@ -1,0 +1,82 @@
+package natle
+
+import (
+	"testing"
+
+	"natle/internal/htm"
+	"natle/internal/machine"
+	"natle/internal/sim"
+	"natle/internal/tle"
+	"natle/internal/vtime"
+)
+
+// The paper states NATLE extends straightforwardly to more than two
+// sockets (one mode per socket plus an all-sockets mode). These tests
+// exercise that generalization on a synthetic four-socket machine.
+
+func TestQuadSocketModeCount(t *testing.T) {
+	e := sim.New(machine.QuadSocket(), machine.FillSocketFirst{}, 1, 1)
+	s := htm.NewSystem(e, 1<<14)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		nl := New(s, c, tle.New(s, c, 0, tle.TLE20()), testConfig())
+		if nl.numModes != 5 {
+			t.Errorf("numModes = %d, want 5 (4 sockets + both)", nl.numModes)
+		}
+	})
+	e.Run()
+}
+
+func TestQuadSocketProfilingCoversAllModes(t *testing.T) {
+	p := machine.QuadSocket()
+	e := sim.New(p, machine.FillSocketFirst{}, p.HWThreads(), 3)
+	s := htm.NewSystem(e, 1<<16)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		cfg := testConfig()
+		cfg.ProfilingLen = 50 * vtime.Microsecond // 10us per mode
+		nl := New(s, c, tle.New(s, c, 0, tle.TLE20()), cfg)
+		ctr := s.Alloc(c, 1)
+		deadline := c.Now().Add(5 * vtime.Millisecond)
+		for i := 0; i < p.HWThreads(); i++ {
+			e.Spawn(c, func(w *sim.Ctx) {
+				for w.Now() < deadline {
+					nl.Critical(w, func() { _ = s.Read(w, ctr) })
+					w.Work(30)
+				}
+			})
+		}
+		c.SetIdle(true)
+		c.WaitOthers(2 * vtime.Microsecond)
+		if len(nl.Timeline) < 2 {
+			t.Fatalf("only %d cycles", len(nl.Timeline))
+		}
+		// A read-only workload on four sockets must profile activity in
+		// every mode and stay unthrottled.
+		last := nl.Timeline[len(nl.Timeline)-1]
+		for m, a := range last.Acqs {
+			if a == 0 {
+				t.Errorf("mode %d profiled zero acquisitions: %v", m, last.Acqs)
+			}
+		}
+		unthrottled := 0
+		for _, m := range nl.Timeline[1:] {
+			if m.FastestMode == nl.numModes-1 {
+				unthrottled++
+			}
+		}
+		if unthrottled*2 < len(nl.Timeline)-1 {
+			t.Errorf("read-only quad-socket workload throttled in %d/%d cycles",
+				len(nl.Timeline)-1-unthrottled, len(nl.Timeline)-1)
+		}
+	})
+	e.Run()
+}
+
+func TestQuadSocketOtherSocketModeCycles(t *testing.T) {
+	// On >2 sockets, the alternate mode walks the socket ring.
+	if got := otherSocketMode(0, 4); got != 1 {
+		t.Errorf("otherSocketMode(0,4) = %d", got)
+	}
+	if got := otherSocketMode(3, 4); got != 0 {
+		t.Errorf("otherSocketMode(3,4) = %d", got)
+	}
+}

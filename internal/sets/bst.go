@@ -1,0 +1,198 @@
+package sets
+
+import (
+	"fmt"
+
+	"natle/internal/htm"
+	"natle/internal/mem"
+	"natle/internal/sim"
+)
+
+// Internal BST node layout: one cache line per node.
+const (
+	ibKey   = 0
+	ibLeft  = 1
+	ibRight = 2
+	ibWords = 3
+)
+
+// BST is a classic unbalanced internal binary search tree. Unlike the
+// AVL tree it never rotates; unlike the leaf-oriented BST, deleting a
+// node with two children copies the successor's key into an interior
+// node, so it sits between the two in NUMA sensitivity.
+type BST struct {
+	sys  *htm.System
+	root mem.Addr
+}
+
+// NewBST creates an empty internal BST.
+func NewBST(sys *htm.System, c *sim.Ctx) *BST {
+	return &BST{sys: sys, root: sys.AllocHome(c, 1, 0)}
+}
+
+// Name implements Set.
+func (t *BST) Name() string { return "bst" }
+
+func (t *BST) key(c *sim.Ctx, n mem.Addr) int64 {
+	return int64(t.sys.Read(c, n+ibKey))
+}
+func (t *BST) child(c *sim.Ctx, n mem.Addr, leftSide bool) mem.Addr {
+	f := mem.Addr(ibRight)
+	if leftSide {
+		f = ibLeft
+	}
+	return mem.Addr(t.sys.Read(c, n+f))
+}
+
+// Contains implements Set.
+func (t *BST) Contains(c *sim.Ctx, key int64) bool {
+	n := mem.Addr(t.sys.Read(c, t.root))
+	for n != mem.Nil {
+		k := t.key(c, n)
+		if k == key {
+			return true
+		}
+		n = t.child(c, n, key < k)
+	}
+	return false
+}
+
+// SearchReplace implements Set.
+func (t *BST) SearchReplace(c *sim.Ctx, key int64) {
+	n := mem.Addr(t.sys.Read(c, t.root))
+	last := mem.Nil
+	for n != mem.Nil {
+		last = n
+		k := t.key(c, n)
+		if k == key {
+			break
+		}
+		n = t.child(c, n, key < k)
+	}
+	if last != mem.Nil {
+		t.sys.Write(c, last+ibKey, uint64(t.key(c, last)))
+	}
+}
+
+// Insert implements Set.
+func (t *BST) Insert(c *sim.Ctx, key int64) bool {
+	n := mem.Addr(t.sys.Read(c, t.root))
+	if n == mem.Nil {
+		t.sys.Write(c, t.root, uint64(t.newNode(c, key)))
+		return true
+	}
+	for {
+		k := t.key(c, n)
+		if k == key {
+			return false
+		}
+		next := t.child(c, n, key < k)
+		if next == mem.Nil {
+			f := mem.Addr(ibRight)
+			if key < k {
+				f = ibLeft
+			}
+			t.sys.Write(c, n+f, uint64(t.newNode(c, key)))
+			return true
+		}
+		n = next
+	}
+}
+
+func (t *BST) newNode(c *sim.Ctx, key int64) mem.Addr {
+	n := t.sys.Alloc(c, ibWords)
+	t.sys.Write(c, n+ibKey, uint64(key))
+	return n
+}
+
+// Delete implements Set.
+func (t *BST) Delete(c *sim.Ctx, key int64) bool {
+	parent := mem.Nil
+	parentLeft := false
+	n := mem.Addr(t.sys.Read(c, t.root))
+	for n != mem.Nil {
+		k := t.key(c, n)
+		if k == key {
+			break
+		}
+		parent, parentLeft = n, key < k
+		n = t.child(c, n, key < k)
+	}
+	if n == mem.Nil {
+		return false
+	}
+	l, r := t.child(c, n, true), t.child(c, n, false)
+	if l != mem.Nil && r != mem.Nil {
+		// Two children: copy successor key into n, then splice out the
+		// successor (leftmost node of the right subtree).
+		sp, spLeft := n, false
+		m := r
+		for {
+			ml := t.child(c, m, true)
+			if ml == mem.Nil {
+				break
+			}
+			sp, spLeft = m, true
+			m = ml
+		}
+		t.sys.Write(c, n+ibKey, uint64(t.key(c, m)))
+		t.splice(c, sp, spLeft, m)
+		return true
+	}
+	t.splice(c, parent, parentLeft, n)
+	return true
+}
+
+// splice removes node n (which has at most one child) from under
+// parent (nil parent means n is the root).
+func (t *BST) splice(c *sim.Ctx, parent mem.Addr, parentLeft bool, n mem.Addr) {
+	repl := t.child(c, n, true)
+	if repl == mem.Nil {
+		repl = t.child(c, n, false)
+	}
+	switch {
+	case parent == mem.Nil:
+		t.sys.Write(c, t.root, uint64(repl))
+	case parentLeft:
+		t.sys.Write(c, parent+ibLeft, uint64(repl))
+	default:
+		t.sys.Write(c, parent+ibRight, uint64(repl))
+	}
+}
+
+// Keys implements Set (raw in-order walk; validation only).
+func (t *BST) Keys() []int64 {
+	raw := t.sys.Mem
+	var out []int64
+	var walk func(n mem.Addr)
+	walk = func(n mem.Addr) {
+		if n == mem.Nil {
+			return
+		}
+		walk(mem.Addr(raw.Raw(n + ibLeft)))
+		out = append(out, int64(raw.Raw(n+ibKey)))
+		walk(mem.Addr(raw.Raw(n + ibRight)))
+	}
+	walk(mem.Addr(raw.Raw(t.root)))
+	return out
+}
+
+// CheckInvariants implements Set: BST ordering.
+func (t *BST) CheckInvariants() error {
+	raw := t.sys.Mem
+	var check func(n mem.Addr, lo, hi int64) error
+	check = func(n mem.Addr, lo, hi int64) error {
+		if n == mem.Nil {
+			return nil
+		}
+		k := int64(raw.Raw(n + ibKey))
+		if k < lo || k > hi {
+			return fmt.Errorf("bst: key %d outside (%d, %d)", k, lo, hi)
+		}
+		if err := check(mem.Addr(raw.Raw(n+ibLeft)), lo, k-1); err != nil {
+			return err
+		}
+		return check(mem.Addr(raw.Raw(n+ibRight)), k+1, hi)
+	}
+	return check(mem.Addr(raw.Raw(t.root)), -1<<62, 1<<62)
+}

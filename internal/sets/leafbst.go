@@ -1,0 +1,241 @@
+package sets
+
+import (
+	"fmt"
+
+	"natle/internal/htm"
+	"natle/internal/mem"
+	"natle/internal/sim"
+)
+
+// Leaf-oriented BST node layout: one cache line per node. A node is a
+// leaf iff its left child is nil (internal nodes always have exactly
+// two children).
+const (
+	lbKey   = 0
+	lbLeft  = 1
+	lbRight = 2
+	lbWords = 3
+)
+
+// LeafBST is an unbalanced leaf-oriented (external) binary search
+// tree: keys live only in leaves and internal nodes route searches
+// (key < node.key goes left, otherwise right). Updates replace a leaf
+// or an internal node just above a leaf, so writes never touch the top
+// of the tree — the structural property the paper predicts (and Fig 7
+// confirms) makes it far less NUMA-sensitive than the AVL tree.
+type LeafBST struct {
+	sys  *htm.System
+	root mem.Addr // word holding the root node's address
+}
+
+// NewLeafBST creates an empty leaf-oriented BST.
+func NewLeafBST(sys *htm.System, c *sim.Ctx) *LeafBST {
+	return &LeafBST{sys: sys, root: sys.AllocHome(c, 1, 0)}
+}
+
+// Name implements Set.
+func (t *LeafBST) Name() string { return "leafbst" }
+
+func (t *LeafBST) key(c *sim.Ctx, n mem.Addr) int64 {
+	return int64(t.sys.Read(c, n+lbKey))
+}
+func (t *LeafBST) left(c *sim.Ctx, n mem.Addr) mem.Addr {
+	return mem.Addr(t.sys.Read(c, n+lbLeft))
+}
+func (t *LeafBST) right(c *sim.Ctx, n mem.Addr) mem.Addr {
+	return mem.Addr(t.sys.Read(c, n+lbRight))
+}
+
+// Contains implements Set.
+func (t *LeafBST) Contains(c *sim.Ctx, key int64) bool {
+	n := mem.Addr(t.sys.Read(c, t.root))
+	if n == mem.Nil {
+		return false
+	}
+	for {
+		l := t.left(c, n)
+		if l == mem.Nil {
+			return t.key(c, n) == key
+		}
+		if key < t.key(c, n) {
+			n = l
+		} else {
+			n = t.right(c, n)
+		}
+	}
+}
+
+// SearchReplace implements Set.
+func (t *LeafBST) SearchReplace(c *sim.Ctx, key int64) {
+	n := mem.Addr(t.sys.Read(c, t.root))
+	if n == mem.Nil {
+		return
+	}
+	for {
+		l := t.left(c, n)
+		if l == mem.Nil {
+			t.sys.Write(c, n+lbKey, uint64(t.key(c, n)))
+			return
+		}
+		if key < t.key(c, n) {
+			n = l
+		} else {
+			n = t.right(c, n)
+		}
+	}
+}
+
+// Insert implements Set.
+func (t *LeafBST) Insert(c *sim.Ctx, key int64) bool {
+	n := mem.Addr(t.sys.Read(c, t.root))
+	if n == mem.Nil {
+		leaf := t.newLeaf(c, key)
+		t.sys.Write(c, t.root, uint64(leaf))
+		return true
+	}
+	var p mem.Addr // parent internal node (nil while n is the root)
+	var fromLeft bool
+	for {
+		l := t.left(c, n)
+		if l == mem.Nil {
+			break
+		}
+		p = n
+		if key < t.key(c, n) {
+			fromLeft, n = true, l
+		} else {
+			fromLeft, n = false, t.right(c, n)
+		}
+	}
+	lk := t.key(c, n)
+	if lk == key {
+		return false
+	}
+	// Replace leaf n with an internal router over {n, new leaf}.
+	nl := t.newLeaf(c, key)
+	in := t.sys.Alloc(c, lbWords)
+	if key < lk {
+		t.sys.Write(c, in+lbKey, uint64(lk))
+		t.sys.Write(c, in+lbLeft, uint64(nl))
+		t.sys.Write(c, in+lbRight, uint64(n))
+	} else {
+		t.sys.Write(c, in+lbKey, uint64(key))
+		t.sys.Write(c, in+lbLeft, uint64(n))
+		t.sys.Write(c, in+lbRight, uint64(nl))
+	}
+	switch {
+	case p == mem.Nil:
+		t.sys.Write(c, t.root, uint64(in))
+	case fromLeft:
+		t.sys.Write(c, p+lbLeft, uint64(in))
+	default:
+		t.sys.Write(c, p+lbRight, uint64(in))
+	}
+	return true
+}
+
+func (t *LeafBST) newLeaf(c *sim.Ctx, key int64) mem.Addr {
+	n := t.sys.Alloc(c, lbWords)
+	t.sys.Write(c, n+lbKey, uint64(key))
+	return n
+}
+
+// Delete implements Set.
+func (t *LeafBST) Delete(c *sim.Ctx, key int64) bool {
+	n := mem.Addr(t.sys.Read(c, t.root))
+	if n == mem.Nil {
+		return false
+	}
+	var g, p mem.Addr // grandparent, parent
+	var pFromLeft, nFromLeft bool
+	for {
+		l := t.left(c, n)
+		if l == mem.Nil {
+			break
+		}
+		g, pFromLeft = p, nFromLeft
+		p = n
+		if key < t.key(c, n) {
+			nFromLeft, n = true, l
+		} else {
+			nFromLeft, n = false, t.right(c, n)
+		}
+	}
+	if t.key(c, n) != key {
+		return false
+	}
+	if p == mem.Nil { // n was the root leaf
+		t.sys.Write(c, t.root, uint64(mem.Nil))
+		return true
+	}
+	sibling := t.right(c, p)
+	if !nFromLeft {
+		sibling = t.left(c, p)
+	}
+	switch {
+	case g == mem.Nil:
+		t.sys.Write(c, t.root, uint64(sibling))
+	case pFromLeft:
+		t.sys.Write(c, g+lbLeft, uint64(sibling))
+	default:
+		t.sys.Write(c, g+lbRight, uint64(sibling))
+	}
+	return true
+}
+
+// Keys implements Set (raw in-order walk of leaves; validation only).
+func (t *LeafBST) Keys() []int64 {
+	raw := t.sys.Mem
+	var out []int64
+	var walk func(n mem.Addr)
+	walk = func(n mem.Addr) {
+		if n == mem.Nil {
+			return
+		}
+		l := mem.Addr(raw.Raw(n + lbLeft))
+		if l == mem.Nil {
+			out = append(out, int64(raw.Raw(n+lbKey)))
+			return
+		}
+		walk(l)
+		walk(mem.Addr(raw.Raw(n + lbRight)))
+	}
+	walk(mem.Addr(raw.Raw(t.root)))
+	return out
+}
+
+// CheckInvariants implements Set: internal nodes have two children,
+// left subtrees hold keys < router, right subtrees keys >= router.
+func (t *LeafBST) CheckInvariants() error {
+	raw := t.sys.Mem
+	var check func(n mem.Addr, lo, hi int64) error
+	check = func(n mem.Addr, lo, hi int64) error {
+		if n == mem.Nil {
+			return nil
+		}
+		k := int64(raw.Raw(n + lbKey))
+		l := mem.Addr(raw.Raw(n + lbLeft))
+		r := mem.Addr(raw.Raw(n + lbRight))
+		if l == mem.Nil {
+			if r != mem.Nil {
+				return fmt.Errorf("leafbst: half-internal node %d", k)
+			}
+			if k < lo || k >= hi {
+				return fmt.Errorf("leafbst: leaf %d outside [%d, %d)", k, lo, hi)
+			}
+			return nil
+		}
+		if r == mem.Nil {
+			return fmt.Errorf("leafbst: internal node %d missing right child", k)
+		}
+		if k < lo || k > hi {
+			return fmt.Errorf("leafbst: router %d outside [%d, %d]", k, lo, hi)
+		}
+		if err := check(l, lo, k); err != nil {
+			return err
+		}
+		return check(r, k, hi)
+	}
+	return check(mem.Addr(raw.Raw(t.root)), -1<<62, 1<<62)
+}

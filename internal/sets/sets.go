@@ -1,0 +1,83 @@
+// Package sets implements the abstract-set data structures used by the
+// paper's microbenchmarks — an AVL tree, an unbalanced leaf-oriented
+// (external) BST, an unbalanced internal BST, and a skip-list — all
+// storing their nodes in simulated memory so every access goes through
+// the cache and HTM models.
+//
+// The implementations are sequential: in the benchmarks each operation
+// runs inside a critical section protected by a single elidable lock,
+// exactly as in the paper ("each implementation has a single lock that
+// protects every operation"). Nodes are allocated with the
+// HTM-friendly allocator (line-aligned, no false sharing).
+package sets
+
+import (
+	"fmt"
+
+	"natle/internal/htm"
+	"natle/internal/sim"
+)
+
+// Set is the abstract set interface of the microbenchmarks.
+type Set interface {
+	// Insert adds key; it reports whether the key was absent.
+	Insert(c *sim.Ctx, key int64) bool
+	// Delete removes key; it reports whether the key was present.
+	Delete(c *sim.Ctx, key int64) bool
+	// Contains reports whether key is present.
+	Contains(c *sim.Ctx, key int64) bool
+	// SearchReplace performs the paper's Fig 4 operation: search for
+	// key and store into the key field of the last node visited the
+	// value that field already holds (a semantically idempotent write
+	// that still generates coherence traffic).
+	SearchReplace(c *sim.Ctx, key int64)
+	// Name identifies the structure in benchmark output.
+	Name() string
+	// Keys returns the sorted contents read directly from simulated
+	// memory (validation only; not a simulated operation).
+	Keys() []int64
+	// CheckInvariants validates structural invariants directly from
+	// simulated memory (validation only).
+	CheckInvariants() error
+}
+
+// Kind selects a set implementation by name.
+type Kind string
+
+// Available set kinds.
+const (
+	KindAVL      Kind = "avl"
+	KindLeafBST  Kind = "leafbst"
+	KindBST      Kind = "bst"
+	KindSkipList Kind = "skiplist"
+)
+
+// New constructs a set of the given kind with its root structures homed
+// on socket 0.
+func New(kind Kind, sys *htm.System, c *sim.Ctx) (Set, error) {
+	switch kind {
+	case KindAVL:
+		return NewAVL(sys, c), nil
+	case KindLeafBST:
+		return NewLeafBST(sys, c), nil
+	case KindBST:
+		return NewBST(sys, c), nil
+	case KindSkipList:
+		return NewSkipList(sys, c), nil
+	}
+	return nil, fmt.Errorf("sets: unknown kind %q", kind)
+}
+
+// Prefill inserts approximately half of the keys in [0, keyRange) into
+// the set, deterministically from the context's RNG, using direct
+// (unsynchronized) operations. Call it from a single driver thread
+// before starting workers, as the paper's benchmarks do.
+func Prefill(s Set, c *sim.Ctx, keyRange int64) {
+	target := keyRange / 2
+	var n int64
+	for n < target {
+		if s.Insert(c, int64(c.Rand64())%keyRange) {
+			n++
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package sets
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"natle/internal/htm"
+	"natle/internal/machine"
+	"natle/internal/sim"
+)
+
+// runModelCheck executes a random operation sequence against both the
+// simulated set and a Go map model, verifying result agreement,
+// contents, and structural invariants.
+func runModelCheck(t *testing.T, kind Kind, seed int64, ops int, keyRange int64) bool {
+	t.Helper()
+	ok := true
+	e := sim.New(machine.SmallI7(), machine.FillSocketFirst{}, 1, seed)
+	s := htm.NewSystem(e, 1<<16)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		set, err := New(kind, s, c)
+		if err != nil {
+			t.Error(err)
+			ok = false
+			return
+		}
+		model := map[int64]bool{}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < ops; i++ {
+			key := rng.Int63n(keyRange)
+			switch rng.Intn(4) {
+			case 0, 1:
+				want := !model[key]
+				if got := set.Insert(c, key); got != want {
+					t.Errorf("%s: Insert(%d) = %v, want %v (op %d)", kind, key, got, want, i)
+					ok = false
+					return
+				}
+				model[key] = true
+			case 2:
+				want := model[key]
+				if got := set.Delete(c, key); got != want {
+					t.Errorf("%s: Delete(%d) = %v, want %v (op %d)", kind, key, got, want, i)
+					ok = false
+					return
+				}
+				delete(model, key)
+			case 3:
+				want := model[key]
+				if got := set.Contains(c, key); got != want {
+					t.Errorf("%s: Contains(%d) = %v, want %v (op %d)", kind, key, got, want, i)
+					ok = false
+					return
+				}
+			}
+			if i%64 == 0 {
+				if err := set.CheckInvariants(); err != nil {
+					t.Errorf("%s: invariant violated after op %d: %v", kind, i, err)
+					ok = false
+					return
+				}
+			}
+		}
+		if err := set.CheckInvariants(); err != nil {
+			t.Errorf("%s: final invariant: %v", kind, err)
+			ok = false
+		}
+		var want []int64
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := set.Keys()
+		if len(got) != len(want) {
+			t.Errorf("%s: %d keys, want %d", kind, len(got), len(want))
+			ok = false
+			return
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s: keys[%d] = %d, want %d", kind, i, got[i], want[i])
+				ok = false
+				return
+			}
+		}
+	})
+	e.Run()
+	return ok
+}
+
+func TestSetsAgainstModel(t *testing.T) {
+	for _, kind := range []Kind{KindAVL, KindLeafBST, KindBST, KindSkipList} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			cfg := &quick.Config{MaxCount: 12}
+			f := func(seed int64) bool {
+				return runModelCheck(t, kind, seed, 600, 64)
+			}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestSetsLargeKeyRange(t *testing.T) {
+	for _, kind := range []Kind{KindAVL, KindLeafBST, KindBST, KindSkipList} {
+		if !runModelCheck(t, kind, 99, 3000, 4096) {
+			t.Errorf("%s failed large-range model check", kind)
+		}
+	}
+}
+
+func TestPrefillHalfFills(t *testing.T) {
+	e := sim.New(machine.SmallI7(), machine.FillSocketFirst{}, 1, 5)
+	s := htm.NewSystem(e, 1<<16)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		set := NewAVL(s, c)
+		Prefill(set, c, 2048)
+		if n := len(set.Keys()); n != 1024 {
+			t.Errorf("prefill produced %d keys, want 1024", n)
+		}
+		if err := set.CheckInvariants(); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Run()
+}
+
+func TestSearchReplacePreservesContents(t *testing.T) {
+	for _, kind := range []Kind{KindAVL, KindLeafBST, KindBST, KindSkipList} {
+		e := sim.New(machine.SmallI7(), machine.FillSocketFirst{}, 1, 7)
+		s := htm.NewSystem(e, 1<<16)
+		e.Spawn(nil, func(c *sim.Ctx) {
+			set, _ := New(kind, s, c)
+			for k := int64(0); k < 128; k += 2 {
+				set.Insert(c, k)
+			}
+			before := set.Keys()
+			for i := 0; i < 500; i++ {
+				set.SearchReplace(c, int64(c.Intn(128)))
+			}
+			after := set.Keys()
+			if len(before) != len(after) {
+				t.Errorf("%s: SearchReplace changed size: %d -> %d", kind, len(before), len(after))
+				return
+			}
+			for i := range before {
+				if before[i] != after[i] {
+					t.Errorf("%s: SearchReplace changed contents at %d", kind, i)
+					return
+				}
+			}
+			if err := set.CheckInvariants(); err != nil {
+				t.Errorf("%s: %v", kind, err)
+			}
+		})
+		e.Run()
+	}
+}
+
+func TestAVLStaysLogarithmic(t *testing.T) {
+	e := sim.New(machine.SmallI7(), machine.FillSocketFirst{}, 1, 11)
+	s := htm.NewSystem(e, 1<<20)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		set := NewAVL(s, c)
+		for k := int64(0); k < 4096; k++ { // adversarial sorted insert
+			set.Insert(c, k)
+		}
+		if err := set.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		// Height is stored at the root; for n=4096, AVL height <= 1.44*log2(n) ~ 17.
+		root := set.Keys()
+		if len(root) != 4096 {
+			t.Fatalf("size = %d, want 4096", len(root))
+		}
+	})
+	e.Run()
+}

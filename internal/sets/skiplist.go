@@ -1,0 +1,186 @@
+package sets
+
+import (
+	"fmt"
+
+	"natle/internal/htm"
+	"natle/internal/mem"
+	"natle/internal/sim"
+)
+
+// Skip-list node layout: [key, level, next_0 .. next_{level-1}];
+// allocation is padded to whole cache lines by the allocator.
+const (
+	slKey   = 0
+	slLevel = 1
+	slNext  = 2 // first next pointer
+
+	slMaxLevel = 16
+)
+
+// SkipList is a classic skip-list [Pugh 1990] with geometrically
+// distributed tower heights (p = 1/2). Updates write the predecessor
+// towers at every level of the affected node, so high towers touch
+// widely shared nodes — its NUMA profile sits between the AVL tree and
+// the leaf-oriented BST, matching the paper's Fig 13 observation.
+type SkipList struct {
+	sys  *htm.System
+	head mem.Addr // sentinel node with a full-height tower
+}
+
+// NewSkipList creates an empty skip-list.
+func NewSkipList(sys *htm.System, c *sim.Ctx) *SkipList {
+	head := sys.AllocHome(c, slNext+slMaxLevel, 0)
+	sys.Write(c, head+slLevel, slMaxLevel)
+	return &SkipList{sys: sys, head: head}
+}
+
+// Name implements Set.
+func (t *SkipList) Name() string { return "skiplist" }
+
+func (t *SkipList) key(c *sim.Ctx, n mem.Addr) int64 {
+	return int64(t.sys.Read(c, n+slKey))
+}
+func (t *SkipList) next(c *sim.Ctx, n mem.Addr, lvl int) mem.Addr {
+	return mem.Addr(t.sys.Read(c, n+slNext+mem.Addr(lvl)))
+}
+func (t *SkipList) setNext(c *sim.Ctx, n mem.Addr, lvl int, v mem.Addr) {
+	t.sys.Write(c, n+slNext+mem.Addr(lvl), uint64(v))
+}
+
+// findPreds fills update with the predecessor of key at every level and
+// returns the bottom-level candidate node (the first node with
+// key >= target, or nil).
+func (t *SkipList) findPreds(c *sim.Ctx, key int64, update *[slMaxLevel]mem.Addr) mem.Addr {
+	x := t.head
+	for i := slMaxLevel - 1; i >= 0; i-- {
+		for {
+			nx := t.next(c, x, i)
+			if nx == mem.Nil || t.key(c, nx) >= key {
+				break
+			}
+			x = nx
+		}
+		update[i] = x
+	}
+	return t.next(c, update[0], 0)
+}
+
+// Contains implements Set.
+func (t *SkipList) Contains(c *sim.Ctx, key int64) bool {
+	x := t.head
+	for i := slMaxLevel - 1; i >= 0; i-- {
+		for {
+			nx := t.next(c, x, i)
+			if nx == mem.Nil || t.key(c, nx) > key {
+				break
+			}
+			if t.key(c, nx) == key {
+				return true
+			}
+			x = nx
+		}
+	}
+	return false
+}
+
+// SearchReplace implements Set.
+func (t *SkipList) SearchReplace(c *sim.Ctx, key int64) {
+	var update [slMaxLevel]mem.Addr
+	cand := t.findPreds(c, key, &update)
+	last := cand
+	if last == mem.Nil {
+		last = update[0]
+	}
+	if last == t.head {
+		return
+	}
+	t.sys.Write(c, last+slKey, uint64(t.key(c, last)))
+}
+
+func (t *SkipList) randLevel(c *sim.Ctx) int {
+	lvl := 1
+	for lvl < slMaxLevel && c.Rand64()&1 == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// Insert implements Set.
+func (t *SkipList) Insert(c *sim.Ctx, key int64) bool {
+	var update [slMaxLevel]mem.Addr
+	cand := t.findPreds(c, key, &update)
+	if cand != mem.Nil && t.key(c, cand) == key {
+		return false
+	}
+	lvl := t.randLevel(c)
+	n := t.sys.Alloc(c, slNext+lvl)
+	t.sys.Write(c, n+slKey, uint64(key))
+	t.sys.Write(c, n+slLevel, uint64(lvl))
+	for i := 0; i < lvl; i++ {
+		t.setNext(c, n, i, t.next(c, update[i], i))
+		t.setNext(c, update[i], i, n)
+	}
+	return true
+}
+
+// Delete implements Set.
+func (t *SkipList) Delete(c *sim.Ctx, key int64) bool {
+	var update [slMaxLevel]mem.Addr
+	cand := t.findPreds(c, key, &update)
+	if cand == mem.Nil || t.key(c, cand) != key {
+		return false
+	}
+	lvl := int(t.sys.Read(c, cand+slLevel))
+	for i := 0; i < lvl; i++ {
+		if t.next(c, update[i], i) == cand {
+			t.setNext(c, update[i], i, t.next(c, cand, i))
+		}
+	}
+	return true
+}
+
+// Keys implements Set (raw bottom-level walk; validation only).
+func (t *SkipList) Keys() []int64 {
+	raw := t.sys.Mem
+	var out []int64
+	n := mem.Addr(raw.Raw(t.head + slNext))
+	for n != mem.Nil {
+		out = append(out, int64(raw.Raw(n+slKey)))
+		n = mem.Addr(raw.Raw(n + slNext))
+	}
+	return out
+}
+
+// CheckInvariants implements Set: each level is sorted and a
+// subsequence of the level below.
+func (t *SkipList) CheckInvariants() error {
+	raw := t.sys.Mem
+	inLevel0 := map[mem.Addr]bool{}
+	prev := int64(-1 << 62)
+	for n := mem.Addr(raw.Raw(t.head + slNext)); n != mem.Nil; n = mem.Addr(raw.Raw(n + slNext)) {
+		k := int64(raw.Raw(n + slKey))
+		if k <= prev {
+			return fmt.Errorf("skiplist: level 0 not strictly sorted at %d", k)
+		}
+		prev = k
+		inLevel0[n] = true
+	}
+	for i := 1; i < slMaxLevel; i++ {
+		prev = -1 << 62
+		for n := mem.Addr(raw.Raw(t.head + slNext + mem.Addr(i))); n != mem.Nil; n = mem.Addr(raw.Raw(n + slNext + mem.Addr(i))) {
+			if !inLevel0[n] {
+				return fmt.Errorf("skiplist: level %d node missing from level 0", i)
+			}
+			if lvl := int(raw.Raw(n + slLevel)); lvl <= i {
+				return fmt.Errorf("skiplist: node linked above its level (%d <= %d)", lvl, i)
+			}
+			k := int64(raw.Raw(n + slKey))
+			if k <= prev {
+				return fmt.Errorf("skiplist: level %d not sorted at %d", i, k)
+			}
+			prev = k
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+
+	"natle/internal/machine"
+	"natle/internal/vtime"
+)
+
+func TestUnpinnedSpreadsAcrossSockets(t *testing.T) {
+	p := machine.LargeX52()
+	e := New(p, machine.Unpinned{}, 8, 1)
+	var sockets [2]int
+	for i := 0; i < 8; i++ {
+		e.Spawn(nil, func(c *Ctx) {
+			sockets[c.Socket()]++
+			c.AdvanceIdle(vtime.Microsecond)
+			c.Checkpoint()
+		})
+	}
+	e.Run()
+	if sockets[0] != 4 || sockets[1] != 4 {
+		t.Errorf("unpinned initial placement %v, want even split", sockets)
+	}
+}
+
+func TestUnpinnedMigratesOffOverloadedCore(t *testing.T) {
+	p := machine.LargeX52()
+	e := New(p, machine.Unpinned{}, 3, 3)
+	// Spawn three threads and then force two onto one core; the
+	// periodic migration check must rebalance.
+	var threads []*Ctx
+	for i := 0; i < 3; i++ {
+		threads = append(threads, e.Spawn(nil, func(c *Ctx) {
+			for j := 0; j < 3000; j++ {
+				c.Advance(10 * vtime.Nanosecond)
+				c.Checkpoint() // drives the migration check
+			}
+		}))
+	}
+	// Manually overload: move thread 1 onto thread 0's core.
+	e.coreLoad[threads[1].core]--
+	threads[1].core = threads[0].core
+	threads[1].socket = threads[0].socket
+	e.coreLoad[threads[0].core]++
+	e.Run()
+	if threads[0].core == threads[1].core {
+		t.Error("migration never separated co-located threads")
+	}
+}
+
+func TestSpawnOnPlacesExactly(t *testing.T) {
+	p := machine.LargeX52()
+	e := New(p, machine.FillSocketFirst{}, 2, 5)
+	e.Spawn(nil, func(c *Ctx) {
+		k := e.SpawnOn(c, 23, func(w *Ctx) {
+			if w.Core() != 23 {
+				t.Errorf("core = %d, want 23", w.Core())
+			}
+			if w.Socket() != 1 {
+				t.Errorf("socket = %d, want 1", w.Socket())
+			}
+		})
+		_ = k
+		c.WaitOthers(vtime.Microsecond)
+	})
+	e.Run()
+}
+
+func TestSetIdleTogglesSiblingPressure(t *testing.T) {
+	p := machine.LargeX52()
+	e := New(p, machine.FillSocketFirst{}, 2, 7)
+	e.Spawn(nil, func(c *Ctx) { // driver: core 0
+		w := e.Spawn(c, func(w *Ctx) { // worker 0: core 0 too
+			w.AdvanceIdle(50 * vtime.Microsecond)
+			w.Checkpoint()
+		})
+		if !w.SiblingActive() {
+			t.Error("worker should see the driver as an active sibling")
+		}
+		c.SetIdle(true)
+		if w.SiblingActive() {
+			t.Error("idle driver still counted as sibling")
+		}
+		c.SetIdle(false)
+		if !w.SiblingActive() {
+			t.Error("un-idled driver not counted again")
+		}
+		c.SetIdle(true)
+		c.WaitOthers(vtime.Microsecond)
+	})
+	e.Run()
+}
+
+func TestAdvanceScalesWithSibling(t *testing.T) {
+	p := machine.LargeX52()
+	e := New(p, machine.FillSocketFirst{}, 2, 9)
+	e.Spawn(nil, func(c *Ctx) {
+		w := e.Spawn(c, func(w *Ctx) {
+			w.AdvanceIdle(100 * vtime.Microsecond)
+			w.Checkpoint()
+		})
+		_ = w
+		// Driver shares core 0 with the worker: scaled cost.
+		before := c.Now()
+		c.Advance(100 * vtime.Nanosecond)
+		scaled := c.Now().Sub(before)
+		want := vtime.Duration(float64(100*vtime.Nanosecond) * p.SiblingSlowdown)
+		if scaled != want {
+			t.Errorf("scaled advance = %v, want %v", scaled, want)
+		}
+		// AdvanceIdle never scales.
+		before = c.Now()
+		c.AdvanceIdle(100 * vtime.Nanosecond)
+		if got := c.Now().Sub(before); got != 100*vtime.Nanosecond {
+			t.Errorf("idle advance = %v, want 100ns", got)
+		}
+		c.SetIdle(true)
+		c.WaitOthers(vtime.Microsecond)
+	})
+	e.Run()
+}
+
+func TestRandDeterministicPerSeed(t *testing.T) {
+	draw := func(seed int64) uint64 {
+		e := New(machine.SmallI7(), machine.FillSocketFirst{}, 1, seed)
+		var v uint64
+		e.Spawn(nil, func(c *Ctx) { v = c.Rand64() })
+		e.Run()
+		return v
+	}
+	if draw(1) != draw(1) {
+		t.Error("same seed produced different draws")
+	}
+	if draw(1) == draw(2) {
+		t.Error("different seeds produced identical draws")
+	}
+}

@@ -1,0 +1,433 @@
+// Package sim implements a deterministic discrete-event simulator for
+// the machines described by package machine.
+//
+// Each simulated hardware thread is executed by its own goroutine, but
+// at most one simulated thread runs at any instant: a token is passed
+// between goroutines so that shared-memory events are processed in
+// strict global virtual-time order. A thread holding the token runs
+// freely until its local clock passes that of the earliest waiting
+// thread, at which point it yields (Checkpoint). Because execution is
+// serialized, all simulator state (cache directory, transaction sets,
+// statistics) is mutated without locks, and a run is fully
+// deterministic given (profile, seed).
+//
+// Local computation — external work, spin backoff — only advances the
+// local clock and is therefore nearly free in host time.
+package sim
+
+import (
+	"fmt"
+
+	"natle/internal/machine"
+	"natle/internal/vtime"
+)
+
+// Engine coordinates the simulated threads of one machine instance.
+type Engine struct {
+	Prof *machine.Profile
+
+	threads []*Ctx
+	heap    []*Ctx // min-heap by (now, ID) of runnable, not-running threads
+	live    int
+
+	coreLoad []int // threads assigned per core (live)
+	planned  int   // expected thread count, used by pinning policies
+
+	policy machine.PinPolicy
+	seed   uint64
+
+	// Slack is the out-of-order tolerance of the event ordering: a
+	// running thread keeps the token until its clock exceeds the
+	// earliest waiting thread's clock by more than Slack. A small
+	// positive slack batches accesses between goroutine handoffs
+	// (large host-time savings) at the cost of timing error bounded by
+	// Slack; it does not affect determinism.
+	Slack vtime.Duration
+
+	done     chan struct{}
+	crashed  chan struct{}
+	crashVal any
+	started  bool
+
+	// OnThreadFinish, if set, is invoked when a simulated thread's
+	// function returns (used by the HTM runtime to recycle per-thread
+	// transaction slots for dynamically created threads).
+	OnThreadFinish func(c *Ctx)
+}
+
+// New creates an engine for profile p. planned is the number of worker
+// threads the pinning policy should plan for (it may be exceeded);
+// seed makes runs reproducible.
+func New(p *machine.Profile, policy machine.PinPolicy, planned int, seed int64) *Engine {
+	if policy == nil {
+		policy = machine.FillSocketFirst{}
+	}
+	return &Engine{
+		Prof:     p,
+		coreLoad: make([]int, p.Cores()),
+		planned:  planned,
+		policy:   policy,
+		seed:     uint64(seed)*0x9E3779B97F4A7C15 + 0x1234567,
+		done:     make(chan struct{}),
+		crashed:  make(chan struct{}),
+		Slack:    100 * vtime.Nanosecond,
+	}
+}
+
+// Ctx is the execution context of one simulated software thread. All
+// simulated-memory operations take a Ctx; the Ctx carries the thread's
+// virtual clock, placement, and deterministic RNG.
+type Ctx struct {
+	ID int
+
+	eng    *Engine
+	now    vtime.Time
+	core   int
+	socket int
+	rng    uint64
+	resume chan struct{}
+
+	pinIdx   int    // index given to the pinning policy
+	idle     bool   // excluded from core contention (see SetIdle)
+	accesses uint64 // shared-memory accesses, drives periodic migration
+
+	// Payload slots for higher layers (e.g. the HTM runtime keeps its
+	// per-thread transaction state here to avoid map lookups).
+	TxSlot any
+}
+
+// Now returns the thread's local virtual time.
+func (c *Ctx) Now() vtime.Time { return c.now }
+
+// Core returns the core the thread currently runs on.
+func (c *Ctx) Core() int { return c.core }
+
+// Socket returns the socket the thread currently runs on. This is the
+// "library call" NATLE uses (cached and rechecked infrequently by the
+// lock itself, as in the paper).
+func (c *Ctx) Socket() int { return c.socket }
+
+// Engine returns the owning engine.
+func (c *Ctx) Engine() *Engine { return c.eng }
+
+// SiblingActive reports whether another live thread shares this
+// thread's core (hyperthread contention).
+func (c *Ctx) SiblingActive() bool { return c.eng.coreLoad[c.core] > 1 }
+
+// SetIdle marks the thread as not contending for its core (e.g. a
+// driver thread blocked in a join while workers run). An idle thread
+// does not count toward hyperthread-sibling contention. It may still
+// execute; only its effect on co-located threads changes.
+func (c *Ctx) SetIdle(idle bool) {
+	if idle == c.idle {
+		return
+	}
+	c.idle = idle
+	if idle {
+		c.eng.coreLoad[c.core]--
+	} else {
+		c.eng.coreLoad[c.core]++
+	}
+}
+
+// Advance adds execution cost d to the local clock, inflated by the
+// hyperthread-sibling slowdown when the core is shared.
+func (c *Ctx) Advance(d vtime.Duration) {
+	if c.SiblingActive() {
+		d = d.Scale(c.eng.Prof.SiblingSlowdown)
+	}
+	c.now = c.now.Add(d)
+}
+
+// AdvanceIdle adds waiting time d to the local clock without the
+// sibling slowdown (an idle hyperthread does not contend for the core).
+func (c *Ctx) AdvanceIdle(d vtime.Duration) { c.now = c.now.Add(d) }
+
+// Work simulates n iterations of the microbenchmarks' external-work
+// function.
+func (c *Ctx) Work(n int) {
+	c.Advance(vtime.Duration(n) * c.eng.Prof.WorkIter)
+}
+
+// Rand64 returns the next value of the thread's deterministic RNG
+// (xorshift64*).
+func (c *Ctx) Rand64() uint64 {
+	x := c.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	c.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a deterministic pseudo-random int in [0, n).
+func (c *Ctx) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(c.Rand64() % uint64(n))
+}
+
+// Float64 returns a deterministic pseudo-random float64 in [0, 1).
+func (c *Ctx) Float64() float64 {
+	return float64(c.Rand64()>>11) / (1 << 53)
+}
+
+// Checkpoint yields the execution token if another runnable thread has
+// an earlier virtual time. Every simulated shared-memory access calls
+// this before taking effect, which is what gives the simulation its
+// strict global ordering.
+func (c *Ctx) Checkpoint() {
+	e := c.eng
+	c.accesses++
+	if c.accesses&0x3FF == 0 && e.policy.Dynamic() {
+		e.migrate(c)
+	}
+	if len(e.heap) == 0 {
+		return
+	}
+	if m := e.heap[0]; c.now < m.now.Add(e.Slack) || (c.now == m.now && c.ID < m.ID) {
+		return
+	}
+	e.push(c)
+	n := e.pop()
+	if n == c {
+		return
+	}
+	n.signal()
+	c.wait()
+}
+
+// Yield unconditionally offers the token to the earliest waiting
+// thread (used by spin loops after advancing their backoff time).
+func (c *Ctx) Yield() { c.Checkpoint() }
+
+func (c *Ctx) signal() { c.resume <- struct{}{} }
+
+// crashToken unwinds a goroutine whose engine has crashed elsewhere.
+type crashToken struct{}
+
+func (c *Ctx) wait() {
+	select {
+	case <-c.resume:
+	case <-c.eng.crashed:
+		panic(crashToken{})
+	}
+}
+
+// SpawnOn is Spawn with an explicit core assignment, bypassing the
+// pinning policy (used by delegation servers and application threads
+// that pin themselves).
+func (e *Engine) SpawnOn(parent *Ctx, core int, fn func(*Ctx)) *Ctx {
+	c := e.Spawn(parent, fn)
+	e.coreLoad[c.core]--
+	c.core = core
+	c.socket = e.Prof.SocketOfCore(core)
+	e.coreLoad[core]++
+	return c
+}
+
+// Spawn creates a simulated thread running fn, placed by the engine's
+// pinning policy. When called from a running thread (parent non-nil
+// semantics are implicit: Engine tracks the caller via the token), the
+// child starts after the configured spawn/pin overhead; the usual
+// pattern is to Spawn all workers from a driver thread. Spawn must be
+// called either before Run or by the currently running thread.
+func (e *Engine) Spawn(parent *Ctx, fn func(*Ctx)) *Ctx {
+	c := &Ctx{
+		ID:     len(e.threads),
+		eng:    e,
+		resume: make(chan struct{}),
+		pinIdx: 0,
+	}
+	c.rng = e.seed ^ (uint64(c.ID+1) * 0xD1B54A32D192ED03)
+	if c.rng == 0 {
+		c.rng = 0x9E3779B97F4A7C15
+	}
+	// Worker placement: the driver thread (ID 0) does not count toward
+	// the pinning sequence, mirroring the benchmark processes where the
+	// main thread is unpinned and idle during trials.
+	c.pinIdx = len(e.threads) - 1
+	if c.pinIdx < 0 {
+		c.pinIdx = 0
+	}
+	if e.policy.Dynamic() {
+		c.core = e.leastLoadedCore()
+	} else {
+		c.core = e.policy.Place(e.Prof, c.pinIdx, e.planned)
+	}
+	c.socket = e.Prof.SocketOfCore(c.core)
+	if parent != nil {
+		cost := e.Prof.SpawnOverhead
+		if !e.policy.Dynamic() {
+			cost += e.Prof.PinOverhead
+		}
+		parent.Advance(cost)
+		c.now = parent.now
+	}
+	e.threads = append(e.threads, c)
+	e.live++
+	e.coreLoad[c.core]++
+	e.push(c)
+	go e.body(c, fn)
+	return c
+}
+
+func (e *Engine) body(c *Ctx, fn func(*Ctx)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(crashToken); ok {
+				return
+			}
+			e.crashVal = fmt.Sprintf("sim thread %d: %v", c.ID, r)
+			close(e.crashed)
+		}
+	}()
+	c.wait()
+	fn(c)
+	e.finish(c)
+}
+
+func (e *Engine) finish(c *Ctx) {
+	if e.OnThreadFinish != nil {
+		e.OnThreadFinish(c)
+	}
+	e.live--
+	if !c.idle {
+		e.coreLoad[c.core]--
+	}
+	if e.live == 0 {
+		close(e.done)
+		return
+	}
+	if len(e.heap) == 0 {
+		e.crashVal = "sim: deadlock — live threads but empty run queue"
+		close(e.crashed)
+		return
+	}
+	e.pop().signal()
+}
+
+// Live returns the number of simulated threads that have not finished.
+func (e *Engine) Live() int { return e.live }
+
+// Threads returns all threads ever spawned (finished or not).
+func (e *Engine) Threads() []*Ctx { return e.threads }
+
+// Run drives the simulation until every simulated thread returns. It
+// re-panics any panic raised inside a simulated thread.
+func (e *Engine) Run() {
+	if e.started {
+		panic("sim: Run called twice")
+	}
+	e.started = true
+	if len(e.heap) == 0 {
+		return
+	}
+	e.pop().signal()
+	select {
+	case <-e.done:
+	case <-e.crashed:
+		panic(e.crashVal)
+	}
+}
+
+// WaitOthers blocks the calling (driver) thread in virtual time until
+// it is the only live thread, polling in poll-sized idle steps.
+func (c *Ctx) WaitOthers(poll vtime.Duration) {
+	for c.eng.live > 1 {
+		c.AdvanceIdle(poll)
+		c.Checkpoint()
+	}
+}
+
+// WaitUntil blocks the calling thread in virtual time until cond()
+// becomes true, polling in poll-sized idle steps.
+func (c *Ctx) WaitUntil(poll vtime.Duration, cond func() bool) {
+	for !cond() {
+		c.AdvanceIdle(poll)
+		c.Checkpoint()
+	}
+}
+
+func (e *Engine) leastLoadedCore() int {
+	best, bestLoad := 0, int(^uint(0)>>1)
+	// Scan sockets round-robin so ties spread across sockets, like the
+	// Linux scheduler's even distribution observed in the paper.
+	p := e.Prof
+	for off := 0; off < p.CoresPerSocket; off++ {
+		for s := 0; s < p.Sockets; s++ {
+			core := s*p.CoresPerSocket + off
+			if e.coreLoad[core] < bestLoad {
+				best, bestLoad = core, e.coreLoad[core]
+			}
+		}
+	}
+	return best
+}
+
+// migrate rebalances thread c to a less-loaded core, charging the OS
+// migration cost. Called periodically for dynamic (unpinned) policies.
+func (e *Engine) migrate(c *Ctx) {
+	best := e.leastLoadedCore()
+	if e.coreLoad[best] >= e.coreLoad[c.core]-1 {
+		return // not worth moving
+	}
+	if !c.idle {
+		e.coreLoad[c.core]--
+		e.coreLoad[best]++
+	}
+	c.core = best
+	c.socket = e.Prof.SocketOfCore(best)
+	c.Advance(e.Prof.MigrateCost)
+}
+
+// --- min-heap of threads ordered by (now, ID) ---
+
+func lessCtx(a, b *Ctx) bool {
+	if a.now != b.now {
+		return a.now < b.now
+	}
+	return a.ID < b.ID
+}
+
+func (e *Engine) push(c *Ctx) {
+	h := append(e.heap, c)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if lessCtx(h[p], h[i]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	e.heap = h
+}
+
+func (e *Engine) pop() *Ctx {
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && lessCtx(h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && lessCtx(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	e.heap = h
+	return top
+}

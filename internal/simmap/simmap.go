@@ -1,0 +1,167 @@
+// Package simmap provides a chained hash map stored in simulated
+// memory, used by the application benchmarks (STAMP's vacation, genome
+// and intruder, and the ccTSA assembler's k-mer table). Like the other
+// data structures it is sequential: callers run operations inside
+// critical sections protected by an elidable lock.
+package simmap
+
+import (
+	"natle/internal/htm"
+	"natle/internal/mem"
+	"natle/internal/sim"
+)
+
+// Node layout: one cache line per entry.
+const (
+	nKey   = 0
+	nVal   = 1
+	nNext  = 2
+	nWords = 3
+)
+
+// Map is a fixed-bucket chained hash map from uint64 keys to uint64
+// values. It deliberately keeps no element counter: a shared size word
+// would serialize every insert transaction on one cache line.
+type Map struct {
+	sys     *htm.System
+	buckets mem.Addr // one word per bucket (head pointer)
+	mask    uint64
+}
+
+// New allocates a map with 2^logBuckets buckets homed on the given
+// socket. Bucket head words are packed 8 per line; for the benchmark
+// access patterns this models the real allocation of a bucket array.
+func New(sys *htm.System, c *sim.Ctx, logBuckets, socket int) *Map {
+	n := 1 << logBuckets
+	return &Map{
+		sys:     sys,
+		buckets: sys.AllocHome(c, n, socket),
+		mask:    uint64(n - 1),
+	}
+}
+
+func hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}
+
+func (m *Map) bucket(key uint64) mem.Addr {
+	return m.buckets + mem.Addr(hash64(key)&m.mask)
+}
+
+// Get returns the value stored under key.
+func (m *Map) Get(c *sim.Ctx, key uint64) (uint64, bool) {
+	n := mem.Addr(m.sys.Read(c, m.bucket(key)))
+	for n != mem.Nil {
+		if m.sys.Read(c, n+nKey) == key {
+			return m.sys.Read(c, n+nVal), true
+		}
+		n = mem.Addr(m.sys.Read(c, n+nNext))
+	}
+	return 0, false
+}
+
+// Put stores val under key, returning true if the key was already
+// present (its value is overwritten).
+func (m *Map) Put(c *sim.Ctx, key, val uint64) bool {
+	b := m.bucket(key)
+	n := mem.Addr(m.sys.Read(c, b))
+	for n != mem.Nil {
+		if m.sys.Read(c, n+nKey) == key {
+			m.sys.Write(c, n+nVal, val)
+			return true
+		}
+		n = mem.Addr(m.sys.Read(c, n+nNext))
+	}
+	nn := m.sys.Alloc(c, nWords)
+	m.sys.Write(c, nn+nKey, key)
+	m.sys.Write(c, nn+nVal, val)
+	m.sys.Write(c, nn+nNext, m.sys.Read(c, b))
+	m.sys.Write(c, b, uint64(nn))
+	return false
+}
+
+// PutIfAbsent stores val under key only if absent; it reports whether
+// the insert happened.
+func (m *Map) PutIfAbsent(c *sim.Ctx, key, val uint64) bool {
+	b := m.bucket(key)
+	n := mem.Addr(m.sys.Read(c, b))
+	for n != mem.Nil {
+		if m.sys.Read(c, n+nKey) == key {
+			return false
+		}
+		n = mem.Addr(m.sys.Read(c, n+nNext))
+	}
+	nn := m.sys.Alloc(c, nWords)
+	m.sys.Write(c, nn+nKey, key)
+	m.sys.Write(c, nn+nVal, val)
+	m.sys.Write(c, nn+nNext, m.sys.Read(c, b))
+	m.sys.Write(c, b, uint64(nn))
+	return true
+}
+
+// Add increments the value under key by delta (inserting 0+delta if
+// absent) and returns the new value.
+func (m *Map) Add(c *sim.Ctx, key, delta uint64) uint64 {
+	b := m.bucket(key)
+	n := mem.Addr(m.sys.Read(c, b))
+	for n != mem.Nil {
+		if m.sys.Read(c, n+nKey) == key {
+			v := m.sys.Read(c, n+nVal) + delta
+			m.sys.Write(c, n+nVal, v)
+			return v
+		}
+		n = mem.Addr(m.sys.Read(c, n+nNext))
+	}
+	nn := m.sys.Alloc(c, nWords)
+	m.sys.Write(c, nn+nKey, key)
+	m.sys.Write(c, nn+nVal, delta)
+	m.sys.Write(c, nn+nNext, m.sys.Read(c, b))
+	m.sys.Write(c, b, uint64(nn))
+	return delta
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map) Delete(c *sim.Ctx, key uint64) bool {
+	b := m.bucket(key)
+	prev := mem.Nil
+	n := mem.Addr(m.sys.Read(c, b))
+	for n != mem.Nil {
+		next := mem.Addr(m.sys.Read(c, n+nNext))
+		if m.sys.Read(c, n+nKey) == key {
+			if prev == mem.Nil {
+				m.sys.Write(c, b, uint64(next))
+			} else {
+				m.sys.Write(c, prev+nNext, uint64(next))
+			}
+			return true
+		}
+		prev, n = n, next
+	}
+	return false
+}
+
+// RawLen returns the element count by walking raw memory (validation
+// only; not a simulated operation).
+func (m *Map) RawLen() int {
+	n := 0
+	m.RawEach(func(_, _ uint64) { n++ })
+	return n
+}
+
+// RawEach calls fn for every key/value pair, reading raw memory
+// (validation only).
+func (m *Map) RawEach(fn func(key, val uint64)) {
+	raw := m.sys.Mem
+	for b := mem.Addr(0); b <= mem.Addr(m.mask); b++ {
+		n := mem.Addr(raw.Raw(m.buckets + b))
+		for n != mem.Nil {
+			fn(raw.Raw(n+nKey), raw.Raw(n+nVal))
+			n = mem.Addr(raw.Raw(n + nNext))
+		}
+	}
+}

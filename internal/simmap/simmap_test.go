@@ -1,0 +1,143 @@
+package simmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"natle/internal/htm"
+	"natle/internal/machine"
+	"natle/internal/sim"
+)
+
+func withMap(f func(c *sim.Ctx, m *Map)) {
+	e := sim.New(machine.SmallI7(), machine.FillSocketFirst{}, 1, 1)
+	s := htm.NewSystem(e, 1<<16)
+	e.Spawn(nil, func(c *sim.Ctx) { f(c, New(s, c, 6, 0)) })
+	e.Run()
+}
+
+func TestPutGetDelete(t *testing.T) {
+	withMap(func(c *sim.Ctx, m *Map) {
+		if _, ok := m.Get(c, 42); ok {
+			t.Error("Get on empty map succeeded")
+		}
+		if m.Put(c, 42, 7) {
+			t.Error("Put reported existing key on fresh insert")
+		}
+		if v, ok := m.Get(c, 42); !ok || v != 7 {
+			t.Errorf("Get = %d,%v want 7,true", v, ok)
+		}
+		if !m.Put(c, 42, 9) {
+			t.Error("Put did not report overwrite")
+		}
+		if v, _ := m.Get(c, 42); v != 9 {
+			t.Errorf("overwrite lost: %d", v)
+		}
+		if !m.Delete(c, 42) {
+			t.Error("Delete missed existing key")
+		}
+		if m.Delete(c, 42) {
+			t.Error("Delete succeeded twice")
+		}
+		if m.RawLen() != 0 {
+			t.Errorf("RawLen = %d, want 0", m.RawLen())
+		}
+	})
+}
+
+func TestAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		ok := true
+		withMap(func(c *sim.Ctx, m *Map) {
+			rng := rand.New(rand.NewSource(seed))
+			model := map[uint64]uint64{}
+			for i := 0; i < 800; i++ {
+				key := uint64(rng.Intn(97))
+				switch rng.Intn(5) {
+				case 0, 1:
+					val := rng.Uint64()
+					_, had := model[key]
+					if got := m.Put(c, key, val); got != had {
+						ok = false
+					}
+					model[key] = val
+				case 2:
+					_, had := model[key]
+					if got := m.Delete(c, key); got != had {
+						ok = false
+					}
+					delete(model, key)
+				case 3:
+					want, had := model[key]
+					got, gok := m.Get(c, key)
+					if gok != had || (had && got != want) {
+						ok = false
+					}
+				case 4:
+					model[key] += 3
+					if got := m.Add(c, key, 3); got != model[key] {
+						ok = false
+					}
+				}
+			}
+			if m.RawLen() != len(model) {
+				ok = false
+			}
+			seen := 0
+			m.RawEach(func(k, v uint64) {
+				if model[k] != v {
+					ok = false
+				}
+				seen++
+			})
+			if seen != len(model) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPutIfAbsent(t *testing.T) {
+	withMap(func(c *sim.Ctx, m *Map) {
+		if !m.PutIfAbsent(c, 5, 1) {
+			t.Error("first PutIfAbsent failed")
+		}
+		if m.PutIfAbsent(c, 5, 2) {
+			t.Error("second PutIfAbsent succeeded")
+		}
+		if v, _ := m.Get(c, 5); v != 1 {
+			t.Errorf("value = %d, want 1", v)
+		}
+	})
+}
+
+func TestCollisionChains(t *testing.T) {
+	// A tiny bucket count forces chains; everything must still work.
+	e := sim.New(machine.SmallI7(), machine.FillSocketFirst{}, 1, 3)
+	s := htm.NewSystem(e, 1<<16)
+	e.Spawn(nil, func(c *sim.Ctx) {
+		m := New(s, c, 1, 0) // 2 buckets
+		for k := uint64(0); k < 64; k++ {
+			m.Put(c, k, k*k)
+		}
+		for k := uint64(0); k < 64; k++ {
+			if v, ok := m.Get(c, k); !ok || v != k*k {
+				t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+			}
+		}
+		for k := uint64(0); k < 64; k += 2 {
+			if !m.Delete(c, k) {
+				t.Fatalf("Delete(%d) failed", k)
+			}
+		}
+		if m.RawLen() != 32 {
+			t.Fatalf("len = %d, want 32", m.RawLen())
+		}
+	})
+	e.Run()
+}

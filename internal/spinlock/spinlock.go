@@ -1,0 +1,73 @@
+// Package spinlock provides the test-and-test-and-set lock, living in
+// simulated memory, that TLE and NATLE fall back to when transactions
+// fail. Reading the lock word from inside a transaction subscribes the
+// transaction to the lock (the TLE correctness condition): a subsequent
+// acquisition by any thread invalidates the line and aborts the
+// transaction.
+package spinlock
+
+import (
+	"natle/internal/htm"
+	"natle/internal/mem"
+	"natle/internal/sim"
+	"natle/internal/vtime"
+)
+
+// Lock is a test-and-test-and-set spin lock with bounded exponential
+// backoff. The zero value is not usable; allocate with New so the lock
+// word occupies its own cache line.
+type Lock struct {
+	sys  *htm.System
+	addr mem.Addr
+}
+
+// New allocates a lock homed on the given socket.
+func New(sys *htm.System, c *sim.Ctx, socket int) *Lock {
+	return &Lock{sys: sys, addr: sys.AllocHome(c, 1, socket)}
+}
+
+// Addr returns the lock word's simulated address (tests only).
+func (l *Lock) Addr() mem.Addr { return l.addr }
+
+// Held reports whether the lock is currently held. Called inside a
+// transaction this also adds the lock word to the read set, which is
+// exactly what TLE requires.
+func (l *Lock) Held(c *sim.Ctx) bool { return l.sys.Read(c, l.addr) != 0 }
+
+// Acquire spins until the lock is taken.
+func (l *Lock) Acquire(c *sim.Ctx) {
+	backoff := 40 * vtime.Nanosecond
+	for {
+		if l.sys.Read(c, l.addr) == 0 && l.sys.CAS(c, l.addr, 0, 1) {
+			return
+		}
+		c.AdvanceIdle(backoff)
+		if backoff < 2*vtime.Microsecond {
+			backoff *= 2
+		}
+		c.Yield()
+	}
+}
+
+// TryAcquire attempts to take the lock once, without spinning.
+func (l *Lock) TryAcquire(c *sim.Ctx) bool {
+	return l.sys.Read(c, l.addr) == 0 && l.sys.CAS(c, l.addr, 0, 1)
+}
+
+// Release frees the lock.
+func (l *Lock) Release(c *sim.Ctx) { l.sys.Write(c, l.addr, 0) }
+
+// WaitFree spins (with backoff) until the lock is observed free,
+// without attempting to take it. TLE threads use this to avoid the
+// lemming effect: an aborted elision attempt is not retried until the
+// lock is released.
+func (l *Lock) WaitFree(c *sim.Ctx) {
+	backoff := 40 * vtime.Nanosecond
+	for l.sys.Read(c, l.addr) != 0 {
+		c.AdvanceIdle(backoff)
+		if backoff < 2*vtime.Microsecond {
+			backoff *= 2
+		}
+		c.Yield()
+	}
+}

@@ -1,0 +1,52 @@
+// Substitution notes (per the repository's reproduction policy: what
+// the original STAMP program computes, what this miniature preserves,
+// and what was scaled or simplified).
+//
+// genome — Original: segment dedup via a hash set, overlap matching
+// via hashed (k-1)-mers, sequential final assembly. Here: identical
+// three phases over a synthetic 8K-base genome with full
+// sliding-window coverage (deterministic validation); transaction
+// profile preserved (short hash-insert transactions, then short
+// lookup+insert transactions, then a sequential walk).
+//
+// intruder — Original: packet fragments popped from a shared queue,
+// flows reassembled in a shared map, completed flows scanned by a
+// detector. Here: the same three transaction types with a synthetic
+// fragment stream and a hash-based detector with a deterministic
+// expected detection count. The hot queue head is preserved — it is
+// what makes intruder conflict-bound.
+//
+// kmeans — Original: k-means with a transaction per point folding it
+// into a centroid accumulator. Here: the same structure (assignment
+// reads + one short accumulator transaction per point, centroid
+// recomputation between iterations); 2048 4-d points, K=4 (high
+// contention) or K=16 (low), 3 iterations.
+//
+// labyrinth — Original: Lee-style path routing; each transaction
+// copies the grid, expands a wavefront, and claims the found path.
+// Here: in-transaction BFS over a 48x48 shared grid with the claim
+// writes in the same transaction — preserving the huge read sets and
+// large write sets that overflow HTM capacity and force lock
+// fallbacks.
+//
+// ssca2 — Original: graph construction kernel appending edges to
+// per-node adjacency arrays in tiny transactions. Here: identical,
+// with an R-MAT-like skewed source distribution over 2048 nodes.
+//
+// vacation — Original: an in-memory travel database (three resource
+// relations + customers) with make-reservation / delete-customer /
+// update-tables sessions as transactions. Here: the same session mix
+// (80/10/10) over hash-map tables; the high-contention variant uses
+// 8x smaller relations and twice the queries per session.
+//
+// yada — Original: Delaunay mesh refinement with cavity
+// retriangulation transactions feeding a shared work list. Here: a
+// synthetic cavity function (6 neighbourhood elements) over a 4096-
+// element mesh with a bounded new-work budget for deterministic
+// termination; preserves medium-length transactions, neighbourhood
+// conflicts, and work-list contention.
+//
+// bayes is omitted, as in the paper (Figure 17 caption: it "highly
+// depends on the order of various parallel computations and thus
+// exhibits high variance").
+package stamp

@@ -1,0 +1,171 @@
+// Package tle implements transactional lock elision [Dice et al. 2009]
+// over the simulated HTM: critical sections bracketed by lock
+// acquire/release are executed inside hardware transactions, falling
+// back to the real lock after repeated failures.
+//
+// The retry-policy matrix of the paper's Section 3.1 is expressed by
+// Policy: the number of transactional attempts, whether a clear
+// hardware hint bit forces immediate fallback (the "optimization"
+// common on small machines that the paper shows to be harmful on large
+// ones), and whether attempts that find the lock held are counted
+// (disabling the anti-lemming-effect optimization).
+package tle
+
+import (
+	"fmt"
+
+	"natle/internal/htm"
+	"natle/internal/sim"
+	"natle/internal/spinlock"
+	"natle/internal/vtime"
+)
+
+// retryJitter bounds the randomized delay inserted between a
+// transactional abort and the next attempt.
+const retryJitter = 300 * vtime.Nanosecond
+
+// Policy selects a TLE retry policy.
+type Policy struct {
+	// Attempts is the number of transactional attempts before falling
+	// back to the lock (5 and 20 in the paper).
+	Attempts int
+	// HonorHint falls back to the lock immediately when a transaction
+	// aborts with the hardware hint bit clear (typically overflow).
+	HonorHint bool
+	// CountLockHeld counts attempts that abort because the lock is
+	// held. When false (the default, and the paper's recommendation),
+	// such attempts are not counted and the transaction is not retried
+	// until the lock is released, avoiding the lemming effect.
+	CountLockHeld bool
+}
+
+// Name returns the paper's name for the policy (e.g. "TLE-20",
+// "TLE-5-hint-bit", "TLE-20-count-lock").
+func (p Policy) Name() string {
+	n := fmt.Sprintf("TLE-%d", p.Attempts)
+	if p.HonorHint {
+		n += "-hint-bit"
+	}
+	if p.CountLockHeld {
+		n += "-count-lock"
+	}
+	return n
+}
+
+// TLE20 is the common policy used throughout the paper's Section 5.
+func TLE20() Policy { return Policy{Attempts: 20} }
+
+// Stats counts per-lock elision events.
+type Stats struct {
+	Ops                  uint64 // critical sections executed
+	Attempts             uint64 // transactional attempts
+	Commits              uint64
+	Aborts               [5]uint64 // by htm.Code
+	Fallbacks            uint64    // critical sections that took the lock
+	CommitsAfterNoHint   uint64    // commits preceded by >=1 hint-clear abort (Fig 2b)
+	LockHeldWaits        uint64    // attempts deferred because the lock was held
+	CommitsAfterCapacity uint64    // commits preceded by >=1 capacity abort
+}
+
+// Sub returns the counter deltas s - t.
+func (s Stats) Sub(t Stats) Stats {
+	s.Ops -= t.Ops
+	s.Attempts -= t.Attempts
+	s.Commits -= t.Commits
+	for i := range s.Aborts {
+		s.Aborts[i] -= t.Aborts[i]
+	}
+	s.Fallbacks -= t.Fallbacks
+	s.CommitsAfterNoHint -= t.CommitsAfterNoHint
+	s.LockHeldWaits -= t.LockHeldWaits
+	s.CommitsAfterCapacity -= t.CommitsAfterCapacity
+	return s
+}
+
+// Lock is an elidable lock. It implements lock.CS.
+type Lock struct {
+	sys *htm.System
+	sl  *spinlock.Lock
+	pol Policy
+
+	Stats Stats
+}
+
+// New allocates a TLE lock whose lock word is homed on the given
+// socket.
+func New(sys *htm.System, c *sim.Ctx, socket int, pol Policy) *Lock {
+	if pol.Attempts <= 0 {
+		pol.Attempts = 20
+	}
+	return &Lock{sys: sys, sl: spinlock.New(sys, c, socket), pol: pol}
+}
+
+// Name implements lock.CS.
+func (l *Lock) Name() string { return l.pol.Name() }
+
+// Inner returns the fallback spin lock (used by tests).
+func (l *Lock) Inner() *spinlock.Lock { return l.sl }
+
+// Critical implements lock.CS: it elides the lock with up to
+// Policy.Attempts transactions and falls back to acquiring it.
+func (l *Lock) Critical(c *sim.Ctx, body func()) {
+	l.Stats.Ops++
+	attempts := 0
+	hadNoHint := false
+	hadCapacity := false
+	for attempts < l.pol.Attempts {
+		if !l.pol.CountLockHeld {
+			// Anti-lemming: do not even start a transaction while the
+			// lock is held; wait (uncounted) for its release.
+			if l.sl.Held(c) {
+				l.Stats.LockHeldWaits++
+				l.sl.WaitFree(c)
+			}
+		}
+		l.Stats.Attempts++
+		o := l.sys.Try(c, func() {
+			if l.sl.Held(c) {
+				l.sys.Abort(c, htm.CodeLockHeld)
+			}
+			body()
+		})
+		if o.Committed {
+			l.Stats.Commits++
+			if hadNoHint {
+				l.Stats.CommitsAfterNoHint++
+			}
+			if hadCapacity {
+				l.Stats.CommitsAfterCapacity++
+			}
+			return
+		}
+		l.Stats.Aborts[o.Code]++
+		if o.Code == htm.CodeLockHeld {
+			if l.pol.CountLockHeld {
+				attempts++
+			}
+			// Not counted otherwise; loop re-enters the wait-free path.
+			continue
+		}
+		if o.Code == htm.CodeCapacity {
+			hadCapacity = true
+		}
+		if !o.Hint {
+			hadNoHint = true
+			if l.pol.HonorHint {
+				break
+			}
+		}
+		attempts++
+		// Randomized retry jitter: abort handling, pipeline refill, and
+		// scheduling noise desynchronize retrying threads on real
+		// hardware; without it the deterministic simulator produces
+		// lock-step retry herds that re-abort each other indefinitely.
+		c.AdvanceIdle(vtime.Duration(c.Intn(int(retryJitter))))
+		c.Yield()
+	}
+	l.Stats.Fallbacks++
+	l.sl.Acquire(c)
+	body()
+	l.sl.Release(c)
+}

@@ -1,0 +1,61 @@
+// Package vtime provides the virtual time base used by the machine
+// simulator. All simulated latencies and timestamps are expressed in
+// picoseconds so that sub-nanosecond costs (e.g. a 4-cycle L1 hit at
+// 2.3 GHz) can be represented exactly as integers.
+//
+// The int64 picosecond representation covers about 106 days of virtual
+// time, far beyond any simulated trial (typically tens of milliseconds).
+package vtime
+
+import "fmt"
+
+// Time is an absolute virtual timestamp in picoseconds since the start
+// of the simulation.
+type Time int64
+
+// Duration is a span of virtual time in picoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns t shifted forward by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Nanoseconds returns the duration as a floating-point number of
+// nanoseconds.
+func (d Duration) Nanoseconds() float64 { return float64(d) / float64(Nanosecond) }
+
+// Scale returns d multiplied by factor f, rounding toward zero.
+func (d Duration) Scale(f float64) Duration { return Duration(float64(d) * f) }
+
+// String formats the duration with an adaptive unit.
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(d)/float64(Microsecond))
+	case d >= Nanosecond:
+		return fmt.Sprintf("%.3fns", float64(d)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(d))
+	}
+}
+
+// String formats the timestamp as a duration since time zero.
+func (t Time) String() string { return Duration(t).String() }

@@ -1,0 +1,65 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnits(t *testing.T) {
+	if Nanosecond != 1000*Picosecond {
+		t.Error("ns != 1000ps")
+	}
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond {
+		t.Error("unit ladder broken")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	f := func(base int64, d int64) bool {
+		tm := Time(base % (1 << 50))
+		du := Duration(d % (1 << 40))
+		return tm.Add(du).Sub(tm) == du
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds = %v", got)
+	}
+	if got := (500 * Microsecond).Seconds(); got != 0.0005 {
+		t.Errorf("Seconds = %v", got)
+	}
+	if got := (3 * Nanosecond).Nanoseconds(); got != 3.0 {
+		t.Errorf("Nanoseconds = %v", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	if got := (100 * Nanosecond).Scale(1.5); got != 150*Nanosecond {
+		t.Errorf("Scale(1.5) = %v", got)
+	}
+	if got := (100 * Nanosecond).Scale(0); got != 0 {
+		t.Errorf("Scale(0) = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{1500 * Picosecond, "1.500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{4 * Second, "4.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"testing"
+
+	"natle/internal/vtime"
+)
+
+func TestPerSocketOpsSumToTotal(t *testing.T) {
+	r := Run(Config{
+		Threads:   48,
+		Seed:      19,
+		UpdatePct: 20,
+		Duration:  300 * vtime.Microsecond,
+		Warmup:    100 * vtime.Microsecond,
+	})
+	var sum uint64
+	for _, n := range r.PerSock {
+		sum += n
+	}
+	if sum != r.Ops {
+		t.Errorf("per-socket ops sum %d != total %d", sum, r.Ops)
+	}
+	if r.PerSock[0] == 0 || r.PerSock[1] == 0 {
+		t.Errorf("48 threads must span both sockets: %v", r.PerSock[:2])
+	}
+}
+
+func TestWarmupExcludedFromCounts(t *testing.T) {
+	// Doubling the warmup must not change the measured window's
+	// throughput materially (same duration, later window).
+	short := Run(Config{
+		Threads: 8, Seed: 21, UpdatePct: 50,
+		Duration: 300 * vtime.Microsecond, Warmup: 100 * vtime.Microsecond,
+	})
+	long := Run(Config{
+		Threads: 8, Seed: 21, UpdatePct: 50,
+		Duration: 300 * vtime.Microsecond, Warmup: 200 * vtime.Microsecond,
+	})
+	ratio := short.Throughput() / long.Throughput()
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("throughput should be warmup-invariant: %.0f vs %.0f", short.Throughput(), long.Throughput())
+	}
+}
+
+func TestSearchReplaceModeCountsOps(t *testing.T) {
+	r := Run(Config{
+		Threads: 4, Seed: 23, SearchReplace: true, KeyRange: 512,
+		Duration: 150 * vtime.Microsecond, Warmup: 50 * vtime.Microsecond,
+	})
+	if r.Ops == 0 {
+		t.Fatal("search-replace mode produced no ops")
+	}
+	// Search-and-replace writes even in "read" operations, so the
+	// cache must show invalidation traffic.
+	if r.Cache.LocalInvals == 0 && r.Cache.RemoteInvals == 0 {
+		t.Error("no invalidation traffic from search-and-replace writes")
+	}
+}
+
+func TestHTMWindowedStatsConsistent(t *testing.T) {
+	r := Run(Config{
+		Threads: 12, Seed: 25, UpdatePct: 100,
+		Duration: 300 * vtime.Microsecond, Warmup: 100 * vtime.Microsecond,
+	})
+	// The measurement window cuts mid-flight: transactions that start
+	// inside the window may resolve after it (and vice versa), so the
+	// balance equations hold only up to one in-flight transaction per
+	// thread.
+	const threads = 12
+	within := func(a, b uint64) bool {
+		d := int64(a) - int64(b)
+		return d <= threads && d >= -threads
+	}
+	if !within(r.HTM.Commits+r.HTM.TotalAborts(), r.HTM.Starts) {
+		t.Errorf("commits %d + aborts %d far from starts %d",
+			r.HTM.Commits, r.HTM.TotalAborts(), r.HTM.Starts)
+	}
+	if !within(r.TLE.Commits+r.TLE.Fallbacks, r.TLE.Ops) {
+		t.Errorf("TLE commits %d + fallbacks %d far from ops %d",
+			r.TLE.Commits, r.TLE.Fallbacks, r.TLE.Ops)
+	}
+	if r.HTM.AvgCommitDuration() <= 0 {
+		t.Error("zero average commit duration with committed transactions")
+	}
+}

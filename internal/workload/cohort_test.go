@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"testing"
+
+	"natle/internal/tle"
+	"natle/internal/vtime"
+)
+
+func TestCohortLockKindRuns(t *testing.T) {
+	r := Run(Config{
+		Threads:   16,
+		Seed:      13,
+		UpdatePct: 100,
+		Lock:      LockCohort,
+		Duration:  300 * vtime.Microsecond,
+		Warmup:    100 * vtime.Microsecond,
+	})
+	if r.Ops == 0 {
+		t.Fatal("cohort lock produced no operations")
+	}
+	if r.HTM.Starts != 0 {
+		t.Errorf("cohort lock started %d transactions; it must not elide", r.HTM.Starts)
+	}
+}
+
+func TestCohortBeatsPlainLockAcrossSockets(t *testing.T) {
+	run := func(kind LockKind) float64 {
+		return Run(Config{
+			Threads:   72,
+			Seed:      13,
+			UpdatePct: 100,
+			Lock:      kind,
+			Duration:  400 * vtime.Microsecond,
+			Warmup:    150 * vtime.Microsecond,
+		}).Throughput()
+	}
+	plain := run(LockPlain)
+	coh := run(LockCohort)
+	if coh < plain {
+		t.Errorf("cohort (%.0f) should beat the plain lock (%.0f) at 72 threads", coh, plain)
+	}
+}
+
+func TestRetryPolicyOrderingsAtScale(t *testing.T) {
+	// The Fig 2a orderings, asserted at a thread count beyond the
+	// hyperthreading knee (30 threads, large tree): plain TLE-20 must
+	// beat both the hint-honoring and the lock-counting variants.
+	run := func(honorHint, countLock bool) float64 {
+		return Run(Config{
+			Threads:   30,
+			Seed:      17,
+			UpdatePct: 100,
+			KeyRange:  131072,
+			MemWords:  1 << 22,
+			TLE:       tle.Policy{Attempts: 20, HonorHint: honorHint, CountLockHeld: countLock},
+			Duration:  500 * vtime.Microsecond,
+			Warmup:    200 * vtime.Microsecond,
+		}).Throughput()
+	}
+	plain := run(false, false)
+	hint := run(true, false)
+	if plain <= hint {
+		t.Errorf("TLE-20 (%.0f) should beat TLE-20-hint-bit (%.0f) beyond 18 threads", plain, hint)
+	}
+	// The count-lock variant must collapse at 30 threads (the lemming
+	// effect; paper: collapse after 12 for 5 attempts, later for 20 —
+	// by 36 it is far below).
+	lemming := Run(Config{
+		Threads:   36,
+		Seed:      17,
+		UpdatePct: 100,
+		KeyRange:  131072,
+		MemWords:  1 << 22,
+		TLE:       tle.Policy{Attempts: 5, CountLockHeld: true},
+		Duration:  500 * vtime.Microsecond,
+		Warmup:    200 * vtime.Microsecond,
+	}).Throughput()
+	if lemming > plain/4 {
+		t.Errorf("TLE-5-count-lock (%.0f) should collapse relative to TLE-20 (%.0f)", lemming, plain)
+	}
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"natle/internal/lock"
+	"natle/internal/natle"
+	"natle/internal/sets"
+	"natle/internal/sim"
+	"natle/internal/tle"
+	"natle/internal/vtime"
+)
+
+// TwoTreesConfig describes the paper's Figure 16 experiment: two AVL
+// trees, each protected by its own lock; half the threads run 100%
+// updates on tree U, the other half run 100% lookups (with extra
+// external work to equalize single-thread op cost) on tree S. Threads
+// are pinned so each socket hosts equal numbers from both groups.
+type TwoTreesConfig struct {
+	Base Config // machine, pinning, lock kind, durations, seeds
+
+	// SearchWork is the external-work iteration count added to each
+	// search operation so the two groups have comparable single-thread
+	// throughput (the paper adds work because searches are much
+	// cheaper than updates).
+	SearchWork int
+}
+
+// TwoTreesResult reports combined and per-group throughput.
+type TwoTreesResult struct {
+	UpdateOps uint64 // operations completed on the update-only tree
+	SearchOps uint64 // operations completed on the search-only tree
+	Duration  vtime.Duration
+
+	UpdateTimeline []natle.ModeSample // NATLE decisions for the update tree's lock
+	SearchTimeline []natle.ModeSample // NATLE decisions for the search tree's lock
+}
+
+// CombinedThroughput returns total operations per virtual second.
+func (r *TwoTreesResult) CombinedThroughput() float64 {
+	return float64(r.UpdateOps+r.SearchOps) / r.Duration.Seconds()
+}
+
+// UpdateThroughput returns the update group's operations per second.
+func (r *TwoTreesResult) UpdateThroughput() float64 {
+	return float64(r.UpdateOps) / r.Duration.Seconds()
+}
+
+// SearchThroughput returns the search group's operations per second.
+func (r *TwoTreesResult) SearchThroughput() float64 {
+	return float64(r.SearchOps) / r.Duration.Seconds()
+}
+
+// RunTwoTrees executes the Figure 16 experiment. Thread i updates tree
+// U when i is even and searches tree S when i is odd; under the
+// paper's fill-socket-first pinning with an even thread count this
+// splits each socket's threads equally between the groups.
+func RunTwoTrees(cfg TwoTreesConfig) *TwoTreesResult {
+	base := cfg.Base
+	base.defaults()
+	e := sim.New(base.Prof, base.Pin, base.Threads, base.Seed)
+	sys := newSystem(e, base)
+	res := &TwoTreesResult{Duration: base.Duration}
+
+	e.Spawn(nil, func(c *sim.Ctx) {
+		updTree := sets.NewAVL(sys, c)
+		schTree := sets.NewAVL(sys, c)
+		makeLock := func() (lock.CS, *natle.Lock) {
+			inner := tle.New(sys, c, 0, base.TLE)
+			if base.Lock == LockNATLE {
+				ncfg := natle.DefaultConfig()
+				if base.NATLE != nil {
+					ncfg = *base.NATLE
+				}
+				nl := natle.New(sys, c, inner, ncfg)
+				return nl, nl
+			}
+			return inner, nil
+		}
+		updLock, updN := makeLock()
+		schLock, schN := makeLock()
+
+		sets.Prefill(updTree, c, base.KeyRange)
+		sets.Prefill(schTree, c, base.KeyRange)
+
+		var started bool
+		var measureStart, deadline vtime.Time
+		for i := 0; i < base.Threads; i++ {
+			i := i
+			e.Spawn(c, func(w *sim.Ctx) {
+				w.WaitUntil(500*vtime.Nanosecond, func() bool { return started })
+				var counted uint64
+				for {
+					opStart := w.Now()
+					if opStart >= deadline {
+						break
+					}
+					key := int64(w.Rand64() % uint64(base.KeyRange))
+					if i%2 == 0 {
+						if w.Rand64()&1 == 0 {
+							updLock.Critical(w, func() { updTree.Insert(w, key) })
+						} else {
+							updLock.Critical(w, func() { updTree.Delete(w, key) })
+						}
+					} else {
+						schLock.Critical(w, func() { schTree.Contains(w, key) })
+						if cfg.SearchWork > 0 {
+							w.Work(w.Intn(cfg.SearchWork))
+						}
+					}
+					if opStart >= measureStart && w.Now() <= deadline {
+						counted++
+					}
+				}
+				if i%2 == 0 {
+					res.UpdateOps += counted
+				} else {
+					res.SearchOps += counted
+				}
+			})
+		}
+		measureStart = c.Now().Add(base.Warmup)
+		deadline = measureStart.Add(base.Duration)
+		started = true
+		c.SetIdle(true)
+		c.WaitOthers(2 * vtime.Microsecond)
+		if updN != nil {
+			res.UpdateTimeline = updN.Timeline
+		}
+		if schN != nil {
+			res.SearchTimeline = schN.Timeline
+		}
+	})
+	e.Run()
+	return res
+}

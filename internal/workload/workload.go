@@ -1,0 +1,271 @@
+// Package workload implements the paper's microbenchmark driver: a
+// fixed number of threads repeatedly invoke operations on one shared
+// set, with keys drawn uniformly from a key range, a configurable
+// update percentage (updates split evenly between inserts and
+// deletes), optional "external work" between operations, and a choice
+// of synchronization scheme. The set is prefilled to half the key
+// range before measurement, exactly as in Section 5.1.
+package workload
+
+import (
+	"fmt"
+
+	"natle/internal/cache"
+	"natle/internal/cohort"
+	"natle/internal/htm"
+	"natle/internal/lock"
+	"natle/internal/machine"
+	"natle/internal/natle"
+	"natle/internal/sets"
+	"natle/internal/sim"
+	"natle/internal/spinlock"
+	"natle/internal/tle"
+	"natle/internal/vtime"
+)
+
+// LockKind selects the synchronization scheme for a trial.
+type LockKind string
+
+// Available schemes.
+const (
+	LockPlain  LockKind = "lock"   // spin lock, never elided
+	LockTLE    LockKind = "tle"    // transactional lock elision
+	LockNATLE  LockKind = "natle"  // NATLE over TLE
+	LockCohort LockKind = "cohort" // NUMA-aware cohort lock (no elision)
+	LockNoSync LockKind = "none"   // no synchronization (Fig 4 baseline)
+)
+
+// Config describes one trial.
+type Config struct {
+	Prof    *machine.Profile
+	Pin     machine.PinPolicy
+	Threads int
+	Seed    int64
+
+	SetKind   sets.Kind
+	KeyRange  int64
+	UpdatePct int // 0..100; remainder are lookups
+
+	// SearchReplace switches the operation mix to the Fig 4
+	// search-and-replace operation (UpdatePct is then ignored).
+	SearchReplace bool
+
+	// ExternalWork is the exclusive upper bound on the random number
+	// of external-work iterations between operations (0 disables).
+	ExternalWork int
+
+	Lock  LockKind
+	TLE   tle.Policy    // used by LockTLE and as NATLE's inner lock
+	NATLE *natle.Config // nil selects natle.DefaultConfig
+
+	Warmup   vtime.Duration // virtual time before measurement starts
+	Duration vtime.Duration // measured virtual time
+
+	// CommitDelay inserts a spin of the given virtual duration before
+	// every transactional commit (the Fig 6 injection experiment).
+	CommitDelay vtime.Duration
+
+	// MemWords pre-sizes the simulated memory (grown on demand).
+	MemWords int
+}
+
+func (cfg *Config) defaults() {
+	if cfg.Prof == nil {
+		cfg.Prof = machine.LargeX52()
+	}
+	if cfg.Pin == nil {
+		cfg.Pin = machine.FillSocketFirst{}
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.SetKind == "" {
+		cfg.SetKind = sets.KindAVL
+	}
+	if cfg.KeyRange <= 0 {
+		cfg.KeyRange = 2048
+	}
+	if cfg.Lock == "" {
+		cfg.Lock = LockTLE
+	}
+	if cfg.TLE.Attempts == 0 {
+		cfg.TLE = tle.TLE20()
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 300 * vtime.Microsecond
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * vtime.Millisecond
+	}
+	if cfg.MemWords <= 0 {
+		cfg.MemWords = 1 << 20
+	}
+}
+
+// Result reports one trial's measurements (all counters are deltas over
+// the measured window only).
+type Result struct {
+	Config   Config
+	Ops      uint64    // operations completed in the window
+	PerSock  [8]uint64 // operations by socket of the executing thread
+	Duration vtime.Duration
+
+	TLE   tle.Stats   // elision counters (zero for LockPlain/LockNoSync)
+	HTM   htm.Stats   // transaction counters
+	Cache cache.Stats // coherence counters
+
+	Timeline []natle.ModeSample // NATLE profiling decisions (if used)
+}
+
+// Throughput returns operations per virtual second.
+func (r *Result) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Duration.Seconds()
+}
+
+// newSystem builds the HTM runtime for a trial, wiring up the Fig 6
+// commit-delay injection hook when configured.
+func newSystem(e *sim.Engine, cfg Config) *htm.System {
+	sys := htm.NewSystem(e, cfg.MemWords)
+	if cfg.CommitDelay > 0 {
+		step := 200 * vtime.Nanosecond
+		steps := int(cfg.CommitDelay / step)
+		sys.CommitDelay = func(c *sim.Ctx) {
+			for i := 0; i < steps; i++ {
+				c.Advance(step)
+				c.Checkpoint()
+			}
+		}
+	}
+	return sys
+}
+
+// Run executes one trial and returns its measurements.
+func Run(cfg Config) *Result {
+	cfg.defaults()
+	e := sim.New(cfg.Prof, cfg.Pin, cfg.Threads, cfg.Seed)
+	sys := newSystem(e, cfg)
+	res := &Result{Config: cfg}
+
+	e.Spawn(nil, func(c *sim.Ctx) {
+		set, err := sets.New(cfg.SetKind, sys, c)
+		if err != nil {
+			panic(err)
+		}
+		var tleLock *tle.Lock
+		var natleLock *natle.Lock
+		var cs lock.CS
+		switch cfg.Lock {
+		case LockNoSync:
+			cs = lock.NoSync{}
+		case LockPlain:
+			cs = lock.Plain{L: spinlock.New(sys, c, 0)}
+		case LockTLE:
+			tleLock = tle.New(sys, c, 0, cfg.TLE)
+			cs = tleLock
+		case LockNATLE:
+			tleLock = tle.New(sys, c, 0, cfg.TLE)
+			ncfg := natle.DefaultConfig()
+			if cfg.NATLE != nil {
+				ncfg = *cfg.NATLE
+			}
+			natleLock = natle.New(sys, c, tleLock, ncfg)
+			cs = natleLock
+		case LockCohort:
+			cs = cohort.New(sys, c, 0)
+		default:
+			panic(fmt.Sprintf("workload: unknown lock kind %q", cfg.Lock))
+		}
+
+		sets.Prefill(set, c, cfg.KeyRange)
+
+		// Shared trial state (host-side; safe because execution is
+		// serialized by the simulator token).
+		var started bool
+		var measureStart, deadline vtime.Time
+		for i := 0; i < cfg.Threads; i++ {
+			e.Spawn(c, func(w *sim.Ctx) {
+				w.WaitUntil(500*vtime.Nanosecond, func() bool { return started })
+				runWorker(w, cfg, set, cs, res, &measureStart, &deadline)
+			})
+		}
+		measureStart = c.Now().Add(cfg.Warmup)
+		deadline = measureStart.Add(cfg.Duration)
+		started = true
+		// The driver now just waits (a joined main thread); it should
+		// not contend with the worker sharing its core.
+		c.SetIdle(true)
+
+		// Snapshot counters at the start of the measurement window.
+		c.AdvanceIdle(cfg.Warmup)
+		c.Checkpoint()
+		htmBefore := sys.Stats
+		cacheBefore := sys.Cache.Stats
+		var tleBefore tle.Stats
+		if tleLock != nil {
+			tleBefore = tleLock.Stats
+		}
+
+		c.WaitOthers(2 * vtime.Microsecond)
+
+		res.Duration = cfg.Duration
+		res.HTM = sys.Stats.Sub(htmBefore)
+		res.Cache = subCache(sys.Cache.Stats, cacheBefore)
+		if tleLock != nil {
+			res.TLE = tleLock.Stats.Sub(tleBefore)
+		}
+		if natleLock != nil {
+			res.Timeline = natleLock.Timeline
+		}
+	})
+	e.Run()
+	return res
+}
+
+func runWorker(w *sim.Ctx, cfg Config, set sets.Set, cs lock.CS,
+	res *Result, measureStart, deadline *vtime.Time) {
+	var counted uint64
+	var countedSock [8]uint64
+	for {
+		opStart := w.Now()
+		if opStart >= *deadline {
+			break
+		}
+		key := int64(w.Rand64() % uint64(cfg.KeyRange))
+		switch {
+		case cfg.SearchReplace:
+			cs.Critical(w, func() { set.SearchReplace(w, key) })
+		case int(w.Rand64()%100) < cfg.UpdatePct:
+			if w.Rand64()&1 == 0 {
+				cs.Critical(w, func() { set.Insert(w, key) })
+			} else {
+				cs.Critical(w, func() { set.Delete(w, key) })
+			}
+		default:
+			cs.Critical(w, func() { set.Contains(w, key) })
+		}
+		if opStart >= *measureStart && w.Now() <= *deadline {
+			counted++
+			countedSock[w.Socket()]++
+		}
+		if cfg.ExternalWork > 0 {
+			w.Work(w.Intn(cfg.ExternalWork))
+		}
+	}
+	res.Ops += counted
+	for i, n := range countedSock {
+		res.PerSock[i] += n
+	}
+}
+
+func subCache(a, b cache.Stats) cache.Stats {
+	a.L1Hits -= b.L1Hits
+	a.L3Hits -= b.L3Hits
+	a.RemoteHits -= b.RemoteHits
+	a.DRAMAccesses -= b.DRAMAccesses
+	a.RemoteInvals -= b.RemoteInvals
+	a.LocalInvals -= b.LocalInvals
+	return a
+}

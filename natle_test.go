@@ -1,0 +1,87 @@
+package natle
+
+import (
+	"testing"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sim := NewSimulation(SmallMachine(), FillSocketFirst(), 4, 1)
+	var ops int
+	sim.Main(func(c *Thread) {
+		lock := sim.NewNATLELock(c, DefaultNATLEConfig())
+		set := sim.NewAVL(c)
+		PrefillSet(set, c, 256)
+		deadline := c.Now().Add(200 * Microsecond)
+		for i := 0; i < 4; i++ {
+			sim.Go(c, func(w *Thread) {
+				for w.Now() < deadline {
+					key := int64(w.Intn(256))
+					lock.Critical(w, func() {
+						if w.Rand64()&1 == 0 {
+							set.Insert(w, key)
+						} else {
+							set.Delete(w, key)
+						}
+					})
+					ops++
+				}
+			})
+		}
+		c.SetIdle(true)
+		c.WaitOthers(Microsecond)
+		if err := set.CheckInvariants(); err != nil {
+			t.Error(err)
+		}
+	})
+	if ops == 0 {
+		t.Fatal("no operations executed")
+	}
+}
+
+func TestPublicAPILockKinds(t *testing.T) {
+	for _, lk := range []LockKind{LockPlain, LockTLE, LockNATLE, LockNoSync} {
+		r := RunWorkload(WorkloadConfig{
+			Prof:     SmallMachine(),
+			Threads:  2,
+			Seed:     2,
+			KeyRange: 128,
+			Lock:     lk,
+			Duration: 50 * Microsecond,
+			Warmup:   20 * Microsecond,
+		})
+		if r.Ops == 0 {
+			t.Errorf("%s: no ops", lk)
+		}
+	}
+}
+
+func TestPublicAPISetKinds(t *testing.T) {
+	for _, sk := range []SetKind{SetAVL, SetLeafBST, SetBST, SetSkipList} {
+		r := RunWorkload(WorkloadConfig{
+			Prof:      SmallMachine(),
+			Threads:   2,
+			Seed:      3,
+			SetKind:   sk,
+			KeyRange:  128,
+			UpdatePct: 50,
+			Duration:  50 * Microsecond,
+			Warmup:    20 * Microsecond,
+		})
+		if r.Ops == 0 {
+			t.Errorf("%s: no ops", sk)
+		}
+	}
+}
+
+func TestMachineProfiles(t *testing.T) {
+	lg, sm := LargeMachine(), SmallMachine()
+	if lg.HWThreads() != 72 {
+		t.Errorf("large machine has %d hardware threads, want 72", lg.HWThreads())
+	}
+	if sm.HWThreads() != 8 {
+		t.Errorf("small machine has %d hardware threads, want 8", sm.HWThreads())
+	}
+	if lg.RemoteHit <= lg.L3Hit {
+		t.Error("remote transfers must cost more than same-socket transfers")
+	}
+}
