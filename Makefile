@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench figures clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full gate: everything must build, vet clean, and pass under the
+# race detector.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+figures:
+	$(GO) run ./cmd/figures
+
+clean:
+	$(GO) clean ./...

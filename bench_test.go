@@ -295,6 +295,38 @@ func BenchmarkSimulatorAccessRate(b *testing.B) {
 	b.ReportMetric(float64(r.Ops)/float64(b.N), "sim-ops/iter")
 }
 
+// Telemetry overhead on the Fig 12 microbenchmark path (AVL, 100%
+// updates, keys [0,2048), 36 threads): the no-op recorder vs a full
+// collector vs a collector that also buffers the event trace. Compare
+// ns/op across the three to see what recording costs the simulator.
+func benchTelemetry(b *testing.B, rec TelemetryRecorder) {
+	for i := 0; i < b.N; i++ {
+		benchResult = RunWorkload(WorkloadConfig{
+			Threads:   36,
+			Seed:      1,
+			UpdatePct: 100,
+			KeyRange:  2048,
+			Duration:  200 * vtime.Microsecond,
+			Warmup:    50 * vtime.Microsecond,
+			Recorder:  rec,
+		})
+	}
+}
+
+var benchResult *WorkloadResult // sink
+
+func BenchmarkTelemetryOffNopRecorder(b *testing.B) {
+	benchTelemetry(b, nil) // nil keeps the built-in no-op recorder
+}
+
+func BenchmarkTelemetryCountersOnly(b *testing.B) {
+	benchTelemetry(b, NewTelemetryCollector(TelemetryConfig{}))
+}
+
+func BenchmarkTelemetryCountersAndTrace(b *testing.B) {
+	benchTelemetry(b, NewTelemetryCollector(TelemetryConfig{TraceCap: 1 << 16}))
+}
+
 func BenchmarkSingleThreadAVLOps(b *testing.B) {
 	r := RunWorkload(WorkloadConfig{
 		Threads:   1,

@@ -60,6 +60,7 @@ func main() {
 		{"fig19b", func() *harness.Figure { return harness.Fig19(sc, false) }},
 		{"delegation", func() *harness.Figure { return harness.DelegationTable(sc, []int{1, 4}) }},
 		{"locks", func() *harness.Figure { return harness.LocksTable(sc) }},
+		{"telemetry", func() *harness.Figure { return harness.TelemetryTable(sc) }},
 		{"ablation-remote-latency", func() *harness.Figure { return harness.AblationRemoteLatency(sc) }},
 		{"ablation-profiling-len", func() *harness.Figure { return harness.AblationProfilingLen(sc) }},
 		{"ablation-warmup-threshold", func() *harness.Figure { return harness.AblationWarmupThreshold(sc) }},

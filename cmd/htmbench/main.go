@@ -16,6 +16,7 @@ import (
 
 	"natle/internal/machine"
 	"natle/internal/sets"
+	"natle/internal/telemetry"
 	"natle/internal/tle"
 	"natle/internal/vtime"
 	"natle/internal/workload"
@@ -38,6 +39,10 @@ func main() {
 		delayUs   = flag.Float64("delay", 0, "pre-commit delay in microseconds (Fig 6)")
 		threads   = flag.String("threads", "", "comma-separated thread counts (default: profile sweep)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the last trial to this file")
+		traceCap  = flag.Int("tracecap", 1<<16, "trace ring capacity in events (oldest dropped)")
+		metrics   = flag.String("metrics", "", "write one telemetry summary CSV row per trial to this file")
+		telem     = flag.Bool("telemetry", false, "print the per-trial telemetry summary")
 	)
 	flag.Parse()
 
@@ -73,13 +78,38 @@ func main() {
 		}
 	}
 
+	recording := *traceOut != "" || *metrics != "" || *telem
+	var metricsFile *os.File
+	if *metrics != "" {
+		var err error
+		metricsFile, err = os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer metricsFile.Close()
+		fmt.Fprintln(metricsFile, telemetry.CSVHeader("threads"))
+	}
+
 	fmt.Printf("# %s, %s, set=%s keys=%d upd=%d%% work=%d lock=%s\n",
 		p.Name, policy.Name(), *setKind, *keys, *updates, *extWork, *lockKind)
 	fmt.Printf("%7s %14s %9s %8s %9s %9s %9s %9s\n",
 		"threads", "ops/s", "speedup", "abort%", "conflict", "capacity", "lockheld", "fallback")
 
 	var base float64
+	var lastCol *telemetry.Collector
 	for _, n := range counts {
+		var col *telemetry.Collector
+		var rec telemetry.Recorder // nil keeps the no-op recorder
+		if recording {
+			ringCap := 0
+			if *traceOut != "" {
+				ringCap = *traceCap
+			}
+			col = telemetry.NewCollector(telemetry.Config{TraceCap: ringCap})
+			rec = col
+			lastCol = col
+		}
 		r := workload.Run(workload.Config{
 			Prof:          p,
 			Pin:           policy,
@@ -98,6 +128,7 @@ func main() {
 			},
 			Duration:    vtime.Duration(*durMs * float64(vtime.Millisecond)),
 			CommitDelay: vtime.Duration(*delayUs * float64(vtime.Microsecond)),
+			Recorder:    rec,
 		})
 		if base == 0 {
 			base = r.Throughput()
@@ -107,7 +138,41 @@ func main() {
 			100*r.HTM.AbortRate(),
 			r.HTM.Aborts[1], r.HTM.Aborts[2], r.HTM.Aborts[4],
 			r.TLE.Fallbacks)
+		if col == nil {
+			continue
+		}
+		sum := col.Summary()
+		if *telem {
+			fmt.Println(indent(sum.String(), "    "))
+		}
+		if metricsFile != nil {
+			fmt.Fprintln(metricsFile, sum.CSVRow(strconv.Itoa(n)))
+		}
 	}
+
+	if *traceOut != "" && lastCol != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := lastCol.WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace of the last trial to %s (%d events, %d dropped)\n",
+			*traceOut, lastCol.Summary().TraceEvents, lastCol.TraceDropped())
+	}
+}
+
+// indent prefixes every line of s (for nesting summaries under the
+// sweep table rows).
+func indent(s, prefix string) string {
+	return prefix + strings.ReplaceAll(s, "\n", "\n"+prefix)
 }
 
 func defaultSweep(p *machine.Profile) []int {

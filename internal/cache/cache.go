@@ -26,6 +26,7 @@ package cache
 
 import (
 	"natle/internal/machine"
+	"natle/internal/telemetry"
 	"natle/internal/vtime"
 )
 
@@ -53,6 +54,9 @@ type Stats struct {
 	LocalInvals  uint64 // writes that invalidated same-socket copies only
 }
 
+// Sub returns the counter deltas s - t (for windowed measurement).
+func (s Stats) Sub(t Stats) Stats { return telemetry.Sub(s, t) }
+
 // Model is the cache/coherence simulator for one machine instance.
 type Model struct {
 	prof *machine.Profile
@@ -65,6 +69,11 @@ type Model struct {
 	socketMask []uint64 // sharer-bitmask of all cores on socket s
 
 	Stats Stats
+
+	// Rec receives per-access cache telemetry (misses that leave the
+	// private cache, invalidations). Never nil; defaults to the no-op
+	// recorder, which keeps the hot path free.
+	Rec telemetry.Recorder
 }
 
 // New creates a cache model for profile p; lines must cover the
@@ -76,6 +85,7 @@ func New(p *machine.Profile) *Model {
 	m := &Model{
 		prof: p,
 		sets: int32(p.PrivateCacheSets),
+		Rec:  telemetry.Nop(),
 	}
 	m.tags = make([]int32, p.Cores()*p.PrivateCacheSets)
 	for i := range m.tags {
@@ -140,6 +150,7 @@ func (m *Model) Access(now vtime.Time, core, socket, home int, line int32, write
 		} else {
 			lat = p.RemoteHit
 			m.Stats.RemoteHits++
+			m.Rec.CacheMiss(now, socket, true)
 		}
 	case sharers&m.socketMask[socket] != 0:
 		lat = p.L3Hit
@@ -147,6 +158,7 @@ func (m *Model) Access(now vtime.Time, core, socket, home int, line int32, write
 	case sharers != 0:
 		lat = p.RemoteHit
 		m.Stats.RemoteHits++
+		m.Rec.CacheMiss(now, socket, true)
 	default:
 		m.Stats.DRAMAccesses++
 		if home == socket {
@@ -154,6 +166,7 @@ func (m *Model) Access(now vtime.Time, core, socket, home int, line int32, write
 		} else {
 			lat = p.RemoteDRAM
 		}
+		m.Rec.CacheMiss(now, socket, home != socket)
 	}
 
 	// Optionally queue behind an in-progress transfer of this line.
@@ -171,9 +184,11 @@ func (m *Model) Access(now vtime.Time, core, socket, home int, line int32, write
 			if others&^m.socketMask[socket] != 0 {
 				lat += p.RemoteInval
 				m.Stats.RemoteInvals++
+				m.Rec.CacheInval(now, socket, true)
 			} else {
 				lat += p.SameSocketInval
 				m.Stats.LocalInvals++
+				m.Rec.CacheInval(now, socket, false)
 			}
 		}
 		sharers, state, owner = self, stateModified, core

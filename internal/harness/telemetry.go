@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+
+	"natle/internal/telemetry"
+	"natle/internal/workload"
+)
+
+// TelemetryTable sweeps the Figure 12 workload (AVL tree, 100% updates,
+// keys [0,2048)) under TLE with a telemetry collector attached and
+// tabulates what the counters expose beyond raw throughput: the abort
+// rate, the share of aborts caused by cross-socket conflicts' cache
+// traffic (remote misses per commit), and the tail of the
+// commit-latency and abort-to-retry-gap distributions. The per-lock ×
+// per-socket attribution for the final trial is attached as notes —
+// the axes of the paper's abort-breakdown figures (cause × socket).
+func TelemetryTable(sc Scale) *Figure {
+	f := &Figure{
+		ID:     "telemetry",
+		Title:  "AVL tree, 100% updates, keys [0,2048), TLE: telemetry roll-up",
+		XLabel: "threads",
+		YLabel: "mixed",
+	}
+	var last *telemetry.Collector
+	for _, n := range sc.LargeThreads {
+		col := telemetry.NewCollector(telemetry.Config{})
+		r := sc.run(workload.Config{
+			Prof: large(), Threads: n, UpdatePct: 100, KeyRange: 2048,
+			Recorder: col,
+		})
+		sum := col.Summary()
+		f.Add("abort%", float64(n), 100*sum.AbortRate)
+		f.Add("fallback/op", float64(n), safeDiv(float64(sum.Fallbacks), float64(r.TLE.Ops)))
+		f.Add("rmiss/commit", float64(n), safeDiv(float64(sum.RemoteCacheMisses), float64(sum.Commits)))
+		f.Add("commit-p99[ns]", float64(n), sum.CommitLatency.P99Ns)
+		f.Add("abortgap-p50[ns]", float64(n), sum.AbortGap.P50Ns)
+		last = col
+	}
+	if last != nil {
+		n := sc.LargeThreads[len(sc.LargeThreads)-1]
+		f.Notes = append(f.Notes,
+			fmt.Sprintf("per-lock × per-socket attribution at %d threads:", n))
+		for _, l := range last.Summary().Locks {
+			for s, cell := range l.PerSocket {
+				if cell == (telemetry.LockCell{}) {
+					continue
+				}
+				f.Notes = append(f.Notes, fmt.Sprintf(
+					"  %s socket %d: starts=%d commits=%d fallbacks=%d aborts[conflict=%d capacity=%d lock-held=%d]",
+					l.Name, s, cell.Starts, cell.Commits, cell.Fallbacks,
+					cell.Aborts[telemetry.CodeConflict],
+					cell.Aborts[telemetry.CodeCapacity],
+					cell.Aborts[telemetry.CodeLockHeld]))
+			}
+		}
+	}
+	return f
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

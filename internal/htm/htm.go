@@ -32,6 +32,7 @@ import (
 	"natle/internal/machine"
 	"natle/internal/mem"
 	"natle/internal/sim"
+	"natle/internal/telemetry"
 	"natle/internal/vtime"
 )
 
@@ -47,6 +48,10 @@ const (
 	CodeLockHeld      // explicit abort because the elided lock was held
 	numCodes
 )
+
+// Abort codes are mirrored by value into package telemetry (which must
+// not import htm); this fails to compile if the two enums diverge.
+var _ [telemetry.NumCodes]struct{} = [numCodes]struct{}{}
 
 // String returns the name of the abort code.
 func (c Code) String() string {
@@ -118,14 +123,16 @@ func (s *Stats) AbortRate() float64 {
 }
 
 // Sub returns the counter deltas s - t (for windowed measurement).
-func (s Stats) Sub(t Stats) Stats {
-	s.Starts -= t.Starts
-	s.Commits -= t.Commits
-	for i := range s.Aborts {
-		s.Aborts[i] -= t.Aborts[i]
-	}
-	s.CommitDurTotal -= t.CommitDurTotal
-	return s
+func (s Stats) Sub(t Stats) Stats { return telemetry.Sub(s, t) }
+
+// String renders the counters compactly for logs and test failures.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"starts=%d commits=%d aborts=%d (conflict=%d capacity=%d explicit=%d lock-held=%d) rate=%.1f%% avg-commit=%v",
+		s.Starts, s.Commits, s.TotalAborts(),
+		s.Aborts[CodeConflict], s.Aborts[CodeCapacity],
+		s.Aborts[CodeExplicit], s.Aborts[CodeLockHeld],
+		100*s.AbortRate(), s.AvgCommitDuration())
 }
 
 // maxSlots bounds concurrently live threads (transaction slots are
@@ -148,6 +155,7 @@ type System struct {
 	freeSlots []int16
 
 	Stats Stats
+	rec   telemetry.Recorder
 
 	// CommitDelay, if non-nil, is invoked immediately before each
 	// transactional commit; it is the injection hook used by the Fig 6
@@ -165,6 +173,7 @@ func NewSystem(e *sim.Engine, capWords int) *System {
 		Mem:       mem.NewSpace(capWords),
 		Cache:     cache.New(e.Prof),
 		prof:      e.Prof,
+		rec:       telemetry.Nop(),
 		allocCost: 30 * vtime.Nanosecond,
 	}
 	for i := maxSlots - 1; i >= 0; i-- {
@@ -183,6 +192,7 @@ type txState struct {
 	code    Code
 	hint    bool
 	beginAt vtime.Time
+	lock    telemetry.LockID // elided lock attribution tag (see SetLockTag)
 
 	readLines  []int32
 	writeLines []int32
@@ -255,6 +265,31 @@ func (s *System) Slot(c *sim.Ctx) int { return int(s.state(c).slot) }
 // threads supported by one System.
 const MaxThreads = maxSlots
 
+// SetRecorder installs the telemetry recorder receiving transaction
+// lifecycle events (and cache events, via the cache model). It should
+// be installed before any locks are constructed so that their
+// RegisterLock calls land in the same recorder. Passing nil restores
+// the no-op recorder.
+func (s *System) SetRecorder(r telemetry.Recorder) {
+	if r == nil {
+		r = telemetry.Nop()
+	}
+	s.rec = r
+	s.Cache.Rec = r
+}
+
+// Recorder returns the installed telemetry recorder (never nil).
+func (s *System) Recorder() telemetry.Recorder { return s.rec }
+
+// SetLockTag tags the calling thread's subsequent transactional
+// attempts with the given lock id, attributing per-lock telemetry. The
+// lock-elision layers set it on entry to their critical sections; the
+// tag persists until overwritten, matching "the lock this thread is
+// currently eliding".
+func (s *System) SetLockTag(c *sim.Ctx, id telemetry.LockID) {
+	s.state(c).lock = id
+}
+
 // --- conflict bookkeeping ---
 
 func readerBit(slot int16) (int, uint64) { return int(slot >> 6), 1 << uint(slot&63) }
@@ -324,6 +359,8 @@ func (s *System) finishAbort(c *sim.Ctx, t *txState) {
 	t.active = false
 	s.clearSets(t)
 	c.Advance(s.prof.TxAbortCost)
+	s.rec.TxAbort(c.Now(), int(t.slot), c.Socket(), t.lock,
+		telemetry.Code(t.code), t.hint, c.Now().Sub(t.beginAt))
 	panic(AbortSignal{Code: t.code, Hint: t.hint})
 }
 
@@ -483,6 +520,7 @@ func (s *System) begin(c *sim.Ctx, t *txState) {
 	t.hint = false
 	t.beginAt = c.Now()
 	s.Stats.Starts++
+	s.rec.TxStart(t.beginAt, int(t.slot), c.Socket(), t.lock)
 	c.Advance(s.prof.TxBeginCost)
 }
 
@@ -501,11 +539,14 @@ func (s *System) commit(c *sim.Ctx, t *txState) {
 	for i, a := range t.wbAddr {
 		s.Mem.SetRaw(a, t.wbVal[i])
 	}
+	readSet, writeSet := len(t.readLines), len(t.writeLines)
 	s.unregister(t)
 	t.active = false
 	s.clearSets(t)
 	s.Stats.Commits++
-	s.Stats.CommitDurTotal += c.Now().Sub(t.beginAt)
+	dur := c.Now().Sub(t.beginAt)
+	s.Stats.CommitDurTotal += dur
+	s.rec.TxCommit(c.Now(), int(t.slot), c.Socket(), t.lock, dur, readSet, writeSet)
 	c.Advance(s.prof.TxCommitCost)
 }
 

@@ -27,6 +27,7 @@ import (
 	"natle/internal/lock"
 	"natle/internal/mem"
 	"natle/internal/sim"
+	"natle/internal/telemetry"
 	"natle/internal/vtime"
 )
 
@@ -110,6 +111,7 @@ type Lock struct {
 	sys   *htm.System
 	inner lock.CS // underlying TLE lock (any lock.CS works)
 	cfg   Config
+	id    telemetry.LockID // telemetry id for throttle-wait attribution
 
 	numModes int
 	sockets  int
@@ -170,6 +172,7 @@ func New(sys *htm.System, c *sim.Ctx, inner lock.CS, cfg Config) *Lock {
 	// Until first profiling completes, run unthrottled.
 	sys.Mem.SetRaw(l.fastestMode, uint64(l.numModes-1))
 	sys.Mem.SetRaw(l.fastestSlice, 1000)
+	l.id = sys.Recorder().RegisterLock(l.Name())
 	return l
 }
 
@@ -241,17 +244,29 @@ func (l *Lock) socketOf(c *sim.Ctx) int {
 // RepetitionThreshold).
 func (l *Lock) Critical(c *sim.Ctx, body func()) {
 	sock := l.socketOf(c)
+	var waited vtime.Duration
 	for rep := 0; rep < l.cfg.RepetitionThreshold; rep++ {
 		mode, stamp := l.getMode(c)
 		if mode == l.numModes-1 || mode == sock {
+			l.recordWait(c, sock, waited)
 			l.bumpAcquisition(c, mode, stamp)
 			l.inner.Critical(c, body)
 			return
 		}
 		c.AdvanceIdle(l.cfg.Wait)
+		waited += l.cfg.Wait
 		c.Yield()
 	}
+	l.recordWait(c, sock, waited)
 	l.inner.Critical(c, body)
+}
+
+// recordWait emits one throttle-wait telemetry span covering the whole
+// blocked period (zero-length waits are not reported).
+func (l *Lock) recordWait(c *sim.Ctx, sock int, waited vtime.Duration) {
+	if waited > 0 {
+		l.sys.Recorder().Wait(c.Now(), l.sys.Slot(c), sock, l.id, waited)
+	}
 }
 
 func (l *Lock) bumpAcquisition(c *sim.Ctx, mode int, stamp uint64) {

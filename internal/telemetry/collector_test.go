@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"natle/internal/vtime"
+)
+
+func TestCollectorCountsAndAttribution(t *testing.T) {
+	c := NewCollector(Config{TraceCap: 64})
+	l1 := c.RegisterLock("TLE-20")
+	l2 := c.RegisterLock("TLE-5")
+
+	at := vtime.Time(0)
+	// Slot 1 on socket 0, lock 1: abort then commit.
+	c.TxStart(at, 1, 0, l1)
+	at = at.Add(50 * vtime.Nanosecond)
+	c.TxAbort(at, 1, 0, l1, CodeConflict, true, 50*vtime.Nanosecond)
+	at = at.Add(100 * vtime.Nanosecond)
+	c.TxStart(at, 1, 0, l1)
+	at = at.Add(80 * vtime.Nanosecond)
+	c.TxCommit(at, 1, 0, l1, 80*vtime.Nanosecond, 10, 3)
+	// Slot 2 on socket 1, lock 2: capacity abort then fallback.
+	c.TxStart(at, 2, 1, l2)
+	c.TxAbort(at, 2, 1, l2, CodeCapacity, false, 20*vtime.Nanosecond)
+	c.Fallback(at.Add(300*vtime.Nanosecond), 2, 1, l2, 200*vtime.Nanosecond)
+	// Cache traffic.
+	c.CacheMiss(at, 0, true)
+	c.CacheMiss(at, 0, false)
+	c.CacheInval(at, 1, true)
+
+	if c.Starts() != 3 || c.Commits() != 1 || c.Fallbacks() != 1 {
+		t.Errorf("starts/commits/fallbacks = %d/%d/%d, want 3/1/1",
+			c.Starts(), c.Commits(), c.Fallbacks())
+	}
+	if c.Aborts(CodeConflict) != 1 || c.Aborts(CodeCapacity) != 1 || c.TotalAborts() != 2 {
+		t.Errorf("aborts = conflict %d capacity %d total %d",
+			c.Aborts(CodeConflict), c.Aborts(CodeCapacity), c.TotalAborts())
+	}
+	if c.HintSetAborts() != 1 {
+		t.Errorf("hint-set aborts = %d, want 1", c.HintSetAborts())
+	}
+	if got := c.AbortRate(); got != 2.0/3.0 {
+		t.Errorf("abort rate = %g, want 2/3", got)
+	}
+	if got := c.CommitDurTotal(); got != 80*vtime.Nanosecond {
+		t.Errorf("commit dur total = %v, want 80ns", got)
+	}
+
+	// The abort→retry gap: slot 1 aborted at t=50ns and restarted at
+	// t=150ns, so exactly one 100ns gap. The slot-2 abort ended in a
+	// fallback, which must not count as a retry gap.
+	gap := c.AbortGap()
+	if gap.Count() != 1 {
+		t.Fatalf("abort gap count = %d, want 1", gap.Count())
+	}
+	if gap.SumPs != uint64(100*vtime.Nanosecond) {
+		t.Errorf("abort gap sum = %dps, want 100ns", gap.SumPs)
+	}
+
+	// Per-lock × per-socket attribution.
+	locks := c.Locks()
+	if len(locks) != 3 { // (none) + 2 registered
+		t.Fatalf("lock table size = %d, want 3", len(locks))
+	}
+	c1 := locks[l1].PerSocket[0]
+	if c1.Starts != 2 || c1.Commits != 1 || c1.Aborts[CodeConflict] != 1 {
+		t.Errorf("lock1 socket0 cell = %+v", c1)
+	}
+	c2 := locks[l2].PerSocket[1]
+	if c2.Starts != 1 || c2.Fallbacks != 1 || c2.Aborts[CodeCapacity] != 1 {
+		t.Errorf("lock2 socket1 cell = %+v", c2)
+	}
+	if tot := locks[l2].Total(); tot.Starts != 1 || tot.Fallbacks != 1 {
+		t.Errorf("lock2 total = %+v", tot)
+	}
+
+	if c.Count(KindCacheMiss) != 2 || c.RemoteCacheMisses() != 1 ||
+		c.Count(KindCacheInval) != 1 || c.RemoteCacheInvals() != 1 {
+		t.Errorf("cache counters = miss %d (remote %d) inval %d (remote %d)",
+			c.Count(KindCacheMiss), c.RemoteCacheMisses(),
+			c.Count(KindCacheInval), c.RemoteCacheInvals())
+	}
+
+	// Cache events stay out of the ring by default.
+	for _, e := range c.Events() {
+		if e.Kind == KindCacheMiss || e.Kind == KindCacheInval {
+			t.Errorf("cache event leaked into the trace ring: %+v", e)
+		}
+	}
+
+	sum := c.Summary()
+	if sum.Starts != 3 || sum.Aborts[CodeConflict] != 1 || len(sum.Locks) != 2 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if !strings.Contains(sum.String(), "commits=1") {
+		t.Errorf("summary string = %q", sum.String())
+	}
+	row := sum.CSVRow("72")
+	if !strings.HasPrefix(row, "72,3,1,") {
+		t.Errorf("csv row = %q", row)
+	}
+	if got, want := len(strings.Split(row, ",")), len(strings.Split(CSVHeader("threads"), ",")); got != want {
+		t.Errorf("csv row has %d columns, header %d", got, want)
+	}
+}
+
+func TestCollectorUnknownLockFallsBackToNone(t *testing.T) {
+	c := NewCollector(Config{})
+	c.TxStart(0, 0, 0, LockID(99)) // never registered
+	locks := c.Locks()
+	if locks[0].PerSocket[0].Starts != 1 {
+		t.Errorf("unattributed starts = %d, want 1", locks[0].PerSocket[0].Starts)
+	}
+	if got := c.LockName(99); got != "(none)" {
+		t.Errorf("LockName(99) = %q", got)
+	}
+}
+
+func TestNopRecorderIsInert(t *testing.T) {
+	r := Nop()
+	if id := r.RegisterLock("x"); id != NoLock {
+		t.Errorf("nop RegisterLock = %d, want NoLock", id)
+	}
+	// Must not panic or allocate state.
+	r.TxStart(0, 0, 0, NoLock)
+	r.TxCommit(0, 0, 0, NoLock, 0, 0, 0)
+	r.TxAbort(0, 0, 0, NoLock, CodeConflict, true, 0)
+	r.Fallback(0, 0, 0, NoLock, 0)
+	r.Wait(0, 0, 0, NoLock, 0)
+	r.CacheMiss(0, 0, false)
+	r.CacheInval(0, 0, true)
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"reflect"
+	"sync/atomic"
+)
+
+// counterStride spaces shards one cache line apart so concurrent
+// writers on different shards never false-share.
+const counterStride = 8 // uint64s = 64 bytes
+
+// ShardedCounter is a monotone uint64 counter split across
+// cache-line-padded shards. Writers pick a shard (normally their
+// transaction slot or goroutine id) and add atomically; readers sum
+// all shards. With one writer per shard there is no contention at
+// all; with more, contention is bounded by the shard count rather
+// than serializing every increment on one line.
+type ShardedCounter struct {
+	shards []uint64 // len = n * counterStride, one live word per stride
+}
+
+// NewShardedCounter creates a counter with n shards (minimum 1).
+func NewShardedCounter(n int) *ShardedCounter {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardedCounter{shards: make([]uint64, n*counterStride)}
+}
+
+// Shards returns the shard count.
+func (c *ShardedCounter) Shards() int { return len(c.shards) / counterStride }
+
+// Add atomically adds delta to the shard'th shard (wrapped modulo the
+// shard count).
+func (c *ShardedCounter) Add(shard int, delta uint64) {
+	n := len(c.shards) / counterStride
+	i := shard % n
+	if i < 0 {
+		i += n
+	}
+	atomic.AddUint64(&c.shards[i*counterStride], delta)
+}
+
+// Load returns the merged value across all shards.
+func (c *ShardedCounter) Load() uint64 {
+	var sum uint64
+	for i := 0; i < len(c.shards); i += counterStride {
+		sum += atomic.LoadUint64(&c.shards[i])
+	}
+	return sum
+}
+
+// Sub returns the field-wise difference a - b of a counter-snapshot
+// struct: every integer field, including elements of nested arrays and
+// structs, of the result is a's value minus b's. It is the single
+// windowed-delta implementation shared by the htm/tle/cache Stats
+// snapshots (each previously hand-rolled its own Sub). Non-numeric
+// fields are not allowed in snapshot types and panic loudly.
+func Sub[T any](a, b T) T {
+	va := reflect.ValueOf(&a).Elem()
+	vb := reflect.ValueOf(&b).Elem()
+	subValue(va, vb)
+	return a
+}
+
+func subValue(a, b reflect.Value) {
+	switch a.Kind() {
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		a.SetUint(a.Uint() - b.Uint())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		a.SetInt(a.Int() - b.Int())
+	case reflect.Float32, reflect.Float64:
+		a.SetFloat(a.Float() - b.Float())
+	case reflect.Array, reflect.Slice:
+		for i := 0; i < a.Len(); i++ {
+			subValue(a.Index(i), b.Index(i))
+		}
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			subValue(a.Field(i), b.Field(i))
+		}
+	default:
+		panic("telemetry: Sub: unsupported snapshot field kind " + a.Kind().String())
+	}
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"natle/internal/vtime"
+)
+
+func TestShardedCounterConcurrent(t *testing.T) {
+	const writers, perWriter = 32, 10000
+	c := NewShardedCounter(8)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Add(w, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Load(); got != writers*perWriter {
+		t.Errorf("Load = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestShardedCounterShardWrap(t *testing.T) {
+	c := NewShardedCounter(4)
+	c.Add(-3, 2) // negative shards must not panic
+	c.Add(1001, 3)
+	if got := c.Load(); got != 5 {
+		t.Errorf("Load = %d, want 5", got)
+	}
+	if c.Shards() != 4 {
+		t.Errorf("Shards = %d, want 4", c.Shards())
+	}
+}
+
+type snap struct {
+	A uint64
+	B [3]uint64
+	C vtime.Duration
+	D struct{ N uint64 }
+}
+
+func TestSubGenericDelta(t *testing.T) {
+	a := snap{A: 10, B: [3]uint64{5, 6, 7}, C: 100}
+	a.D.N = 9
+	b := snap{A: 4, B: [3]uint64{1, 2, 3}, C: 60}
+	b.D.N = 2
+	d := Sub(a, b)
+	if d.A != 6 || d.B != [3]uint64{4, 4, 4} || d.C != 40 || d.D.N != 7 {
+		t.Errorf("Sub = %+v", d)
+	}
+	// Unsigned wraparound matches the hand-rolled implementations'
+	// semantics for monotone counters.
+	w := Sub(snap{A: 1}, snap{A: 2})
+	if w.A != ^uint64(0) {
+		t.Errorf("wrap delta = %d", w.A)
+	}
+}

@@ -1,0 +1,290 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"natle/internal/vtime"
+)
+
+// HistStats is the exported summary of one histogram (times in
+// nanoseconds for readability in CSV/JSON).
+type HistStats struct {
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P90Ns  float64 `json:"p90_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+}
+
+func histStats(s HistogramSnapshot) HistStats {
+	return HistStats{
+		Count:  s.Count(),
+		MeanNs: s.Mean().Nanoseconds(),
+		P50Ns:  s.Quantile(0.50).Nanoseconds(),
+		P90Ns:  s.Quantile(0.90).Nanoseconds(),
+		P99Ns:  s.Quantile(0.99).Nanoseconds(),
+	}
+}
+
+// Summary is the exportable roll-up of a Collector.
+type Summary struct {
+	Starts        uint64           `json:"starts"`
+	Commits       uint64           `json:"commits"`
+	Aborts        [NumCodes]uint64 `json:"aborts_by_code"`
+	AbortRate     float64          `json:"abort_rate"`
+	HintSetAborts uint64           `json:"hint_set_aborts"`
+	Fallbacks     uint64           `json:"fallbacks"`
+	Waits         uint64           `json:"waits"`
+
+	CacheMisses       uint64 `json:"cache_misses"`
+	RemoteCacheMisses uint64 `json:"remote_cache_misses"`
+	CacheInvals       uint64 `json:"cache_invals"`
+	RemoteCacheInvals uint64 `json:"remote_cache_invals"`
+
+	CommitLatency HistStats `json:"commit_latency"`
+	AbortGap      HistStats `json:"abort_gap"`
+	FallbackHold  HistStats `json:"fallback_hold"`
+	WaitTime      HistStats `json:"wait_time"`
+
+	Locks []LockSummary `json:"locks,omitempty"`
+
+	TraceEvents  int    `json:"trace_events,omitempty"`
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+}
+
+// Summary rolls up the collector's current counters.
+func (c *Collector) Summary() Summary {
+	s := Summary{
+		Starts:        c.Starts(),
+		Commits:       c.Commits(),
+		AbortRate:     c.AbortRate(),
+		HintSetAborts: c.HintSetAborts(),
+		Fallbacks:     c.Fallbacks(),
+		Waits:         c.Waits(),
+
+		CacheMisses:       c.Count(KindCacheMiss),
+		RemoteCacheMisses: c.RemoteCacheMisses(),
+		CacheInvals:       c.Count(KindCacheInval),
+		RemoteCacheInvals: c.RemoteCacheInvals(),
+
+		CommitLatency: histStats(c.CommitLatency()),
+		AbortGap:      histStats(c.AbortGap()),
+		FallbackHold:  histStats(c.FallbackHold()),
+		WaitTime:      histStats(c.WaitTime()),
+	}
+	for code := Code(0); code < NumCodes; code++ {
+		s.Aborts[code] = c.Aborts(code)
+	}
+	// Skip the unattributed bucket when no raw transactions used it.
+	for _, l := range c.Locks() {
+		if l.ID == NoLock && l.Total() == (LockCell{}) {
+			continue
+		}
+		s.Locks = append(s.Locks, l)
+	}
+	if c.ring != nil {
+		s.TraceEvents = c.ring.Len()
+		s.TraceDropped = c.ring.Dropped()
+	}
+	return s
+}
+
+// WriteJSON writes the full summary (including the per-lock
+// attribution matrix) as indented JSON.
+func (s Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// CSVHeader returns the column names of CSVRow, with an optional
+// prefix of extra caller columns (e.g. "threads").
+func CSVHeader(extra ...string) string {
+	cols := append([]string{}, extra...)
+	cols = append(cols,
+		"starts", "commits", "abort_rate",
+		"aborts_conflict", "aborts_capacity", "aborts_explicit", "aborts_lockheld",
+		"fallbacks", "waits",
+		"cache_misses", "remote_cache_misses", "cache_invals", "remote_cache_invals",
+		"commit_p50_ns", "commit_p99_ns", "commit_mean_ns",
+		"abort_gap_p50_ns", "abort_gap_p99_ns",
+		"fallback_hold_p50_ns", "fallback_hold_p99_ns",
+	)
+	return strings.Join(cols, ",")
+}
+
+// CSVRow renders the summary's flat (global) counters as one CSV row,
+// prefixed by any extra caller values matching CSVHeader's extras.
+func (s Summary) CSVRow(extra ...string) string {
+	cols := append([]string{}, extra...)
+	cols = append(cols,
+		fmt.Sprintf("%d", s.Starts),
+		fmt.Sprintf("%d", s.Commits),
+		fmt.Sprintf("%.6g", s.AbortRate),
+		fmt.Sprintf("%d", s.Aborts[CodeConflict]),
+		fmt.Sprintf("%d", s.Aborts[CodeCapacity]),
+		fmt.Sprintf("%d", s.Aborts[CodeExplicit]),
+		fmt.Sprintf("%d", s.Aborts[CodeLockHeld]),
+		fmt.Sprintf("%d", s.Fallbacks),
+		fmt.Sprintf("%d", s.Waits),
+		fmt.Sprintf("%d", s.CacheMisses),
+		fmt.Sprintf("%d", s.RemoteCacheMisses),
+		fmt.Sprintf("%d", s.CacheInvals),
+		fmt.Sprintf("%d", s.RemoteCacheInvals),
+		fmt.Sprintf("%.6g", s.CommitLatency.P50Ns),
+		fmt.Sprintf("%.6g", s.CommitLatency.P99Ns),
+		fmt.Sprintf("%.6g", s.CommitLatency.MeanNs),
+		fmt.Sprintf("%.6g", s.AbortGap.P50Ns),
+		fmt.Sprintf("%.6g", s.AbortGap.P99Ns),
+		fmt.Sprintf("%.6g", s.FallbackHold.P50Ns),
+		fmt.Sprintf("%.6g", s.FallbackHold.P99Ns),
+	)
+	return strings.Join(cols, ",")
+}
+
+// String renders a compact human-readable roll-up.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "starts=%d commits=%d aborts=%d (%.1f%%) fallbacks=%d",
+		s.Starts, s.Commits,
+		s.Aborts[CodeConflict]+s.Aborts[CodeCapacity]+s.Aborts[CodeExplicit]+s.Aborts[CodeLockHeld],
+		100*s.AbortRate, s.Fallbacks)
+	fmt.Fprintf(&b, "\n  aborts by cause: conflict=%d capacity=%d explicit=%d lock-held=%d (hint set on %d)",
+		s.Aborts[CodeConflict], s.Aborts[CodeCapacity], s.Aborts[CodeExplicit],
+		s.Aborts[CodeLockHeld], s.HintSetAborts)
+	fmt.Fprintf(&b, "\n  commit latency: n=%d mean=%.0fns p50=%.0fns p99=%.0fns",
+		s.CommitLatency.Count, s.CommitLatency.MeanNs, s.CommitLatency.P50Ns, s.CommitLatency.P99Ns)
+	if s.AbortGap.Count > 0 {
+		fmt.Fprintf(&b, "\n  abort→retry gap: n=%d p50=%.0fns p99=%.0fns",
+			s.AbortGap.Count, s.AbortGap.P50Ns, s.AbortGap.P99Ns)
+	}
+	if s.FallbackHold.Count > 0 {
+		fmt.Fprintf(&b, "\n  fallback hold:   n=%d p50=%.0fns p99=%.0fns",
+			s.FallbackHold.Count, s.FallbackHold.P50Ns, s.FallbackHold.P99Ns)
+	}
+	return b.String()
+}
+
+// --- Chrome trace_event export ---
+
+// chromeEvent is one trace_event record; field order fixes the JSON
+// layout so exports are byte-for-byte deterministic.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	DurUs *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+func us(d vtime.Duration) float64 { return float64(d) / float64(vtime.Microsecond) }
+
+// WriteChromeTrace exports the buffered event trace in Chrome's
+// trace_event JSON format (load it at chrome://tracing or
+// https://ui.perfetto.dev). Sockets map to processes and transaction
+// slots to threads, so the per-socket interleaving of commits, aborts,
+// fallbacks, and throttle waits — the paper's central object of study
+// — is directly visible on the timeline. Spans (commit, abort,
+// fallback, wait) are complete events ("X"); instantaneous events
+// (tx-start, cache events) are instants ("i").
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(e chromeEvent) error {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(raw)
+		return err
+	}
+
+	// Name the processes (sockets) and announce lock ids.
+	sockets := map[int]bool{}
+	for _, e := range c.Events() {
+		sockets[int(e.Socket)] = true
+	}
+	for s := 0; s < MaxSockets; s++ {
+		if !sockets[s] {
+			continue
+		}
+		if err := emit(chromeEvent{Name: "process_name", Phase: "M", PID: s,
+			Args: map[string]any{"name": fmt.Sprintf("socket %d", s)}}); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range c.Events() {
+		ce := chromeEvent{
+			PID: int(e.Socket),
+			TID: int(e.Slot),
+			Cat: e.Kind.String(),
+		}
+		switch e.Kind {
+		case KindTxCommit:
+			d := us(e.Dur)
+			ce.Name = "tx:" + c.LockName(e.Lock)
+			ce.Phase = "X"
+			ce.TsUs = us(vtime.Duration(e.At.Add(-e.Dur)))
+			ce.DurUs = &d
+			ce.Args = map[string]any{"readSet": e.Read, "writeSet": e.Write}
+		case KindTxAbort:
+			d := us(e.Dur)
+			ce.Name = "abort:" + e.Code.String()
+			ce.Phase = "X"
+			ce.TsUs = us(vtime.Duration(e.At.Add(-e.Dur)))
+			ce.DurUs = &d
+			ce.Args = map[string]any{"hint": e.Hint, "lock": c.LockName(e.Lock)}
+		case KindFallback:
+			d := us(e.Dur)
+			ce.Name = "fallback:" + c.LockName(e.Lock)
+			ce.Phase = "X"
+			ce.TsUs = us(vtime.Duration(e.At.Add(-e.Dur)))
+			ce.DurUs = &d
+		case KindWait:
+			d := us(e.Dur)
+			ce.Name = "wait:" + c.LockName(e.Lock)
+			ce.Phase = "X"
+			ce.TsUs = us(vtime.Duration(e.At.Add(-e.Dur)))
+			ce.DurUs = &d
+		case KindTxStart:
+			ce.Name = "tx-start"
+			ce.Phase = "i"
+			ce.Scope = "t"
+			ce.TsUs = us(vtime.Duration(e.At))
+		case KindCacheMiss, KindCacheInval:
+			ce.Name = e.Kind.String()
+			ce.Phase = "i"
+			ce.Scope = "p"
+			ce.TsUs = us(vtime.Duration(e.At))
+			ce.TID = 0
+			ce.Args = map[string]any{"remote": e.Remote}
+		default:
+			continue
+		}
+		if err := emit(ce); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

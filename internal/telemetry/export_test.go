@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"natle/internal/vtime"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// traceScenario replays a fixed event sequence into a collector:
+// a conflict-abort/retry/commit on socket 0 and a capacity abort
+// resolving to a fallback on socket 1, plus cache traffic.
+func traceScenario() *Collector {
+	c := NewCollector(Config{TraceCap: 64, TraceCache: true})
+	l1 := c.RegisterLock("TLE-20")
+	l2 := c.RegisterLock("NATLE(TLE-20)")
+
+	ns := func(n int64) vtime.Time { return vtime.Time(n) * vtime.Time(vtime.Nanosecond) }
+	c.TxStart(ns(100), 1, 0, l1)
+	c.TxAbort(ns(150), 1, 0, l1, CodeConflict, true, 50*vtime.Nanosecond)
+	c.TxStart(ns(250), 1, 0, l1)
+	c.TxCommit(ns(330), 1, 0, l1, 80*vtime.Nanosecond, 12, 3)
+	c.TxStart(ns(200), 2, 1, l2)
+	c.TxAbort(ns(260), 2, 1, l2, CodeCapacity, false, 60*vtime.Nanosecond)
+	c.Wait(ns(400), 2, 1, l2, 120*vtime.Nanosecond)
+	c.Fallback(ns(700), 2, 1, l2, 250*vtime.Nanosecond)
+	c.CacheMiss(ns(120), 0, true)
+	c.CacheInval(ns(140), 1, false)
+	return c
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := traceScenario().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from golden file (run with -update to regenerate)\ngot:\n%s", buf.String())
+	}
+
+	// The export must be loadable: well-formed JSON with the
+	// trace_event envelope Chrome and Perfetto expect.
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TsUs  float64 `json:"ts"`
+			PID   int     `json:"pid"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", doc.DisplayTimeUnit)
+	}
+	// 2 process_name metadata + 8 tx/lock events + 2 cache instants.
+	if got := len(doc.TraceEvents); got != 12 {
+		t.Errorf("trace has %d events, want 12", got)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "" || e.Name == "" {
+			t.Errorf("event missing phase or name: %+v", e)
+		}
+		if e.TsUs < 0 {
+			t.Errorf("event %q has negative timestamp %g", e.Name, e.TsUs)
+		}
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	sum := traceScenario().Summary()
+	var buf bytes.Buffer
+	if err := sum.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("summary JSON does not round-trip: %v", err)
+	}
+	if back.Starts != sum.Starts || back.Commits != sum.Commits ||
+		back.Aborts != sum.Aborts || len(back.Locks) != len(sum.Locks) {
+		t.Errorf("round-trip mismatch: got %+v, want %+v", back, sum)
+	}
+}

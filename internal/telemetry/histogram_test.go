@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"natle/internal/vtime"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)   // bucket 1: [1,2)
+	h.Observe(2)   // bucket 2: [2,4)
+	h.Observe(3)   // bucket 2
+	h.Observe(512) // bucket 10
+	s := h.Snapshot()
+	if s.Count() != 5 {
+		t.Fatalf("count = %d, want 5", s.Count())
+	}
+	if s.Counts[0] != 1 || s.Counts[1] != 1 || s.Counts[2] != 2 || s.Counts[10] != 1 {
+		t.Errorf("bucket counts = %v", s.Counts[:12])
+	}
+	if got := s.SumPs; got != 518 {
+		t.Errorf("sum = %d, want 518", got)
+	}
+	if got := s.Mean(); got != 518/5 {
+		t.Errorf("mean = %d, want %d", got, 518/5)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 100 observations of ~1us, 1 outlier at ~1ms.
+	for i := 0; i < 100; i++ {
+		h.Observe(1 * vtime.Microsecond)
+	}
+	h.Observe(1 * vtime.Millisecond)
+	p50 := h.Quantile(0.50)
+	if p50 < 512*vtime.Nanosecond || p50 > 2*vtime.Microsecond {
+		t.Errorf("p50 = %v, want ~1us", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 > 2*vtime.Microsecond {
+		t.Errorf("p99 = %v, want within the 1us bucket", p99)
+	}
+	p100 := h.Quantile(1)
+	if p100 < 512*vtime.Microsecond {
+		t.Errorf("p100 = %v, want in the outlier bucket", p100)
+	}
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramMergeAndDelta(t *testing.T) {
+	var a, b Histogram
+	a.Observe(10)
+	b.Observe(10)
+	b.Observe(1000)
+	a.Merge(&b)
+	if got := a.Count(); got != 3 {
+		t.Fatalf("merged count = %d, want 3", got)
+	}
+	before := a.Snapshot()
+	a.Observe(10)
+	a.Observe(20)
+	delta := a.Snapshot().Sub(before)
+	if delta.Count() != 2 || delta.SumPs != 30 {
+		t.Errorf("windowed delta = count %d sum %d, want 2/30", delta.Count(), delta.SumPs)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const gors, per = 16, 5000
+	for g := 0; g < gors; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(vtime.Duration(i % 1024))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != gors*per {
+		t.Errorf("count = %d, want %d", got, gors*per)
+	}
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+import "sync"
+
+// Ring is a bounded ring buffer of trace events: appends beyond the
+// capacity overwrite the oldest events, so a long run keeps the most
+// recent window of the timeline at a fixed memory bound. A mutex
+// guards the buffer; under the simulator's serialization token the
+// lock is never contended, and it keeps the recorder safe for
+// genuinely concurrent callers (tests, future host-parallel engines).
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int    // insertion index
+	wrapped bool   // buffer has been full at least once
+	dropped uint64 // events overwritten
+}
+
+// NewRing creates a ring holding up to capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Append records one event, overwriting the oldest if full.
+func (r *Ring) Append(e Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.dropped++
+		r.wrapped = true
+	}
+	r.next++
+	if r.next == cap(r.buf) {
+		r.next = 0
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the buffered events oldest-first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if r.wrapped {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return cap(r.buf) }
+
+// Dropped returns how many events were overwritten.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"testing"
+
+	"natle/internal/vtime"
+)
+
+func TestRingBounded(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Append(Event{Kind: KindTxStart, At: vtime.Time(i)})
+	}
+	if r.Len() != 4 || r.Cap() != 4 {
+		t.Fatalf("len/cap = %d/%d, want 4/4", r.Len(), r.Cap())
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", r.Dropped())
+	}
+	ev := r.Events()
+	for i, e := range ev {
+		if want := vtime.Time(6 + i); e.At != want {
+			t.Errorf("event %d at %v, want %v (oldest-first order)", i, e.At, want)
+		}
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(8)
+	r.Append(Event{At: 1})
+	r.Append(Event{At: 2})
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].At != 1 || ev[1].At != 2 {
+		t.Errorf("events = %+v", ev)
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", r.Dropped())
+	}
+}

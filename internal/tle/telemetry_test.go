@@ -1,0 +1,139 @@
+package tle
+
+import (
+	"testing"
+
+	"natle/internal/htm"
+	"natle/internal/machine"
+	"natle/internal/mem"
+	"natle/internal/sim"
+	"natle/internal/telemetry"
+	"natle/internal/vtime"
+)
+
+// TestTelemetryMatchesLegacyStats hammers one htm.System from many
+// simulated threads through two TLE locks and asserts that the
+// telemetry collector reproduces the legacy Stats counters exactly:
+// every started transaction is conserved as exactly one commit or one
+// abort, per cause, per lock, per socket.
+func TestTelemetryMatchesLegacyStats(t *testing.T) {
+	const threads, iters = 36, 40
+	const words = 12 // per-critical footprint, spread over several lines
+	col := telemetry.NewCollector(telemetry.Config{TraceCap: 1 << 14})
+	e := sim.New(machine.LargeX52(), machine.FillSocketFirst{}, threads, 11)
+	s := htm.NewSystem(e, 1<<12)
+	s.SetRecorder(col)
+
+	var l1, l2 *Lock
+	e.Spawn(nil, func(c *sim.Ctx) {
+		l1 = New(s, c, 0, Policy{Attempts: 20})
+		l2 = New(s, c, 0, Policy{Attempts: 2})
+		arr1 := s.Alloc(c, 8*words)
+		arr2 := s.Alloc(c, 8*words)
+		for i := 0; i < threads; i++ {
+			e.Spawn(c, func(w *sim.Ctx) {
+				for j := 0; j < iters; j++ {
+					l, arr := l1, arr1
+					if j%3 == 0 {
+						l, arr = l2, arr2
+					}
+					l.Critical(w, func() {
+						// Walk a multi-line footprint so transactions
+						// overlap in virtual time and genuinely
+						// conflict.
+						for k := 0; k < words; k++ {
+							a := arr + mem.Addr(8*((k*7+j)%words))
+							s.Write(w, a, s.Read(w, a)+1)
+						}
+					})
+				}
+			})
+		}
+		c.WaitOthers(vtime.Microsecond)
+	})
+	e.Run()
+
+	// Global counters must match the legacy htm.Stats exactly.
+	if got, want := col.Starts(), s.Stats.Starts; got != want {
+		t.Errorf("telemetry starts = %d, legacy %d", got, want)
+	}
+	if got, want := col.Commits(), s.Stats.Commits; got != want {
+		t.Errorf("telemetry commits = %d, legacy %d", got, want)
+	}
+	for code := telemetry.Code(0); code < telemetry.NumCodes; code++ {
+		if got, want := col.Aborts(code), s.Stats.Aborts[code]; got != want {
+			t.Errorf("telemetry aborts[%v] = %d, legacy %d", code, got, want)
+		}
+	}
+	if got, want := col.CommitDurTotal(), s.Stats.CommitDurTotal; got != want {
+		t.Errorf("telemetry commit duration total = %v, legacy %v", got, want)
+	}
+
+	// Conservation: every started attempt ends in exactly one commit or
+	// one abort.
+	if col.Starts() != col.Commits()+col.TotalAborts() {
+		t.Errorf("starts %d != commits %d + aborts %d",
+			col.Starts(), col.Commits(), col.TotalAborts())
+	}
+	if s.Stats.Starts != s.Stats.Commits+s.Stats.TotalAborts() {
+		t.Errorf("legacy starts %d != commits %d + aborts %d",
+			s.Stats.Starts, s.Stats.Commits, s.Stats.TotalAborts())
+	}
+	if col.Fallbacks() != l1.Stats.Fallbacks+l2.Stats.Fallbacks {
+		t.Errorf("telemetry fallbacks = %d, legacy %d + %d",
+			col.Fallbacks(), l1.Stats.Fallbacks, l2.Stats.Fallbacks)
+	}
+
+	// Cache counters must match the legacy cache.Stats views.
+	cs := s.Cache.Stats
+	if got, want := col.RemoteCacheMisses(), cs.RemoteHits+cs.DRAMAccesses; got > want {
+		// Remote misses are remote transfers plus remote-homed DRAM
+		// fills; they can never exceed the sum of both legacy pools.
+		t.Errorf("remote cache misses = %d > legacy bound %d", got, want)
+	}
+	if got, want := col.RemoteCacheInvals(), cs.RemoteInvals; got != want {
+		t.Errorf("remote cache invals = %d, legacy %d", got, want)
+	}
+
+	// Per-lock attribution: each lock's cells (summed over sockets)
+	// must reproduce that lock's own tle.Stats.
+	for _, l := range []*Lock{l1, l2} {
+		var sum telemetry.LockCell
+		for _, ls := range col.Locks() {
+			if ls.ID == l.TelemetryID() {
+				sum = ls.Total()
+			}
+		}
+		if sum.Starts != l.Stats.Attempts {
+			t.Errorf("%s: telemetry starts = %d, tle attempts %d",
+				l.Name(), sum.Starts, l.Stats.Attempts)
+		}
+		if sum.Commits != l.Stats.Commits {
+			t.Errorf("%s: telemetry commits = %d, tle commits %d",
+				l.Name(), sum.Commits, l.Stats.Commits)
+		}
+		if sum.Fallbacks != l.Stats.Fallbacks {
+			t.Errorf("%s: telemetry fallbacks = %d, tle fallbacks %d",
+				l.Name(), sum.Fallbacks, l.Stats.Fallbacks)
+		}
+		for code, n := range l.Stats.Aborts {
+			if sum.Aborts[code] != n {
+				t.Errorf("%s: telemetry aborts[%d] = %d, tle %d",
+					l.Name(), code, sum.Aborts[code], n)
+			}
+		}
+	}
+
+	// The work must actually have contended: a quiet run would make the
+	// equalities above vacuous.
+	if col.TotalAborts() == 0 || col.Fallbacks() == 0 {
+		t.Fatalf("workload did not contend (aborts=%d fallbacks=%d); raise threads/iters",
+			col.TotalAborts(), col.Fallbacks())
+	}
+	// Every critical section completes exactly once: as a transactional
+	// commit or as a fallback acquisition.
+	if got, want := col.Commits()+col.Fallbacks(), uint64(threads*iters); got != want {
+		t.Errorf("commits %d + fallbacks %d = %d, want %d criticals",
+			col.Commits(), col.Fallbacks(), got, want)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"natle/internal/htm"
 	"natle/internal/sim"
 	"natle/internal/spinlock"
+	"natle/internal/telemetry"
 	"natle/internal/vtime"
 )
 
@@ -68,18 +69,32 @@ type Stats struct {
 }
 
 // Sub returns the counter deltas s - t.
-func (s Stats) Sub(t Stats) Stats {
-	s.Ops -= t.Ops
-	s.Attempts -= t.Attempts
-	s.Commits -= t.Commits
-	for i := range s.Aborts {
-		s.Aborts[i] -= t.Aborts[i]
+func (s Stats) Sub(t Stats) Stats { return telemetry.Sub(s, t) }
+
+// TotalAborts sums aborts over all condition codes.
+func (s *Stats) TotalAborts() uint64 {
+	var n uint64
+	for _, a := range s.Aborts {
+		n += a
 	}
-	s.Fallbacks -= t.Fallbacks
-	s.CommitsAfterNoHint -= t.CommitsAfterNoHint
-	s.LockHeldWaits -= t.LockHeldWaits
-	s.CommitsAfterCapacity -= t.CommitsAfterCapacity
-	return s
+	return n
+}
+
+// AbortRate returns aborted attempts / started attempts, 0 when no
+// attempts were made (matching htm.Stats.AbortRate's guard).
+func (s *Stats) AbortRate() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return float64(s.TotalAborts()) / float64(s.Attempts)
+}
+
+// String renders the counters compactly for logs and test failures.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"ops=%d attempts=%d commits=%d aborts=%d rate=%.1f%% fallbacks=%d lock-held-waits=%d",
+		s.Ops, s.Attempts, s.Commits, s.TotalAborts(),
+		100*s.AbortRate(), s.Fallbacks, s.LockHeldWaits)
 }
 
 // Lock is an elidable lock. It implements lock.CS.
@@ -87,6 +102,7 @@ type Lock struct {
 	sys *htm.System
 	sl  *spinlock.Lock
 	pol Policy
+	id  telemetry.LockID
 
 	Stats Stats
 }
@@ -97,8 +113,17 @@ func New(sys *htm.System, c *sim.Ctx, socket int, pol Policy) *Lock {
 	if pol.Attempts <= 0 {
 		pol.Attempts = 20
 	}
-	return &Lock{sys: sys, sl: spinlock.New(sys, c, socket), pol: pol}
+	return &Lock{
+		sys: sys,
+		sl:  spinlock.New(sys, c, socket),
+		pol: pol,
+		id:  sys.Recorder().RegisterLock(pol.Name()),
+	}
 }
+
+// TelemetryID returns the lock's id in the telemetry recorder it was
+// registered with (NoLock under the no-op recorder).
+func (l *Lock) TelemetryID() telemetry.LockID { return l.id }
 
 // Name implements lock.CS.
 func (l *Lock) Name() string { return l.pol.Name() }
@@ -110,6 +135,7 @@ func (l *Lock) Inner() *spinlock.Lock { return l.sl }
 // Policy.Attempts transactions and falls back to acquiring it.
 func (l *Lock) Critical(c *sim.Ctx, body func()) {
 	l.Stats.Ops++
+	l.sys.SetLockTag(c, l.id)
 	attempts := 0
 	hadNoHint := false
 	hadCapacity := false
@@ -166,6 +192,9 @@ func (l *Lock) Critical(c *sim.Ctx, body func()) {
 	}
 	l.Stats.Fallbacks++
 	l.sl.Acquire(c)
+	acquiredAt := c.Now()
 	body()
 	l.sl.Release(c)
+	l.sys.Recorder().Fallback(c.Now(), l.sys.Slot(c), c.Socket(), l.id,
+		c.Now().Sub(acquiredAt))
 }

@@ -19,6 +19,7 @@ import (
 	"natle/internal/sets"
 	"natle/internal/sim"
 	"natle/internal/spinlock"
+	"natle/internal/telemetry"
 	"natle/internal/tle"
 	"natle/internal/vtime"
 )
@@ -67,6 +68,11 @@ type Config struct {
 
 	// MemWords pre-sizes the simulated memory (grown on demand).
 	MemWords int
+
+	// Recorder, if non-nil, receives the trial's telemetry events
+	// (transaction lifecycle, fallbacks, throttle waits, cache traffic).
+	// Nil keeps the no-op recorder, so instrumented layers cost nothing.
+	Recorder telemetry.Recorder
 }
 
 func (cfg *Config) defaults() {
@@ -115,6 +121,11 @@ type Result struct {
 	Cache cache.Stats // coherence counters
 
 	Timeline []natle.ModeSample // NATLE profiling decisions (if used)
+
+	// Telemetry is the recorder's whole-trial roll-up when
+	// Config.Recorder is a *telemetry.Collector (nil otherwise). Unlike
+	// the windowed deltas above it also covers warmup and prefill.
+	Telemetry *telemetry.Summary
 }
 
 // Throughput returns operations per virtual second.
@@ -147,6 +158,11 @@ func Run(cfg Config) *Result {
 	cfg.defaults()
 	e := sim.New(cfg.Prof, cfg.Pin, cfg.Threads, cfg.Seed)
 	sys := newSystem(e, cfg)
+	if cfg.Recorder != nil {
+		// Installed before any locks exist so their RegisterLock calls
+		// land in this recorder.
+		sys.SetRecorder(cfg.Recorder)
+	}
 	res := &Result{Config: cfg}
 
 	e.Spawn(nil, func(c *sim.Ctx) {
@@ -212,7 +228,7 @@ func Run(cfg Config) *Result {
 
 		res.Duration = cfg.Duration
 		res.HTM = sys.Stats.Sub(htmBefore)
-		res.Cache = subCache(sys.Cache.Stats, cacheBefore)
+		res.Cache = sys.Cache.Stats.Sub(cacheBefore)
 		if tleLock != nil {
 			res.TLE = tleLock.Stats.Sub(tleBefore)
 		}
@@ -221,6 +237,10 @@ func Run(cfg Config) *Result {
 		}
 	})
 	e.Run()
+	if col, ok := cfg.Recorder.(*telemetry.Collector); ok {
+		sum := col.Summary()
+		res.Telemetry = &sum
+	}
 	return res
 }
 
@@ -258,14 +278,4 @@ func runWorker(w *sim.Ctx, cfg Config, set sets.Set, cs lock.CS,
 	for i, n := range countedSock {
 		res.PerSock[i] += n
 	}
-}
-
-func subCache(a, b cache.Stats) cache.Stats {
-	a.L1Hits -= b.L1Hits
-	a.L3Hits -= b.L3Hits
-	a.RemoteHits -= b.RemoteHits
-	a.DRAMAccesses -= b.DRAMAccesses
-	a.RemoteInvals -= b.RemoteInvals
-	a.LocalInvals -= b.LocalInvals
-	return a
 }

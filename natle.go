@@ -51,6 +51,7 @@ import (
 	"natle/internal/sim"
 	"natle/internal/spinlock"
 	"natle/internal/stamp"
+	"natle/internal/telemetry"
 	"natle/internal/tle"
 	"natle/internal/vtime"
 	"natle/internal/workload"
@@ -118,6 +119,17 @@ type (
 	ParaheapResult = paraheap.Result
 	// CohortLock is the NUMA-aware cohort-lock baseline (extension).
 	CohortLock = cohort.Lock
+	// TelemetryRecorder receives transaction lifecycle, fallback,
+	// throttle-wait, and cache events (see internal/telemetry).
+	TelemetryRecorder = telemetry.Recorder
+	// TelemetryCollector aggregates telemetry into counters, latency
+	// histograms, per-lock × per-socket attribution, and an optional
+	// bounded event trace.
+	TelemetryCollector = telemetry.Collector
+	// TelemetryConfig sizes a TelemetryCollector.
+	TelemetryConfig = telemetry.Config
+	// TelemetrySummary is a collector's exportable roll-up.
+	TelemetrySummary = telemetry.Summary
 )
 
 // STAMPConfig configures one STAMP benchmark run by name.
@@ -256,6 +268,12 @@ func PrefillSet(set Set, c *Thread, keyRange int64) { sets.Prefill(set, c, keyRa
 
 // RunWorkload executes one microbenchmark trial (see WorkloadConfig).
 func RunWorkload(cfg WorkloadConfig) *WorkloadResult { return workload.Run(cfg) }
+
+// NewTelemetryCollector allocates a telemetry collector; assign it to
+// WorkloadConfig.Recorder (or HTM.SetRecorder) to record a trial.
+func NewTelemetryCollector(cfg TelemetryConfig) *TelemetryCollector {
+	return telemetry.NewCollector(cfg)
+}
 
 // RunTwoTrees executes the Fig 16 two-tree experiment.
 func RunTwoTrees(cfg TwoTreesConfig) *TwoTreesResult { return workload.RunTwoTrees(cfg) }
