@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench figures clean
+.PHONY: all build test vet lint race check bench figures clean
 
 all: build
 
@@ -13,14 +13,21 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint fails on unformatted files (gofmt -l output is non-empty) and
+# on vet findings.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
 race:
 	$(GO) test -race ./...
 
-# The full gate: everything must build, vet clean, and pass under the
-# race detector.
+# The full gate: everything must build, lint clean (gofmt + vet), and
+# pass under the race detector.
 check:
 	$(GO) build ./...
-	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) test -race ./...
 
 bench:

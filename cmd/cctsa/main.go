@@ -9,15 +9,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"natle/internal/cctsa"
 	"natle/internal/machine"
+	"natle/internal/scheme"
 )
 
 func main() {
 	var (
 		threads  = flag.Int("threads", 1, "worker threads")
-		lockK    = flag.String("lock", "tle", "lock: tle | natle")
+		lockK    = flag.String("lock", "tle", "lock: "+scheme.FlagHelp())
 		genome   = flag.Int("genome", 1<<15, "genome length in bases")
 		coverage = flag.Int("coverage", 6, "read coverage")
 		pin      = flag.Bool("pin", true, "pin threads (fill-socket-first)")
@@ -25,6 +27,10 @@ func main() {
 		timeline = flag.Bool("timeline", false, "print per-cycle socket-0 share (Fig 18b)")
 	)
 	flag.Parse()
+	if _, err := scheme.Lookup(*lockK); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cfg := cctsa.DefaultConfig()
 	cfg.GenomeLen = *genome
 	cfg.Coverage = *coverage
@@ -38,7 +44,7 @@ func main() {
 	fmt.Printf("threads=%d lock=%s runtime=%v contigs=%d assembled=%d kmers=%d aborts=%d\n",
 		r.Threads, *lockK, r.Runtime, r.Contigs, r.Assembled, r.KmersSeen, r.HTM.TotalAborts())
 	if *timeline {
-		for _, m := range r.Timeline {
+		for _, m := range r.Sync.Timeline {
 			fmt.Printf("cycle %3d: socket0-share=%.2f fastest-mode=%d\n",
 				m.Cycle, m.Socket0Share, m.FastestMode)
 		}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"natle/internal/machine"
+	"natle/internal/scheme"
 	"natle/internal/sets"
 	"natle/internal/telemetry"
 	"natle/internal/tle"
@@ -30,7 +31,7 @@ func main() {
 		keys      = flag.Int64("keys", 2048, "key range [0, keys)")
 		updates   = flag.Int("updates", 100, "update percentage")
 		extWork   = flag.Int("work", 0, "external work max iterations")
-		lockKind  = flag.String("lock", "tle", "lock: tle | natle | lock | cohort | none")
+		lockKind  = flag.String("lock", "tle", "lock: "+scheme.FlagHelp())
 		attempts  = flag.Int("attempts", 20, "TLE transactional attempts")
 		honorHint = flag.Bool("hint", false, "fall back immediately when the hint bit is clear")
 		countLock = flag.Bool("countlock", false, "count lock-held attempts (disables anti-lemming)")
@@ -45,6 +46,10 @@ func main() {
 		telem     = flag.Bool("telemetry", false, "print the per-trial telemetry summary")
 	)
 	flag.Parse()
+	if _, err := scheme.Lookup(*lockKind); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	p := machine.LargeX52()
 	if *prof == "small" {
@@ -137,7 +142,7 @@ func main() {
 			n, r.Throughput(), r.Throughput()/base,
 			100*r.HTM.AbortRate(),
 			r.HTM.Aborts[1], r.HTM.Aborts[2], r.HTM.Aborts[4],
-			r.TLE.Fallbacks)
+			r.Sync.TLE.Fallbacks)
 		if col == nil {
 			continue
 		}

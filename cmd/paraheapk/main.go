@@ -9,21 +9,27 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"natle/internal/machine"
 	"natle/internal/paraheap"
+	"natle/internal/scheme"
 )
 
 func main() {
 	var (
 		threads = flag.Int("threads", 1, "worker threads per phase")
-		lockK   = flag.String("lock", "tle", "lock: tle | natle")
+		lockK   = flag.String("lock", "tle", "lock: "+scheme.FlagHelp())
 		points  = flag.Int("points", 6144, "data points")
 		k       = flag.Int("k", 8, "clusters")
 		pin     = flag.Bool("pin", true, "pin threads (fill-socket-first)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
+	if _, err := scheme.Lookup(*lockK); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cfg := paraheap.DefaultConfig()
 	cfg.Points = *points
 	cfg.K = *k

@@ -12,6 +12,7 @@ import (
 	"os"
 	"strings"
 
+	"natle/internal/scheme"
 	"natle/internal/stamp"
 	"natle/internal/vtime"
 )
@@ -20,11 +21,15 @@ func main() {
 	var (
 		bench   = flag.String("bench", "", "benchmark name (or 'all'); see -list")
 		threads = flag.Int("threads", 1, "worker threads")
-		lockK   = flag.String("lock", "tle", "lock: tle | natle")
+		lockK   = flag.String("lock", "tle", "lock: "+scheme.FlagHelp())
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
+	if _, err := scheme.Lookup(*lockK); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *list {
 		fmt.Println(strings.Join(stamp.Names(), "\n"))
 		return
@@ -47,6 +52,6 @@ func main() {
 		r := stamp.Run(b, stamp.Config{Threads: *threads, Seed: *seed, Lock: *lockK})
 		fmt.Printf("%-14s %8d %12v %10d %10d %10d\n",
 			name, *threads, vtime.Duration(r.Runtime),
-			r.HTM.Commits, r.HTM.TotalAborts(), r.TLE.Fallbacks)
+			r.HTM.Commits, r.HTM.TotalAborts(), r.Sync.TLE.Fallbacks)
 	}
 }

@@ -44,7 +44,7 @@ func ExampleRunWorkload() {
 		Duration:  100 * natle.Microsecond,
 		Warmup:    50 * natle.Microsecond,
 	})
-	fmt.Println("elided:", r.HTM.Commits > 0, "fallbacks-bounded:", r.TLE.Fallbacks < r.TLE.Ops)
+	fmt.Println("elided:", r.HTM.Commits > 0, "fallbacks-bounded:", r.Sync.TLE.Fallbacks < r.Sync.TLE.Ops)
 	// Output: elided: true fallbacks-bounded: true
 }
 

@@ -32,8 +32,8 @@ func main() {
 			fmt.Printf("  %2d threads: combined %10.0f ops/s (updates %10.0f, searches %10.0f)\n",
 				threads, r.CombinedThroughput(), r.UpdateThroughput(), r.SearchThroughput())
 			if lk == natle.LockNATLE && threads == 72 {
-				printDecisions("update tree", r.UpdateTimeline)
-				printDecisions("search tree", r.SearchTimeline)
+				printDecisions("update tree", r.UpdateSync.Timeline)
+				printDecisions("search tree", r.SearchSync.Timeline)
 			}
 		}
 	}

@@ -21,9 +21,9 @@ import (
 	"natle/internal/lock"
 	"natle/internal/machine"
 	"natle/internal/natle"
+	"natle/internal/scheme"
 	"natle/internal/sim"
 	"natle/internal/simmap"
-	"natle/internal/tle"
 	"natle/internal/vtime"
 )
 
@@ -39,7 +39,7 @@ type Config struct {
 	Threads int
 	Seed    int64
 
-	Lock  string        // "tle" or "natle"
+	Lock  string        // any scheme.Names() entry; "" = "tle"
 	NATLE *natle.Config // nil = natle.DefaultConfig
 }
 
@@ -61,9 +61,8 @@ type Result struct {
 	Assembled int // bases covered by the assembled contigs
 	KmersSeen uint64
 
-	HTM      htm.Stats
-	TLE      tle.Stats
-	Timeline []natle.ModeSample // per-cycle NATLE decisions (Fig 18b)
+	HTM  htm.Stats
+	Sync scheme.Stats // uniform scheme counters (TLE, timeline, extras)
 }
 
 // Run generates the synthetic reads and assembles them.
@@ -84,23 +83,22 @@ func Run(cfg Config) *Result {
 	if cfg.Threads <= 0 {
 		cfg.Threads = 1
 	}
+	if cfg.Lock == "" {
+		cfg.Lock = "tle"
+	}
+	desc, err := scheme.Lookup(cfg.Lock)
+	if err != nil {
+		panic(fmt.Sprintf("cctsa: %v", err))
+	}
+	desc = desc.Configure(scheme.Options{NATLE: cfg.NATLE})
 	e := sim.New(cfg.Prof, cfg.Pin, cfg.Threads, cfg.Seed)
 	sys := htm.NewSystem(e, 1<<22)
 	res := &Result{Threads: cfg.Threads}
 
 	e.Spawn(nil, func(c *sim.Ctx) {
 		a := newAssembler(cfg, sys, c)
-		inner := tle.New(sys, c, 0, tle.TLE20())
-		var cs lock.CS = inner
-		var nl *natle.Lock
-		if cfg.Lock == "natle" {
-			ncfg := natle.DefaultConfig()
-			if cfg.NATLE != nil {
-				ncfg = *cfg.NATLE
-			}
-			nl = natle.New(sys, c, inner, ncfg)
-			cs = nl
-		}
+		// The single lock protecting the shared subsequence map.
+		cs := desc.New(sys, c, 0)
 		started := false
 		var start, finish vtime.Time
 		done := 0
@@ -131,10 +129,7 @@ func Run(cfg Config) *Result {
 		res.Contigs, res.Assembled = a.contigs, a.assembled
 		res.KmersSeen = a.kmersSeen
 		res.HTM = sys.Stats
-		res.TLE = inner.Stats
-		if nl != nil {
-			res.Timeline = nl.Timeline
-		}
+		res.Sync = cs.Stats()
 		if err := a.validate(); err != nil {
 			panic(fmt.Sprintf("cctsa: validation failed: %v", err))
 		}

@@ -64,10 +64,10 @@ func TestNATLEProducesTimeline(t *testing.T) {
 	n.WarmupThreshold = 32
 	cfg.NATLE = &n
 	r := Run(cfg)
-	if len(r.Timeline) == 0 {
+	if len(r.Sync.Timeline) == 0 {
 		t.Error("NATLE recorded no cycles (run too short for the configured cycle length?)")
 	}
-	for _, m := range r.Timeline {
+	for _, m := range r.Sync.Timeline {
 		if m.Socket0Share < 0 || m.Socket0Share > 1 {
 			t.Errorf("socket-0 share %v out of [0,1]", m.Socket0Share)
 		}

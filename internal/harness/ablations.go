@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"natle/internal/machine"
+	"natle/internal/scheme"
 	"natle/internal/vtime"
 	"natle/internal/workload"
 )
@@ -151,11 +152,15 @@ func AblationAdaptiveProfiling(sc Scale) *Figure {
 }
 
 // LocksTable is an extension comparison beyond the paper's figures:
-// plain spin lock, NUMA-aware cohort lock, TLE, and NATLE on the
-// 100%-update AVL workload. It situates NATLE against the concurrency-
-// restriction technique the paper's related work identifies as closest
-// (cohort locks throttle remote threads at lock granularity; NATLE at
-// socket-schedule granularity, while keeping elision).
+// every registered synchronization scheme on the 100%-update AVL
+// workload. It situates NATLE against the concurrency-restriction
+// technique the paper's related work identifies as closest (cohort
+// locks throttle remote threads at lock granularity; NATLE at
+// socket-schedule granularity, while keeping elision). The sweep
+// iterates the scheme registry, so a scheme registered tomorrow shows
+// up here with no edit; entries without mutual exclusion ("none"
+// would corrupt the shared set) or without guaranteed completion
+// ("htm-raw" has no capacity fallback) are skipped.
 func LocksTable(sc Scale) *Figure {
 	f := &Figure{
 		ID:     "locks",
@@ -163,12 +168,13 @@ func LocksTable(sc Scale) *Figure {
 		XLabel: "threads",
 		YLabel: "ops/s",
 	}
-	for _, lk := range []workload.LockKind{
-		workload.LockPlain, workload.LockCohort, workload.LockTLE, workload.LockNATLE,
-	} {
+	for _, d := range scheme.All() {
+		if !d.Mutex || !d.Robust {
+			continue
+		}
 		for _, n := range sc.LargeThreads {
-			r := sc.run(workload.Config{Threads: n, UpdatePct: 100, KeyRange: 2048, Lock: lk})
-			f.Add(string(lk), float64(n), r.Throughput())
+			r := sc.run(workload.Config{Threads: n, UpdatePct: 100, KeyRange: 2048, Lock: workload.LockKind(d.Name)})
+			f.Add(d.Name, float64(n), r.Throughput())
 		}
 	}
 	return f

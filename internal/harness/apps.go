@@ -121,7 +121,7 @@ func Fig18b(sc Scale) *Figure {
 	ncfg := appNATLE(sc)
 	cfg.NATLE = &ncfg
 	r := cctsa.Run(cfg)
-	for _, m := range r.Timeline {
+	for _, m := range r.Sync.Timeline {
 		f.Add("socket-0 share", float64(m.Cycle), m.Socket0Share)
 	}
 	return f

@@ -112,8 +112,8 @@ func Fig02b(sc Scale) *Figure {
 			Threads: n, UpdatePct: 100, KeyRange: 131072, MemWords: 1 << 22,
 		})
 		pct := 0.0
-		if r.TLE.Commits > 0 {
-			pct = 100 * float64(r.TLE.CommitsAfterNoHint) / float64(r.TLE.Commits)
+		if r.Sync.TLE.Commits > 0 {
+			pct = 100 * float64(r.Sync.TLE.CommitsAfterNoHint) / float64(r.Sync.TLE.Commits)
 		}
 		f.Add("TLE-20", float64(n), pct)
 	}
@@ -181,14 +181,14 @@ func Fig05(sc Scale) *Figure {
 	}
 	for _, n := range sc.LargeThreads {
 		r := sc.run(workload.Config{Threads: n, KeyRange: 4096, SearchReplace: true})
-		at := float64(r.TLE.Attempts)
+		at := float64(r.Sync.TLE.Attempts)
 		if at == 0 {
 			continue
 		}
 		f.Add("total", float64(n), 100*float64(r.HTM.TotalAborts())/at)
-		f.Add("conflict", float64(n), 100*float64(r.TLE.Aborts[1])/at)
-		f.Add("capacity", float64(n), 100*float64(r.TLE.Aborts[2])/at)
-		f.Add("lock-held", float64(n), 100*float64(r.TLE.Aborts[4])/at)
+		f.Add("conflict", float64(n), 100*float64(r.Sync.TLE.Aborts[1])/at)
+		f.Add("capacity", float64(n), 100*float64(r.Sync.TLE.Aborts[2])/at)
+		f.Add("lock-held", float64(n), 100*float64(r.Sync.TLE.Aborts[4])/at)
 	}
 	return f
 }

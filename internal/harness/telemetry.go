@@ -31,7 +31,7 @@ func TelemetryTable(sc Scale) *Figure {
 		})
 		sum := col.Summary()
 		f.Add("abort%", float64(n), 100*sum.AbortRate)
-		f.Add("fallback/op", float64(n), safeDiv(float64(sum.Fallbacks), float64(r.TLE.Ops)))
+		f.Add("fallback/op", float64(n), safeDiv(float64(sum.Fallbacks), float64(r.Sync.TLE.Ops)))
 		f.Add("rmiss/commit", float64(n), safeDiv(float64(sum.RemoteCacheMisses), float64(sum.Commits)))
 		f.Add("commit-p99[ns]", float64(n), sum.CommitLatency.P99Ns)
 		f.Add("abortgap-p50[ns]", float64(n), sum.AbortGap.P50Ns)

@@ -25,12 +25,11 @@ import (
 	"math"
 
 	"natle/internal/htm"
-	"natle/internal/lock"
 	"natle/internal/machine"
 	"natle/internal/mem"
 	"natle/internal/natle"
+	"natle/internal/scheme"
 	"natle/internal/sim"
-	"natle/internal/tle"
 	"natle/internal/vtime"
 )
 
@@ -47,7 +46,7 @@ type Config struct {
 	Threads int
 	Seed    int64
 
-	Lock  string // "tle" or "natle"
+	Lock  string // any scheme.Names() entry; "" = "tle"
 	NATLE *natle.Config
 }
 
@@ -68,7 +67,7 @@ type Result struct {
 	Runtime    vtime.Duration // data-processing time only
 	Iterations int
 	HTM        htm.Stats
-	Timelines  [][]natle.ModeSample // per-lock NATLE decisions
+	Locks      []scheme.Stats // per-lock scheme counters (7 entries)
 }
 
 const heapCap = 64 // top-distance outlier heap capacity
@@ -102,8 +101,8 @@ func Run(cfg Config) *Result {
 		res.Runtime = c.Now().Sub(start)
 		res.Iterations = p.iters
 		res.HTM = sys.Stats
-		for _, l := range p.natleLocks {
-			res.Timelines = append(res.Timelines, l.Timeline)
+		for _, l := range p.locks {
+			res.Locks = append(res.Locks, l.Stats())
 		}
 		if err := p.validate(); err != nil {
 			panic(fmt.Sprintf("paraheap: validation failed: %v", err))
@@ -126,8 +125,7 @@ type program struct {
 	// Outlier heap: [size, (distBits, point) pairs...].
 	heap mem.Addr
 
-	locks      [7]lock.CS
-	natleLocks []*natle.Lock
+	locks [7]scheme.Instance
 
 	iters     int
 	processed uint64
@@ -160,19 +158,19 @@ func newProgram(cfg Config, sys *htm.System, c *sim.Ctx) *program {
 			sys.Mem.SetRaw(p.centroids+mem.Addr(j*cfg.Dims+d), f2w(v))
 		}
 	}
+	name := cfg.Lock
+	if name == "" {
+		name = "tle"
+	}
+	desc, err := scheme.Lookup(name)
+	if err != nil {
+		panic(fmt.Sprintf("paraheap: %v", err))
+	}
+	desc = desc.Configure(scheme.Options{NATLE: cfg.NATLE})
+	// Each counter group and the heap has its own lock (the multi-lock
+	// structure that makes this an interesting NATLE case).
 	for i := range p.locks {
-		inner := tle.New(sys, c, 0, tle.TLE20())
-		if cfg.Lock == "natle" {
-			ncfg := natle.DefaultConfig()
-			if cfg.NATLE != nil {
-				ncfg = *cfg.NATLE
-			}
-			nl := natle.New(sys, c, inner, ncfg)
-			p.locks[i] = nl
-			p.natleLocks = append(p.natleLocks, nl)
-		} else {
-			p.locks[i] = inner
-		}
+		p.locks[i] = desc.New(sys, c, 0)
 	}
 	return p
 }

@@ -48,8 +48,17 @@ func TestNATLEUsesMultipleLocks(t *testing.T) {
 	n.QuantumLen = 30 * vtime.Microsecond
 	cfg.NATLE = &n
 	r := Run(cfg)
-	if len(r.Timelines) != 7 {
-		t.Errorf("expected 7 per-lock timelines, got %d", len(r.Timelines))
+	if len(r.Locks) != 7 {
+		t.Fatalf("expected 7 per-lock stats, got %d", len(r.Locks))
+	}
+	withTimeline := 0
+	for _, l := range r.Locks {
+		if len(l.Timeline) > 0 {
+			withTimeline++
+		}
+	}
+	if withTimeline == 0 {
+		t.Error("no lock recorded any NATLE cycles")
 	}
 }
 

@@ -1,0 +1,24 @@
+package scheme
+
+import (
+	"natle/internal/htm"
+	"natle/internal/lock"
+	"natle/internal/sim"
+)
+
+// htm-raw runs every critical section as a best-effort hardware
+// transaction with bounded retry and no lock fallback (lock.Atomic).
+// It is not robust: a critical section that exceeds the transactional
+// capacity can never complete, so sweeps over arbitrary workloads
+// should filter on Descriptor.Robust.
+func init() {
+	Register(&Descriptor{
+		Name:    "htm-raw",
+		Summary: "raw best-effort transactions, bounded retry, no lock fallback",
+		Mutex:   true,
+		Robust:  false,
+		Make: func(sys *htm.System, _ *sim.Ctx, _ int, opt Options) Instance {
+			return statless{lock.Atomic{Sys: sys, Attempts: opt.Attempts}}
+		},
+	})
+}

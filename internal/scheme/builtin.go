@@ -1,0 +1,66 @@
+package scheme
+
+import (
+	"natle/internal/cohort"
+	"natle/internal/htm"
+	"natle/internal/lock"
+	"natle/internal/natle"
+	"natle/internal/sim"
+	"natle/internal/spinlock"
+	"natle/internal/tle"
+)
+
+// The core schemes of the paper's evaluation. Extensions live in their
+// own files (tlehint.go, atomic.go) to demonstrate that a new scheme
+// is one file in this package and nothing else.
+func init() {
+	Register(&Descriptor{
+		Name:    "lock",
+		Summary: "plain test-and-test-and-set spin lock, never elided",
+		Mutex:   true,
+		Robust:  true,
+		Make: func(sys *htm.System, c *sim.Ctx, socket int, _ Options) Instance {
+			return statless{lock.Plain{L: spinlock.New(sys, c, socket)}}
+		},
+	})
+	Register(&Descriptor{
+		Name:    "tle",
+		Summary: "transactional lock elision (paper Section 3; default policy TLE-20)",
+		Mutex:   true,
+		Robust:  true,
+		Make: func(sys *htm.System, c *sim.Ctx, socket int, opt Options) Instance {
+			return tleInstance{tle.New(sys, c, socket, resolveTLE(opt.TLE))}
+		},
+	})
+	Register(&Descriptor{
+		Name:    "natle",
+		Summary: "NUMA-aware TLE: per-lock adaptive socket throttling (paper Section 4)",
+		Mutex:   true,
+		Robust:  true,
+		Make: func(sys *htm.System, c *sim.Ctx, socket int, opt Options) Instance {
+			inner := tle.New(sys, c, socket, resolveTLE(opt.TLE))
+			return natleInstance{
+				Lock:  natle.New(sys, c, inner, ResolveNATLE(opt.NATLE)),
+				inner: inner,
+			}
+		},
+	})
+	Register(&Descriptor{
+		Name:    "cohort",
+		Summary: "NUMA-aware cohort lock, no elision (related-work baseline)",
+		Mutex:   true,
+		Robust:  true,
+		Make: func(sys *htm.System, c *sim.Ctx, _ int, _ Options) Instance {
+			return statless{cohort.New(sys, c, 0)}
+		},
+	})
+	Register(&Descriptor{
+		Name:    "none",
+		Summary: "no synchronization (Fig 4 baseline; read-only/benign races only)",
+		Mutex:   false,
+		Robust:  true,
+		Make: func(_ *htm.System, _ *sim.Ctx, _ int, _ Options) Instance {
+			return statless{lock.NoSync{}}
+		},
+	})
+}

@@ -1,0 +1,226 @@
+// Package scheme is the synchronization-scheme registry: one
+// descriptor per scheme (plain locking, TLE, NATLE, the cohort lock,
+// raw HTM, the unsynchronized baseline, and any future variants), each
+// bundling the scheme's name, its tunable options, a factory building
+// a ready-to-use critical-section executor, and a uniform statistics
+// facade.
+//
+// The paper's central claim is that TLE and NATLE are drop-in lock
+// replacements; this package is that claim expressed as architecture.
+// Every workload layer (the microbenchmark driver, the two-tree
+// experiment, STAMP, ccTSA, paraheap-k) and every binary constructs
+// its synchronization through the registry, so adding a scheme variant
+// is one new file in this package — no call-site edits anywhere.
+package scheme
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"natle/internal/htm"
+	"natle/internal/lock"
+	"natle/internal/natle"
+	"natle/internal/sim"
+	"natle/internal/tle"
+)
+
+// Options carries the tunables a trial may override on a scheme. The
+// zero value selects each scheme's defaults; descriptors may bake
+// their own base options in (see Descriptor.Opt and Configure).
+type Options struct {
+	// TLE is the retry policy for elision-based schemes (zero value
+	// selects tle.TLE20()). Schemes with a fixed identity (e.g.
+	// tle-hint) may force individual policy bits regardless.
+	TLE tle.Policy
+	// NATLE tunes the adaptive throttling cycle (nil selects
+	// natle.DefaultConfig(); see ResolveNATLE).
+	NATLE *natle.Config
+	// Attempts bounds the raw-HTM scheme's retry loop (0 = its
+	// default). Ignored by lock-based schemes, whose attempt count is
+	// TLE.Attempts.
+	Attempts int
+}
+
+// Stats is the uniform scheme-counter snapshot: every scheme reports
+// through this one shape, so results no longer special-case TLE
+// counters or NATLE timelines per scheme.
+type Stats struct {
+	// TLE holds the elision counters (zero for schemes that never
+	// elide: plain, cohort, none, raw HTM).
+	TLE tle.Stats
+	// Timeline records adaptive-mode decisions (nil for schemes
+	// without profiling).
+	Timeline []natle.ModeSample
+	// Extra carries scheme-private counters keyed by name (nil when a
+	// scheme has none).
+	Extra map[string]uint64
+}
+
+// Sub returns the counter deltas s - t for windowed measurement. The
+// timeline is taken from s (decisions accumulate; they are not
+// meaningfully subtractable).
+func (s Stats) Sub(t Stats) Stats {
+	d := Stats{TLE: s.TLE.Sub(t.TLE), Timeline: s.Timeline}
+	if s.Extra != nil {
+		d.Extra = make(map[string]uint64, len(s.Extra))
+		for k, v := range s.Extra {
+			d.Extra[k] = v - t.Extra[k]
+		}
+	}
+	return d
+}
+
+// Instance is a constructed scheme: a critical-section executor plus
+// the uniform stats facade. Snapshot/delta measurement is
+// inst.Stats() before the window and inst.Stats().Sub(before) after.
+type Instance interface {
+	lock.CS
+	// Stats returns the cumulative counters since construction.
+	Stats() Stats
+}
+
+// Descriptor is one registry entry.
+type Descriptor struct {
+	// Name is the registry key and the value accepted by the tools'
+	// -lock flags.
+	Name string
+	// Summary is the one-line description used in generated help text
+	// and documentation.
+	Summary string
+	// Opt is the descriptor's base options; Configure merges trial
+	// overrides on top.
+	Opt Options
+	// Mutex reports whether the scheme provides mutual exclusion
+	// (false only for the unsynchronized baseline).
+	Mutex bool
+	// Robust reports whether every critical section eventually
+	// completes regardless of its footprint (false for raw HTM, which
+	// has no fallback for capacity-bound sections).
+	Robust bool
+	// Make builds an instance whose lock word (if any) is homed on the
+	// given socket.
+	Make func(sys *htm.System, c *sim.Ctx, socket int, opt Options) Instance
+}
+
+// New builds an instance with the descriptor's options.
+func (d *Descriptor) New(sys *htm.System, c *sim.Ctx, socket int) Instance {
+	return d.Make(sys, c, socket, d.Opt)
+}
+
+// Configure returns a copy of the descriptor with the non-zero fields
+// of opt overriding its base options.
+func (d *Descriptor) Configure(opt Options) *Descriptor {
+	nd := *d
+	if opt.TLE != (tle.Policy{}) {
+		nd.Opt.TLE = opt.TLE
+	}
+	if opt.NATLE != nil {
+		nd.Opt.NATLE = opt.NATLE
+	}
+	if opt.Attempts != 0 {
+		nd.Opt.Attempts = opt.Attempts
+	}
+	return &nd
+}
+
+// registry holds the descriptors by name. Registration happens in
+// package init functions, so the map is read-only afterwards.
+var registry = map[string]*Descriptor{}
+
+// Register adds a descriptor. It panics on a duplicate or empty name
+// (registration is programmer-controlled, at init time).
+func Register(d *Descriptor) {
+	if d.Name == "" {
+		panic("scheme: Register with empty name")
+	}
+	if d.Make == nil {
+		panic("scheme: Register " + d.Name + " with nil factory")
+	}
+	if _, dup := registry[d.Name]; dup {
+		panic("scheme: duplicate registration of " + d.Name)
+	}
+	registry[d.Name] = d
+}
+
+// Lookup returns the descriptor for name. The error lists the valid
+// names, so flag parsing can surface it directly.
+func Lookup(name string) (*Descriptor, error) {
+	if d, ok := registry[name]; ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("scheme: unknown scheme %q (have %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// Names returns the registered scheme names, sorted.
+func Names() []string {
+	n := make([]string, 0, len(registry))
+	for name := range registry {
+		n = append(n, name)
+	}
+	sort.Strings(n)
+	return n
+}
+
+// All returns the descriptors in Names() order.
+func All() []*Descriptor {
+	var ds []*Descriptor
+	for _, n := range Names() {
+		ds = append(ds, registry[n])
+	}
+	return ds
+}
+
+// FlagHelp renders the accepted -lock values for flag usage strings.
+func FlagHelp() string { return strings.Join(Names(), " | ") }
+
+// Help renders one "name: summary" line per scheme (for docs and
+// extended help output).
+func Help() string {
+	var b strings.Builder
+	for _, d := range All() {
+		fmt.Fprintf(&b, "%-10s %s\n", d.Name, d.Summary)
+	}
+	return b.String()
+}
+
+// ResolveNATLE is the single copy of the config-defaulting fallback
+// that every layer used to hand-roll: nil selects the default cycle.
+func ResolveNATLE(cfg *natle.Config) natle.Config {
+	if cfg == nil {
+		return natle.DefaultConfig()
+	}
+	return *cfg
+}
+
+// resolveTLE defaults a zero policy to the paper's TLE-20.
+func resolveTLE(p tle.Policy) tle.Policy {
+	if p == (tle.Policy{}) {
+		return tle.TLE20()
+	}
+	return p
+}
+
+// tleInstance adapts *tle.Lock to the stats facade.
+type tleInstance struct{ *tle.Lock }
+
+func (t tleInstance) Stats() Stats { return Stats{TLE: t.Lock.Stats} }
+
+// natleInstance adapts *natle.Lock (with its inner TLE lock) to the
+// stats facade.
+type natleInstance struct {
+	*natle.Lock
+	inner *tle.Lock
+}
+
+func (n natleInstance) Stats() Stats {
+	return Stats{TLE: n.inner.Stats, Timeline: n.Lock.Timeline}
+}
+
+// statless adapts schemes without counters of their own (plain,
+// cohort, none, raw HTM); their transactional activity, if any, is
+// visible in htm.Stats and the telemetry recorder.
+type statless struct{ lock.CS }
+
+func (statless) Stats() Stats { return Stats{} }

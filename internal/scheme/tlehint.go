@@ -1,0 +1,28 @@
+package scheme
+
+import (
+	"natle/internal/htm"
+	"natle/internal/sim"
+	"natle/internal/tle"
+)
+
+// tle-hint is hint-bit-honoring TLE: fall back to the lock immediately
+// when a transaction aborts with the hardware hint bit clear — the
+// "optimization" common on small machines that the paper's Figure 2
+// shows to be harmful on large ones (the hint bit lies under
+// hyperthreading and transient evictions). Registered as a first-class
+// scheme so sweeps can compare it everywhere, not only through
+// htmbench's -hint flag.
+func init() {
+	Register(&Descriptor{
+		Name:    "tle-hint",
+		Summary: "TLE that falls back immediately on a hint-clear abort (Fig 2 policy)",
+		Mutex:   true,
+		Robust:  true,
+		Make: func(sys *htm.System, c *sim.Ctx, socket int, opt Options) Instance {
+			pol := resolveTLE(opt.TLE)
+			pol.HonorHint = true // the scheme's identity, whatever the base policy
+			return tleInstance{tle.New(sys, c, socket, pol)}
+		},
+	})
+}

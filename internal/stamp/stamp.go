@@ -19,6 +19,7 @@ import (
 	"natle/internal/lock"
 	"natle/internal/machine"
 	"natle/internal/natle"
+	"natle/internal/scheme"
 	"natle/internal/sim"
 	"natle/internal/tle"
 	"natle/internal/vtime"
@@ -118,7 +119,7 @@ type Config struct {
 	Threads int
 	Seed    int64
 
-	Lock  string        // "tle" or "natle"
+	Lock  string        // any scheme.Names() entry; "" = "tle"
 	TLE   tle.Policy    // inner policy (default TLE-20)
 	NATLE *natle.Config // nil = natle.DefaultConfig
 }
@@ -132,8 +133,7 @@ type Result struct {
 	Threads   int
 	Runtime   vtime.Duration
 	HTM       htm.Stats
-	TLE       tle.Stats
-	Timeline  []natle.ModeSample
+	Sync      scheme.Stats // uniform scheme counters (TLE, timeline, extras)
 }
 
 // Barrier is a simple sense-reversing barrier for simulated threads
@@ -175,23 +175,22 @@ func Run(b Benchmark, cfg Config) *Result {
 	if cfg.TLE.Attempts == 0 {
 		cfg.TLE = tle.TLE20()
 	}
+	if cfg.Lock == "" {
+		cfg.Lock = "tle"
+	}
+	desc, err := scheme.Lookup(cfg.Lock)
+	if err != nil {
+		panic(fmt.Sprintf("stamp: %v", err))
+	}
+	desc = desc.Configure(scheme.Options{TLE: cfg.TLE, NATLE: cfg.NATLE})
 	e := sim.New(cfg.Prof, cfg.Pin, cfg.Threads, cfg.Seed)
 	sys := htm.NewSystem(e, 1<<22)
 	res := &Result{Benchmark: b.Name(), Threads: cfg.Threads}
 
 	e.Spawn(nil, func(c *sim.Ctx) {
 		b.Setup(sys, c, cfg.Threads)
-		inner := tle.New(sys, c, 0, cfg.TLE)
-		var cs lock.CS = inner
-		var nl *natle.Lock
-		if cfg.Lock == "natle" {
-			ncfg := natle.DefaultConfig()
-			if cfg.NATLE != nil {
-				ncfg = *cfg.NATLE
-			}
-			nl = natle.New(sys, c, inner, ncfg)
-			cs = nl
-		}
+		// The STAMP adaptation's single process-wide elidable lock.
+		cs := desc.New(sys, c, 0)
 		bar := NewBarrier(cfg.Threads)
 		started := false
 		var start, finish vtime.Time
@@ -218,10 +217,7 @@ func Run(b Benchmark, cfg Config) *Result {
 		c.WaitOthers(2 * vtime.Microsecond)
 		res.Runtime = finish.Sub(start)
 		res.HTM = sys.Stats
-		res.TLE = inner.Stats
-		if nl != nil {
-			res.Timeline = nl.Timeline
-		}
+		res.Sync = cs.Stats()
 		if err := b.Validate(sys); err != nil {
 			panic(fmt.Sprintf("stamp %s: validation failed: %v", b.Name(), err))
 		}

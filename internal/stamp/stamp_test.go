@@ -72,7 +72,7 @@ func TestNATLERunsAllBenchmarks(t *testing.T) {
 func TestLabyrinthOverflowsCapacity(t *testing.T) {
 	b, _ := New("labyrinth")
 	r := Run(b, Config{Threads: 4, Seed: 7, Lock: "tle"})
-	if r.TLE.Aborts[2] == 0 && r.TLE.Fallbacks == 0 {
+	if r.Sync.TLE.Aborts[2] == 0 && r.Sync.TLE.Fallbacks == 0 {
 		t.Error("labyrinth should overflow HTM capacity or fall back; it did neither")
 	}
 }

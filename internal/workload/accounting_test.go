@@ -76,9 +76,9 @@ func TestHTMWindowedStatsConsistent(t *testing.T) {
 		t.Errorf("commits %d + aborts %d far from starts %d",
 			r.HTM.Commits, r.HTM.TotalAborts(), r.HTM.Starts)
 	}
-	if !within(r.TLE.Commits+r.TLE.Fallbacks, r.TLE.Ops) {
+	if !within(r.Sync.TLE.Commits+r.Sync.TLE.Fallbacks, r.Sync.TLE.Ops) {
 		t.Errorf("TLE commits %d + fallbacks %d far from ops %d",
-			r.TLE.Commits, r.TLE.Fallbacks, r.TLE.Ops)
+			r.Sync.TLE.Commits, r.Sync.TLE.Fallbacks, r.Sync.TLE.Ops)
 	}
 	if r.HTM.AvgCommitDuration() <= 0 {
 		t.Error("zero average commit duration with committed transactions")

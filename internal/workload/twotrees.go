@@ -1,11 +1,11 @@
 package workload
 
 import (
-	"natle/internal/lock"
-	"natle/internal/natle"
+	"fmt"
+
+	"natle/internal/scheme"
 	"natle/internal/sets"
 	"natle/internal/sim"
-	"natle/internal/tle"
 	"natle/internal/vtime"
 )
 
@@ -30,8 +30,8 @@ type TwoTreesResult struct {
 	SearchOps uint64 // operations completed on the search-only tree
 	Duration  vtime.Duration
 
-	UpdateTimeline []natle.ModeSample // NATLE decisions for the update tree's lock
-	SearchTimeline []natle.ModeSample // NATLE decisions for the search tree's lock
+	UpdateSync scheme.Stats // scheme counters for the update tree's lock
+	SearchSync scheme.Stats // scheme counters for the search tree's lock
 }
 
 // CombinedThroughput returns total operations per virtual second.
@@ -60,23 +60,19 @@ func RunTwoTrees(cfg TwoTreesConfig) *TwoTreesResult {
 	sys := newSystem(e, base)
 	res := &TwoTreesResult{Duration: base.Duration}
 
+	desc, err := scheme.Lookup(string(base.Lock))
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	desc = desc.Configure(scheme.Options{TLE: base.TLE, NATLE: base.NATLE})
+
 	e.Spawn(nil, func(c *sim.Ctx) {
 		updTree := sets.NewAVL(sys, c)
 		schTree := sets.NewAVL(sys, c)
-		makeLock := func() (lock.CS, *natle.Lock) {
-			inner := tle.New(sys, c, 0, base.TLE)
-			if base.Lock == LockNATLE {
-				ncfg := natle.DefaultConfig()
-				if base.NATLE != nil {
-					ncfg = *base.NATLE
-				}
-				nl := natle.New(sys, c, inner, ncfg)
-				return nl, nl
-			}
-			return inner, nil
-		}
-		updLock, updN := makeLock()
-		schLock, schN := makeLock()
+		// Per-lock independence is the point of the experiment: each
+		// tree gets its own instance of the same scheme.
+		updLock := desc.New(sys, c, 0)
+		schLock := desc.New(sys, c, 0)
 
 		sets.Prefill(updTree, c, base.KeyRange)
 		sets.Prefill(schTree, c, base.KeyRange)
@@ -122,12 +118,8 @@ func RunTwoTrees(cfg TwoTreesConfig) *TwoTreesResult {
 		started = true
 		c.SetIdle(true)
 		c.WaitOthers(2 * vtime.Microsecond)
-		if updN != nil {
-			res.UpdateTimeline = updN.Timeline
-		}
-		if schN != nil {
-			res.SearchTimeline = schN.Timeline
-		}
+		res.UpdateSync = updLock.Stats()
+		res.SearchSync = schLock.Stats()
 	})
 	e.Run()
 	return res

@@ -11,23 +11,24 @@ import (
 	"fmt"
 
 	"natle/internal/cache"
-	"natle/internal/cohort"
 	"natle/internal/htm"
-	"natle/internal/lock"
 	"natle/internal/machine"
 	"natle/internal/natle"
+	"natle/internal/scheme"
 	"natle/internal/sets"
 	"natle/internal/sim"
-	"natle/internal/spinlock"
 	"natle/internal/telemetry"
 	"natle/internal/tle"
 	"natle/internal/vtime"
 )
 
-// LockKind selects the synchronization scheme for a trial.
+// LockKind selects the synchronization scheme for a trial. Any name
+// registered in internal/scheme is accepted; the constants below cover
+// the paper's core schemes.
 type LockKind string
 
-// Available schemes.
+// Core schemes (see scheme.Names() for the full registry, which also
+// includes extension entries such as "tle-hint" and "htm-raw").
 const (
 	LockPlain  LockKind = "lock"   // spin lock, never elided
 	LockTLE    LockKind = "tle"    // transactional lock elision
@@ -112,15 +113,18 @@ func (cfg *Config) defaults() {
 // the measured window only).
 type Result struct {
 	Config   Config
-	Ops      uint64    // operations completed in the window
-	PerSock  [8]uint64 // operations by socket of the executing thread
+	Ops      uint64   // operations completed in the window
+	PerSock  []uint64 // operations by socket (len = Config.Prof.Sockets)
 	Duration vtime.Duration
 
-	TLE   tle.Stats   // elision counters (zero for LockPlain/LockNoSync)
+	// Sync is the scheme's uniform counter snapshot: TLE elision
+	// counters (zero for non-eliding schemes), the adaptive-mode
+	// timeline (nil unless the scheme profiles), and any
+	// scheme-private extras.
+	Sync scheme.Stats
+
 	HTM   htm.Stats   // transaction counters
 	Cache cache.Stats // coherence counters
-
-	Timeline []natle.ModeSample // NATLE profiling decisions (if used)
 
 	// Telemetry is the recorder's whole-trial roll-up when
 	// Config.Recorder is a *telemetry.Collector (nil otherwise). Unlike
@@ -156,6 +160,11 @@ func newSystem(e *sim.Engine, cfg Config) *htm.System {
 // Run executes one trial and returns its measurements.
 func Run(cfg Config) *Result {
 	cfg.defaults()
+	desc, err := scheme.Lookup(string(cfg.Lock))
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	desc = desc.Configure(scheme.Options{TLE: cfg.TLE, NATLE: cfg.NATLE})
 	e := sim.New(cfg.Prof, cfg.Pin, cfg.Threads, cfg.Seed)
 	sys := newSystem(e, cfg)
 	if cfg.Recorder != nil {
@@ -163,37 +172,14 @@ func Run(cfg Config) *Result {
 		// land in this recorder.
 		sys.SetRecorder(cfg.Recorder)
 	}
-	res := &Result{Config: cfg}
+	res := &Result{Config: cfg, PerSock: make([]uint64, cfg.Prof.Sockets)}
 
 	e.Spawn(nil, func(c *sim.Ctx) {
 		set, err := sets.New(cfg.SetKind, sys, c)
 		if err != nil {
 			panic(err)
 		}
-		var tleLock *tle.Lock
-		var natleLock *natle.Lock
-		var cs lock.CS
-		switch cfg.Lock {
-		case LockNoSync:
-			cs = lock.NoSync{}
-		case LockPlain:
-			cs = lock.Plain{L: spinlock.New(sys, c, 0)}
-		case LockTLE:
-			tleLock = tle.New(sys, c, 0, cfg.TLE)
-			cs = tleLock
-		case LockNATLE:
-			tleLock = tle.New(sys, c, 0, cfg.TLE)
-			ncfg := natle.DefaultConfig()
-			if cfg.NATLE != nil {
-				ncfg = *cfg.NATLE
-			}
-			natleLock = natle.New(sys, c, tleLock, ncfg)
-			cs = natleLock
-		case LockCohort:
-			cs = cohort.New(sys, c, 0)
-		default:
-			panic(fmt.Sprintf("workload: unknown lock kind %q", cfg.Lock))
-		}
+		cs := desc.New(sys, c, 0)
 
 		sets.Prefill(set, c, cfg.KeyRange)
 
@@ -219,22 +205,14 @@ func Run(cfg Config) *Result {
 		c.Checkpoint()
 		htmBefore := sys.Stats
 		cacheBefore := sys.Cache.Stats
-		var tleBefore tle.Stats
-		if tleLock != nil {
-			tleBefore = tleLock.Stats
-		}
+		syncBefore := cs.Stats()
 
 		c.WaitOthers(2 * vtime.Microsecond)
 
 		res.Duration = cfg.Duration
 		res.HTM = sys.Stats.Sub(htmBefore)
 		res.Cache = sys.Cache.Stats.Sub(cacheBefore)
-		if tleLock != nil {
-			res.TLE = tleLock.Stats.Sub(tleBefore)
-		}
-		if natleLock != nil {
-			res.Timeline = natleLock.Timeline
-		}
+		res.Sync = cs.Stats().Sub(syncBefore)
 	})
 	e.Run()
 	if col, ok := cfg.Recorder.(*telemetry.Collector); ok {
@@ -244,10 +222,10 @@ func Run(cfg Config) *Result {
 	return res
 }
 
-func runWorker(w *sim.Ctx, cfg Config, set sets.Set, cs lock.CS,
+func runWorker(w *sim.Ctx, cfg Config, set sets.Set, cs scheme.Instance,
 	res *Result, measureStart, deadline *vtime.Time) {
 	var counted uint64
-	var countedSock [8]uint64
+	countedSock := make([]uint64, len(res.PerSock))
 	for {
 		opStart := w.Now()
 		if opStart >= *deadline {

@@ -87,11 +87,11 @@ func TestNATLERescuesCrossSocketCollapse(t *testing.T) {
 		t.Errorf("NATLE (%.0f ops/s) should clearly beat TLE (%.0f ops/s) at 72 threads",
 			nr.Throughput(), tr.Throughput())
 	}
-	if len(nr.Timeline) == 0 {
+	if len(nr.Sync.Timeline) == 0 {
 		t.Error("NATLE recorded no profiling cycles")
 	}
 	throttled := 0
-	for _, m := range nr.Timeline {
+	for _, m := range nr.Sync.Timeline {
 		if m.FastestMode != 2 {
 			throttled++
 		}
@@ -111,18 +111,18 @@ func TestNATLEKeepsScalableWorkloadUnthrottled(t *testing.T) {
 		Duration: 3 * vtime.Millisecond,
 		Warmup:   1300 * vtime.Microsecond,
 	})
-	if len(r.Timeline) == 0 {
+	if len(r.Sync.Timeline) == 0 {
 		t.Fatal("no profiling cycles recorded")
 	}
 	unthrottled := 0
-	for _, m := range r.Timeline {
+	for _, m := range r.Sync.Timeline {
 		if m.FastestMode == 2 {
 			unthrottled++
 		}
 	}
-	if unthrottled*2 < len(r.Timeline) {
+	if unthrottled*2 < len(r.Sync.Timeline) {
 		t.Errorf("read-only workload throttled in %d/%d cycles; expected mostly unthrottled",
-			len(r.Timeline)-unthrottled, len(r.Timeline))
+			len(r.Sync.Timeline)-unthrottled, len(r.Sync.Timeline))
 	}
 }
 
@@ -195,8 +195,8 @@ func TestTwoTreesPerLockDecisions(t *testing.T) {
 		}
 		return
 	}
-	ut, utot := count(r.UpdateTimeline)
-	st, stot := count(r.SearchTimeline)
+	ut, utot := count(r.UpdateSync.Timeline)
+	st, stot := count(r.SearchSync.Timeline)
 	if utot == 0 || stot == 0 {
 		t.Fatal("missing NATLE timelines")
 	}

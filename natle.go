@@ -47,6 +47,7 @@ import (
 	"natle/internal/machine"
 	"natle/internal/natle"
 	"natle/internal/paraheap"
+	"natle/internal/scheme"
 	"natle/internal/sets"
 	"natle/internal/sim"
 	"natle/internal/spinlock"
@@ -130,6 +131,17 @@ type (
 	TelemetryConfig = telemetry.Config
 	// TelemetrySummary is a collector's exportable roll-up.
 	TelemetrySummary = telemetry.Summary
+	// Scheme describes one registered synchronization scheme (see
+	// internal/scheme); its New method constructs instances.
+	Scheme = scheme.Descriptor
+	// SchemeOptions overrides a scheme's baked-in configuration.
+	SchemeOptions = scheme.Options
+	// SchemeStats is the uniform per-scheme counter snapshot (TLE
+	// counters, NATLE timeline, scheme-specific extras).
+	SchemeStats = scheme.Stats
+	// SchemeInstance is a constructed scheme: a CriticalSection that
+	// also reports SchemeStats.
+	SchemeInstance = scheme.Instance
 )
 
 // STAMPConfig configures one STAMP benchmark run by name.
@@ -248,6 +260,27 @@ func (s *Simulation) NewTLELock(c *Thread, pol TLEPolicy) *TLELock {
 // NewNATLELock allocates a NATLE lock over a TLE-20 inner lock.
 func (s *Simulation) NewNATLELock(c *Thread, cfg NATLEConfig) *NATLELock {
 	return natle.New(s.HTM, c, tle.New(s.HTM, c, 0, tle.TLE20()), cfg)
+}
+
+// SchemeNames lists every registered synchronization scheme, sorted.
+// All of them are accepted by WorkloadConfig.Lock and the application
+// workloads' Lock fields.
+func SchemeNames() []string { return scheme.Names() }
+
+// LookupScheme finds a registered scheme descriptor by name.
+func LookupScheme(name string) (*Scheme, error) { return scheme.Lookup(name) }
+
+// NewScheme constructs an instance of the named scheme (with opt
+// overriding its defaults), homed on socket 0. It is the registry-
+// driven generalization of NewTLELock/NewNATLELock/NewSpinLock: any
+// scheme name from SchemeNames works here without a dedicated
+// constructor.
+func (s *Simulation) NewScheme(c *Thread, name string, opt SchemeOptions) (SchemeInstance, error) {
+	d, err := scheme.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return d.Configure(opt).New(s.HTM, c, 0), nil
 }
 
 // NewAVL allocates an AVL tree in simulated memory.

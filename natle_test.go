@@ -38,6 +38,58 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 }
 
+// TestPublicAPISchemes drives the microbenchmark through every
+// registry entry via the facade: the lock kinds are not a closed enum,
+// they are whatever the scheme registry holds.
+func TestPublicAPISchemes(t *testing.T) {
+	for _, name := range SchemeNames() {
+		d, err := LookupScheme(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Mutex {
+			continue // unsynchronized updates would corrupt the set
+		}
+		r := RunWorkload(WorkloadConfig{
+			Prof:     SmallMachine(),
+			Threads:  2,
+			Seed:     2,
+			KeyRange: 128,
+			Lock:     LockKind(name),
+			Duration: 50 * Microsecond,
+			Warmup:   20 * Microsecond,
+		})
+		if r.Ops == 0 {
+			t.Errorf("%s: no ops", name)
+		}
+	}
+}
+
+// TestPublicAPINewScheme constructs a scheme directly (without the
+// workload driver) through the facade.
+func TestPublicAPINewScheme(t *testing.T) {
+	sim := NewSimulation(SmallMachine(), FillSocketFirst(), 2, 1)
+	sim.Main(func(c *Thread) {
+		cs, err := sim.NewScheme(c, "tle", SchemeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for i := 0; i < 10; i++ {
+			cs.Critical(c, func() { n++ })
+		}
+		if n != 10 {
+			t.Errorf("critical sections ran %d times, want 10", n)
+		}
+		if st := cs.Stats(); st.TLE.Ops != 10 {
+			t.Errorf("scheme stats report %d ops, want 10", st.TLE.Ops)
+		}
+		if _, err := sim.NewScheme(c, "bogus", SchemeOptions{}); err == nil {
+			t.Error("NewScheme(bogus) should fail")
+		}
+	})
+}
+
 func TestPublicAPILockKinds(t *testing.T) {
 	for _, lk := range []LockKind{LockPlain, LockTLE, LockNATLE, LockNoSync} {
 		r := RunWorkload(WorkloadConfig{
