@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race check bench figures clean
+.PHONY: all build test vet lint race check bench figures chaos clean
 
 all: build
 
@@ -32,6 +32,12 @@ check:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# chaos runs the fault-injection matrix: every named fault schedule
+# against every robust synchronization scheme, asserting the
+# conservation invariants and fault-free final contents.
+chaos:
+	$(GO) run ./cmd/htmbench -faults
 
 figures:
 	$(GO) run ./cmd/figures

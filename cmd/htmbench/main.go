@@ -5,6 +5,11 @@
 // Example (the paper's Figure 1 workload):
 //
 //	htmbench -set avl -keys 2048 -updates 100 -lock tle
+//
+// Fault injection: -fault <schedule> runs the sweep with a named fault
+// schedule injected; -faults runs the full chaos matrix (every fault
+// schedule against every robust scheme) and exits nonzero if any cell
+// violates its invariants.
 package main
 
 import (
@@ -14,6 +19,8 @@ import (
 	"strconv"
 	"strings"
 
+	"natle/internal/fault"
+	"natle/internal/harness"
 	"natle/internal/machine"
 	"natle/internal/scheme"
 	"natle/internal/sets"
@@ -44,8 +51,40 @@ func main() {
 		traceCap  = flag.Int("tracecap", 1<<16, "trace ring capacity in events (oldest dropped)")
 		metrics   = flag.String("metrics", "", "write one telemetry summary CSV row per trial to this file")
 		telem     = flag.Bool("telemetry", false, "print the per-trial telemetry summary")
+		faultName = flag.String("fault", "", "inject the named fault schedule into every trial: "+strings.Join(fault.ScheduleNames(), " | "))
+		chaos     = flag.Bool("faults", false, "run the chaos matrix (fault schedules x robust schemes) instead of a sweep; exits 1 on any invariant violation")
+		breaker   = flag.Bool("breaker", false, "arm the TLE circuit breaker: degrade to the plain mutex under pathological abort rates, probe for recovery")
 	)
 	flag.Parse()
+
+	if *chaos {
+		cfg := harness.ChaosConfig{Seed: *seed}
+		if *faultName != "" {
+			cfg.Schedules = []string{*faultName}
+		}
+		cells, err := harness.RunChaos(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		report, ok := harness.ChaosReport(cells)
+		fmt.Print(report)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "chaos: invariant violations detected")
+			os.Exit(1)
+		}
+		return
+	}
+
+	var faultProf *fault.Profile
+	if *faultName != "" {
+		sched, err := fault.LookupSchedule(*faultName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		faultProf = &sched.Profile
+	}
 	if _, err := scheme.Lookup(*lockKind); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -93,11 +132,27 @@ func main() {
 			os.Exit(1)
 		}
 		defer metricsFile.Close()
-		fmt.Fprintln(metricsFile, telemetry.CSVHeader("threads"))
+		if err := telemetry.WriteCSVHeader(metricsFile, "threads"); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	pol := tle.Policy{
+		Attempts:      *attempts,
+		HonorHint:     *honorHint,
+		CountLockHeld: *countLock,
+	}
+	if *breaker {
+		br := tle.DefaultBreakerConfig()
+		pol.Breaker = &br
 	}
 
 	fmt.Printf("# %s, %s, set=%s keys=%d upd=%d%% work=%d lock=%s\n",
 		p.Name, policy.Name(), *setKind, *keys, *updates, *extWork, *lockKind)
+	if faultProf != nil {
+		fmt.Printf("# fault schedule: %s\n", *faultName)
+	}
 	fmt.Printf("%7s %14s %9s %8s %9s %9s %9s %9s\n",
 		"threads", "ops/s", "speedup", "abort%", "conflict", "capacity", "lockheld", "fallback")
 
@@ -126,14 +181,11 @@ func main() {
 			SearchReplace: *searchRep,
 			ExternalWork:  *extWork,
 			Lock:          workload.LockKind(*lockKind),
-			TLE: tle.Policy{
-				Attempts:      *attempts,
-				HonorHint:     *honorHint,
-				CountLockHeld: *countLock,
-			},
-			Duration:    vtime.Duration(*durMs * float64(vtime.Millisecond)),
-			CommitDelay: vtime.Duration(*delayUs * float64(vtime.Microsecond)),
-			Recorder:    rec,
+			TLE:           pol,
+			Fault:         faultProf,
+			Duration:      vtime.Duration(*durMs * float64(vtime.Millisecond)),
+			CommitDelay:   vtime.Duration(*delayUs * float64(vtime.Microsecond)),
+			Recorder:      rec,
 		})
 		if base == 0 {
 			base = r.Throughput()
@@ -143,6 +195,9 @@ func main() {
 			100*r.HTM.AbortRate(),
 			r.HTM.Aborts[1], r.HTM.Aborts[2], r.HTM.Aborts[4],
 			r.Sync.TLE.Fallbacks)
+		if faultProf != nil {
+			fmt.Println(indent(r.Fault.String(), "    "))
+		}
 		if col == nil {
 			continue
 		}
@@ -151,7 +206,10 @@ func main() {
 			fmt.Println(indent(sum.String(), "    "))
 		}
 		if metricsFile != nil {
-			fmt.Fprintln(metricsFile, sum.CSVRow(strconv.Itoa(n)))
+			if err := sum.WriteCSV(metricsFile, strconv.Itoa(n)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 	}
 

@@ -25,6 +25,7 @@
 package cache
 
 import (
+	"natle/internal/fault"
 	"natle/internal/machine"
 	"natle/internal/telemetry"
 	"natle/internal/vtime"
@@ -74,6 +75,11 @@ type Model struct {
 	// private cache, invalidations). Never nil; defaults to the no-op
 	// recorder, which keeps the hot path free.
 	Rec telemetry.Recorder
+
+	// Inj, when non-nil, may stretch invalidation latencies (delayed
+	// remote invalidations widen the cross-socket conflict window).
+	// Normally installed through htm.System.SetInjector.
+	Inj fault.Injector
 }
 
 // New creates a cache model for profile p; lines must cover the
@@ -181,7 +187,8 @@ func (m *Model) Access(now vtime.Time, core, socket, home int, line int32, write
 	if write {
 		others := sharers &^ self
 		if others != 0 {
-			if others&^m.socketMask[socket] != 0 {
+			remote := others&^m.socketMask[socket] != 0
+			if remote {
 				lat += p.RemoteInval
 				m.Stats.RemoteInvals++
 				m.Rec.CacheInval(now, socket, true)
@@ -189,6 +196,9 @@ func (m *Model) Access(now vtime.Time, core, socket, home int, line int32, write
 				lat += p.SameSocketInval
 				m.Stats.LocalInvals++
 				m.Rec.CacheInval(now, socket, false)
+			}
+			if m.Inj != nil {
+				lat += m.Inj.InvalDelay(now, remote)
 			}
 		}
 		sharers, state, owner = self, stateModified, core

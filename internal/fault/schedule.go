@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"natle/internal/vtime"
+)
+
+// Schedule is a named fault profile, each reproducing one of the
+// paper's pathologies on demand. The chaos harness (internal/harness)
+// runs every synchronization scheme under every schedule and asserts
+// the conservation invariants and final data-structure contents.
+type Schedule struct {
+	Name    string
+	Summary string
+	// Paper names the phenomenon from the paper (or the follow-up
+	// literature) the schedule reproduces.
+	Paper   string
+	Profile Profile
+}
+
+// schedules are ordered mild-to-severe; Schedules preserves the order.
+var schedules = []Schedule{
+	{
+		Name:    "spurious",
+		Summary: "Poisson-arrival spurious aborts (0.5%/access, conflict code, hint set)",
+		Paper:   "environmental aborts: interrupts, TLB shootdowns (§2; Dice et al., malloc placement abort storms)",
+		Profile: Profile{SpuriousAbortRate: 0.005},
+	},
+	{
+		Name:    "hintlie",
+		Summary: "lying retry-hint bit: capacity aborts report hint set, conflicts hint clear (plus abort traffic to lie about)",
+		Paper:   "Fig 2: transactions aborting without the hint bit succeed when retried; honoring the hint is harmful",
+		Profile: Profile{LieOnCapacity: 1, LieOnConflict: 1, SpuriousAbortRate: 0.003},
+	},
+	{
+		Name:    "squeeze",
+		Summary: "transient capacity squeezes: sibling pressure divides tx capacity by 128 for 20us windows",
+		Paper:   "Fig 2b: hyperthread-sibling cache pressure halves capacity and causes transient evictions",
+		Profile: Profile{SqueezeProb: 0.05, SqueezeFactor: 128, SqueezeLen: 20 * vtime.Microsecond},
+	},
+	{
+		Name:    "slowinval",
+		Summary: "delayed cross-socket invalidations (+300ns each), stretching the conflict window",
+		Paper:   "§3.2: remote invalidation round trips lengthen the window of contention",
+		Profile: Profile{InvalDelayProb: 1, InvalDelayLen: 300 * vtime.Nanosecond},
+	},
+	{
+		Name:    "stall",
+		Summary: "in-critical-section preemption: 20% of lock acquisitions stall 30us while holding (spurious aborts force occasional fallbacks)",
+		Paper:   "§3.1 lemming effect: a descheduled fallback-lock holder convoys every eliding thread",
+		Profile: Profile{StallProb: 0.2, StallLen: 30 * vtime.Microsecond, SpuriousAbortRate: 0.003},
+	},
+	{
+		Name:    "storm",
+		Summary: "all faults at once, moderate rates (the adversarial kitchen sink)",
+		Paper:   "composite: every pathology above, concurrently",
+		Profile: Profile{
+			SpuriousAbortRate: 0.002,
+			LieOnCapacity:     0.5,
+			LieOnConflict:     0.5,
+			SqueezeProb:       0.02,
+			SqueezeFactor:     128,
+			SqueezeLen:        10 * vtime.Microsecond,
+			InvalDelayProb:    0.5,
+			InvalDelayLen:     200 * vtime.Nanosecond,
+			StallProb:         0.1,
+			StallLen:          15 * vtime.Microsecond,
+		},
+	},
+}
+
+// Schedules returns the named fault schedules, mild to severe.
+func Schedules() []Schedule { return append([]Schedule(nil), schedules...) }
+
+// ScheduleNames returns the schedule names in Schedules order.
+func ScheduleNames() []string {
+	n := make([]string, len(schedules))
+	for i, s := range schedules {
+		n[i] = s.Name
+	}
+	return n
+}
+
+// LookupSchedule returns the named schedule; the error lists the valid
+// names so flag parsing can surface it directly.
+func LookupSchedule(name string) (Schedule, error) {
+	for _, s := range schedules {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Schedule{}, fmt.Errorf("fault: unknown schedule %q (have %s)",
+		name, strings.Join(ScheduleNames(), ", "))
+}
+
+// ScheduleHelp renders one "name: summary" line per schedule.
+func ScheduleHelp() string {
+	var b strings.Builder
+	for _, s := range schedules {
+		fmt.Fprintf(&b, "%-10s %s\n", s.Name, s.Summary)
+	}
+	return b.String()
+}

@@ -1,0 +1,280 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"natle/internal/fault"
+	"natle/internal/htm"
+	"natle/internal/machine"
+	"natle/internal/scheme"
+	"natle/internal/sets"
+	"natle/internal/sim"
+	"natle/internal/telemetry"
+	"natle/internal/vtime"
+)
+
+// The chaos harness: every registered synchronization scheme runs a
+// fixed, interleaving-independent operation schedule under every named
+// fault schedule (internal/fault), and each cell is checked against
+// the invariants no amount of injected adversity may break:
+//
+//   - transaction conservation: starts = commits + aborts;
+//   - critical-section conservation: ops = commits + fallbacks (for
+//     eliding schemes);
+//   - correctness: the final set contents equal the fault-free host
+//     replay of the schedule, and the tree invariants hold.
+//
+// Faults may slow a scheme down arbitrarily; they must never change
+// what it computes.
+
+// ChaosConfig configures a chaos run. The zero value selects the
+// defaults documented on each field.
+type ChaosConfig struct {
+	Workers      int   // simulated threads (default 8)
+	KeysPerWork  int   // worker key-partition size (default 24)
+	OpsPerWorker int   // deterministic ops per worker (default 160)
+	Seed         int64 // simulator and injector seed (default 1)
+
+	// Schemes names the registry schemes to run (default: every scheme
+	// with both Mutex and Robust set — non-robust schemes such as raw
+	// HTM have no fallback, so a capacity-squeeze fault genuinely
+	// violates their progress requirement; that is a documented
+	// property, not a harness failure).
+	Schemes []string
+
+	// Schedules names the fault schedules to run (default: all).
+	Schedules []string
+}
+
+func (cfg ChaosConfig) withDefaults() ChaosConfig {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.KeysPerWork <= 0 {
+		cfg.KeysPerWork = 24
+	}
+	if cfg.OpsPerWorker <= 0 {
+		cfg.OpsPerWorker = 160
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Schemes == nil {
+		for _, d := range scheme.All() {
+			if d.Mutex && d.Robust {
+				cfg.Schemes = append(cfg.Schemes, d.Name)
+			}
+		}
+	}
+	if cfg.Schedules == nil {
+		cfg.Schedules = fault.ScheduleNames()
+	}
+	return cfg
+}
+
+// ChaosCell is the outcome of one (schedule, scheme) cell.
+type ChaosCell struct {
+	Schedule string
+	Scheme   string
+
+	Ok       bool
+	Failures []string // invariant violations (empty when Ok)
+
+	Ops       uint64 // critical sections executed
+	Commits   uint64
+	Aborts    uint64
+	Fallbacks uint64
+
+	Sync  scheme.Stats // the scheme's own counters
+	Fault fault.Stats  // what the injector actually did
+}
+
+func (c *ChaosCell) fail(format string, args ...any) {
+	c.Failures = append(c.Failures, fmt.Sprintf(format, args...))
+}
+
+// String renders one result line.
+func (c ChaosCell) String() string {
+	status := "ok"
+	if !c.Ok {
+		status = "FAIL: " + strings.Join(c.Failures, "; ")
+	}
+	s := fmt.Sprintf("%-10s %-12s commits=%-6d aborts=%-6d fallbacks=%-4d [%s] %s",
+		c.Schedule, c.Scheme, c.Commits, c.Aborts, c.Fallbacks, c.Fault, status)
+	return s
+}
+
+// chaosOp returns worker tid's j-th operation: a key inside the
+// worker's own partition and whether to insert (vs delete). Derived by
+// integer hashing so the schedule — and therefore the expected final
+// contents — is independent of the simulator's RNG, of thread
+// interleaving, and of any injected fault.
+func chaosOp(cfg ChaosConfig, tid, j int) (key int64, insert bool) {
+	x := uint64(tid)*0x9e3779b97f4a7c15 + uint64(j)*0xbf58476d1ce4e5b9 + 0x632be59bd9b4e019
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	key = int64(tid*cfg.KeysPerWork) + int64(x%uint64(cfg.KeysPerWork))
+	insert = x&(1<<40) != 0
+	return
+}
+
+// ChaosExpected replays the schedule on a host map: the contents every
+// scheme must converge to under every fault schedule.
+func ChaosExpected(cfg ChaosConfig) []int64 {
+	cfg = cfg.withDefaults()
+	m := map[int64]bool{}
+	for tid := 0; tid < cfg.Workers; tid++ {
+		for j := 0; j < cfg.OpsPerWorker; j++ {
+			key, ins := chaosOp(cfg, tid, j)
+			if ins {
+				m[key] = true
+			} else {
+				delete(m, key)
+			}
+		}
+	}
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// RunChaosCell runs one (schedule, scheme) cell on the two-socket
+// machine with threads alternating across sockets (the adversarial
+// placement: every fault schedule gets cross-socket traffic to
+// amplify). rec, when non-nil, receives the cell's telemetry — the
+// determinism test exports two runs' traces and compares bytes.
+func RunChaosCell(cfg ChaosConfig, sched fault.Schedule, desc *scheme.Descriptor,
+	rec telemetry.Recorder) ChaosCell {
+	cfg = cfg.withDefaults()
+	cell := ChaosCell{Schedule: sched.Name, Scheme: desc.Name}
+
+	e := sim.New(machine.LargeX52(), machine.Alternating{}, cfg.Workers, cfg.Seed)
+	sys := htm.NewSystem(e, 1<<20)
+	if rec != nil {
+		sys.SetRecorder(rec)
+	}
+	inj := fault.New(sched.Profile, cfg.Seed)
+	sys.SetInjector(inj)
+
+	var keys []int64
+	e.Spawn(nil, func(c *sim.Ctx) {
+		set := sets.NewAVL(sys, c)
+		cs := desc.New(sys, c, 0)
+		work := func(w *sim.Ctx, tid int) {
+			for j := 0; j < cfg.OpsPerWorker; j++ {
+				key, ins := chaosOp(cfg, tid, j)
+				if ins {
+					cs.Critical(w, func() { set.Insert(w, key) })
+				} else {
+					cs.Critical(w, func() { set.Delete(w, key) })
+				}
+			}
+		}
+		if desc.Mutex {
+			for i := 0; i < cfg.Workers; i++ {
+				tid := i
+				e.Spawn(c, func(w *sim.Ctx) { work(w, tid) })
+			}
+			c.SetIdle(true)
+			c.WaitOthers(vtime.Microsecond)
+		} else {
+			// Without mutual exclusion concurrent updates would corrupt
+			// the tree by design; run the schedule sequentially so the
+			// contents check still applies.
+			for tid := 0; tid < cfg.Workers; tid++ {
+				work(c, tid)
+			}
+		}
+		if err := set.CheckInvariants(); err != nil {
+			cell.fail("tree invariants violated: %v", err)
+		}
+		keys = set.Keys()
+		cell.Sync = cs.Stats()
+	})
+	e.Run()
+
+	hs := sys.Stats
+	cell.Commits = hs.Commits
+	cell.Aborts = hs.TotalAborts()
+	cell.Fallbacks = cell.Sync.TLE.Fallbacks
+	cell.Ops = cell.Sync.TLE.Ops
+	cell.Fault = inj.Stats
+
+	if hs.Starts != hs.Commits+hs.TotalAborts() {
+		cell.fail("HTM conservation broken: %d starts != %d commits + %d aborts",
+			hs.Starts, hs.Commits, hs.TotalAborts())
+	}
+	if ops := cell.Sync.TLE.Ops; ops > 0 && ops != cell.Sync.TLE.Commits+cell.Sync.TLE.Fallbacks {
+		cell.fail("CS conservation broken: %d ops != %d commits + %d fallbacks",
+			ops, cell.Sync.TLE.Commits, cell.Sync.TLE.Fallbacks)
+	}
+	want := ChaosExpected(cfg)
+	if !equalKeys(keys, want) {
+		cell.fail("final contents diverge from fault-free replay: got %d keys, want %d",
+			len(keys), len(want))
+	}
+	cell.Ok = len(cell.Failures) == 0
+	return cell
+}
+
+func equalKeys(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunChaos runs the full (schedules × schemes) matrix and returns one
+// cell per combination, schedules outermost (the order of
+// cfg.Schedules and cfg.Schemes).
+func RunChaos(cfg ChaosConfig) ([]ChaosCell, error) {
+	cfg = cfg.withDefaults()
+	var cells []ChaosCell
+	for _, sn := range cfg.Schedules {
+		sched, err := fault.LookupSchedule(sn)
+		if err != nil {
+			return cells, err
+		}
+		for _, name := range cfg.Schemes {
+			desc, err := scheme.Lookup(name)
+			if err != nil {
+				return cells, err
+			}
+			cells = append(cells, RunChaosCell(cfg, sched, desc, nil))
+		}
+	}
+	return cells, nil
+}
+
+// ChaosReport renders the matrix and reports whether every cell held
+// its invariants.
+func ChaosReport(cells []ChaosCell) (string, bool) {
+	var b strings.Builder
+	ok := true
+	for _, c := range cells {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+		if !c.Ok {
+			ok = false
+		}
+	}
+	return b.String(), ok
+}
+
+// BreakerStats extracts the hardened-TLE counters from a cell (zero
+// for schemes without the breaker).
+func BreakerStats(c ChaosCell) (trips, recoveries, skips uint64) {
+	s := c.Sync.TLE
+	return s.BreakerTrips, s.BreakerRecoveries, s.BreakerSkips
+}

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"natle/internal/fault"
+	"natle/internal/scheme"
+	"natle/internal/telemetry"
+	"natle/internal/vtime"
+)
+
+// shortChaos keeps the matrix cheap enough for the regular test run
+// while still driving every schedule's faults.
+func shortChaos() ChaosConfig {
+	return ChaosConfig{Workers: 4, OpsPerWorker: 60, Seed: 1}
+}
+
+// TestChaosMatrixHoldsInvariants is the acceptance gate: every named
+// fault schedule, under every robust registry scheme, must preserve
+// transaction conservation, critical-section conservation, and the
+// exact fault-free final contents.
+func TestChaosMatrixHoldsInvariants(t *testing.T) {
+	cells, err := RunChaos(shortChaos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(fault.ScheduleNames()) * len(shortChaos().withDefaults().Schemes)
+	if len(cells) != want {
+		t.Fatalf("matrix has %d cells, want %d", len(cells), want)
+	}
+	for _, c := range cells {
+		if !c.Ok {
+			t.Errorf("%s/%s: %v", c.Schedule, c.Scheme, c.Failures)
+		}
+	}
+}
+
+// TestChaosCellDeterministic is the seed-determinism guarantee:
+// identical (profile, seed, schedule) must produce byte-identical
+// telemetry event streams — the property that makes a chaos failure
+// replayable.
+func TestChaosCellDeterministic(t *testing.T) {
+	sched, err := fault.LookupSchedule("storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := scheme.Lookup("tle-robust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (ChaosCell, []byte) {
+		rec := telemetry.NewCollector(telemetry.Config{TraceCap: 1 << 15})
+		cell := RunChaosCell(shortChaos(), sched, desc, rec)
+		var buf bytes.Buffer
+		if err := rec.WriteChromeTrace(&buf); err != nil {
+			t.Fatalf("trace export: %v", err)
+		}
+		return cell, buf.Bytes()
+	}
+	c1, t1 := run()
+	c2, t2 := run()
+	if !c1.Ok || !c2.Ok {
+		t.Fatalf("cells failed: %v / %v", c1.Failures, c2.Failures)
+	}
+	if c1.Commits != c2.Commits || c1.Aborts != c2.Aborts ||
+		c1.Fallbacks != c2.Fallbacks || c1.Fault != c2.Fault {
+		t.Errorf("cell counters diverge:\n%s\n%s", c1, c2)
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Error("telemetry streams diverge across identical chaos runs")
+	}
+	if len(t1) < 1024 {
+		t.Errorf("suspiciously small trace (%d bytes); recorder not wired through?", len(t1))
+	}
+}
+
+// TestChaosPermanentSqueezeDegradesRobustTLE: a permanent capacity
+// squeeze (every transaction overflows, forever) must push the breaker
+// scheme into degraded mode — trips and skips observed — while the
+// final contents stay exactly right. The named "squeeze" schedule's
+// transient windows are deliberately too short to trip the default
+// 64-attempt breaker window; permanence is what degradation is for.
+func TestChaosPermanentSqueezeDegradesRobustTLE(t *testing.T) {
+	desc, err := scheme.Lookup("tle-robust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := fault.Schedule{
+		Name:    "squeeze-forever",
+		Summary: "test-local: capacity divided to nothing for the whole run",
+		Profile: fault.Profile{
+			SqueezeProb:   1,
+			SqueezeFactor: 1 << 20, // caps clamp to 1 line: nothing fits
+			SqueezeLen:    vtime.Second,
+		},
+	}
+	cfg := shortChaos()
+	cell := RunChaosCell(cfg, sched, desc, nil)
+	if !cell.Ok {
+		t.Fatalf("cell failed: %v", cell.Failures)
+	}
+	if cell.Fault.SqueezedTx == 0 {
+		t.Fatal("permanent squeeze squeezed no transactions")
+	}
+	trips, _, skips := BreakerStats(cell)
+	if trips == 0 || skips == 0 {
+		t.Errorf("breaker never degraded under a permanent squeeze: trips=%d skips=%d", trips, skips)
+	}
+	if cell.Ops == 0 || cell.Fallbacks == 0 {
+		t.Errorf("degraded scheme made no progress: ops=%d fallbacks=%d", cell.Ops, cell.Fallbacks)
+	}
+}
+
+// TestChaosRejectsUnknownNames: lookup failures surface as errors, not
+// as silently skipped cells.
+func TestChaosRejectsUnknownNames(t *testing.T) {
+	if _, err := RunChaos(ChaosConfig{Workers: 1, OpsPerWorker: 1, Schedules: []string{"nonesuch"}}); err == nil {
+		t.Error("unknown schedule accepted")
+	}
+	if _, err := RunChaos(ChaosConfig{Workers: 1, OpsPerWorker: 1, Schedules: []string{"spurious"}, Schemes: []string{"nonesuch"}}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	bits64 "math/bits"
 
 	"natle/internal/cache"
+	"natle/internal/fault"
 	"natle/internal/machine"
 	"natle/internal/mem"
 	"natle/internal/sim"
@@ -156,6 +157,7 @@ type System struct {
 
 	Stats Stats
 	rec   telemetry.Recorder
+	inj   fault.Injector // nil = no fault injection (the hot-path default)
 
 	// CommitDelay, if non-nil, is invoked immediately before each
 	// transactional commit; it is the injection hook used by the Fig 6
@@ -186,13 +188,14 @@ func NewSystem(e *sim.Engine, capWords int) *System {
 }
 
 type txState struct {
-	slot    int16
-	active  bool
-	aborted bool
-	code    Code
-	hint    bool
-	beginAt vtime.Time
-	lock    telemetry.LockID // elided lock attribution tag (see SetLockTag)
+	slot       int16
+	active     bool
+	aborted    bool
+	code       Code
+	hint       bool
+	spuriousIn int // accesses until an injected spurious abort (0 = unarmed)
+	beginAt    vtime.Time
+	lock       telemetry.LockID // elided lock attribution tag (see SetLockTag)
 
 	readLines  []int32
 	writeLines []int32
@@ -281,6 +284,18 @@ func (s *System) SetRecorder(r telemetry.Recorder) {
 // Recorder returns the installed telemetry recorder (never nil).
 func (s *System) Recorder() telemetry.Recorder { return s.rec }
 
+// SetInjector installs a fault injector (nil disables injection). The
+// injector is consulted from the transaction lifecycle, the capacity
+// accounting, the cache model's invalidation path, and the fallback
+// spin lock; with nil installed each hook is a single pointer check.
+func (s *System) SetInjector(inj fault.Injector) {
+	s.inj = inj
+	s.Cache.Inj = inj
+}
+
+// Injector returns the installed fault injector (nil when disabled).
+func (s *System) Injector() fault.Injector { return s.inj }
+
 // SetLockTag tags the calling thread's subsequent transactional
 // attempts with the given lock id, attributing per-lock telemetry. The
 // lock-elision layers set it on entry to their critical sections; the
@@ -359,6 +374,11 @@ func (s *System) finishAbort(c *sim.Ctx, t *txState) {
 	t.active = false
 	s.clearSets(t)
 	c.Advance(s.prof.TxAbortCost)
+	if s.inj != nil {
+		// Lying-hint injection: the condition code is what happened; the
+		// hint is only what the hardware *claims* about retrying.
+		t.hint = s.inj.AbortHint(c, telemetry.Code(t.code), t.hint)
+	}
 	s.rec.TxAbort(c.Now(), int(t.slot), c.Socket(), t.lock,
 		telemetry.Code(t.code), t.hint, c.Now().Sub(t.beginAt))
 	panic(AbortSignal{Code: t.code, Hint: t.hint})
@@ -372,12 +392,16 @@ func (s *System) clearSets(t *txState) {
 	clear(t.wbIdx)
 }
 
-// capacity bounds, halved when the hyperthread sibling is active.
+// capacity bounds, halved when the hyperthread sibling is active and
+// further squeezed during injected capacity-pressure windows.
 func (s *System) caps(c *sim.Ctx) (writeCap, readCap int) {
 	writeCap, readCap = s.prof.TxWriteCap, s.prof.TxReadCap
 	if c.SiblingActive() {
 		writeCap /= 2
 		readCap /= 2
+	}
+	if s.inj != nil {
+		writeCap, readCap = s.inj.Caps(c, writeCap, readCap)
 	}
 	return
 }
@@ -398,6 +422,19 @@ func (s *System) trackNewLine(c *sim.Ctx, t *txState) {
 	}
 }
 
+// injTick counts down an armed spurious abort on each transactional
+// access and fires it when the countdown ends. Spurious aborts carry
+// the conflict code with the hint set, as TSX reports interrupts and
+// other environmental aborts; the injector's AbortHint filter may
+// still lie about the hint afterwards.
+func (s *System) injTick(c *sim.Ctx, t *txState) {
+	t.spuriousIn--
+	if t.spuriousIn == 0 {
+		s.doAbort(t, CodeConflict, true)
+		s.finishAbort(c, t)
+	}
+}
+
 // --- the access API ---
 
 // Read performs one simulated word read, transactional if the thread is
@@ -409,6 +446,9 @@ func (s *System) Read(c *sim.Ctx, a mem.Addr) uint64 {
 	if t.active {
 		if t.aborted {
 			s.finishAbort(c, t)
+		}
+		if t.spuriousIn > 0 {
+			s.injTick(c, t)
 		}
 		if i, ok := t.wbIdx[a]; ok {
 			c.Advance(s.prof.L1Hit + s.prof.BaseOp)
@@ -437,6 +477,9 @@ func (s *System) Write(c *sim.Ctx, a mem.Addr, v uint64) {
 	if t.active {
 		if t.aborted {
 			s.finishAbort(c, t)
+		}
+		if t.spuriousIn > 0 {
+			s.injTick(c, t)
 		}
 		s.abortConflictors(line, t.slot, true)
 		if s.regWriter[line] != t.slot {
@@ -518,6 +561,10 @@ func (s *System) begin(c *sim.Ctx, t *txState) {
 	t.aborted = false
 	t.code = CodeNone
 	t.hint = false
+	t.spuriousIn = 0
+	if s.inj != nil {
+		t.spuriousIn = s.inj.TxStart(c)
+	}
 	t.beginAt = c.Now()
 	s.Stats.Starts++
 	s.rec.TxStart(t.beginAt, int(t.slot), c.Socket(), t.lock)

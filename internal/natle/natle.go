@@ -55,6 +55,14 @@ type Config struct {
 	// before re-checking.
 	Wait vtime.Duration
 
+	// MaxThrottleWait is the starvation watchdog: the cumulative time
+	// one critical section may spend blocked by the mode before
+	// proceeding anyway (counted in Lock.Starvations). A mode decision
+	// can only starve a socket until the next profiling phase revisits
+	// it, so the default (0) is twice the cycle length; negative
+	// disables the bound, leaving only RepetitionThreshold.
+	MaxThrottleWait vtime.Duration
+
 	// SocketRecheck re-reads the thread's socket every this many
 	// LockAcquire calls, to accommodate migration (paper: ~1K).
 	SocketRecheck int
@@ -139,6 +147,10 @@ type Lock struct {
 	// Timeline is the record of profiling decisions (observational,
 	// host-side only).
 	Timeline []ModeSample
+
+	// Starvations counts critical sections that hit the MaxThrottleWait
+	// (or RepetitionThreshold) watchdog and proceeded despite the mode.
+	Starvations uint64
 }
 
 // New builds a NATLE lock wrapping inner (normally a *tle.Lock). Its
@@ -164,6 +176,9 @@ func New(sys *htm.System, c *sim.Ctx, inner lock.CS, cfg Config) *Lock {
 	sys.Mem.SetRaw(l.profEvery, 1)
 	if l.cfg.MaxProfSkip <= 0 {
 		l.cfg.MaxProfSkip = 8
+	}
+	if l.cfg.MaxThrottleWait == 0 {
+		l.cfg.MaxThrottleWait = 2 * l.cfg.CycleLen()
 	}
 	l.acq = sys.AllocHome(c, htm.MaxThreads*mem.WordsPerLine, 0)
 	for i := range l.threadSocket {
@@ -253,10 +268,18 @@ func (l *Lock) Critical(c *sim.Ctx, body func()) {
 			l.inner.Critical(c, body)
 			return
 		}
+		if l.cfg.MaxThrottleWait > 0 && waited >= l.cfg.MaxThrottleWait {
+			break
+		}
 		c.AdvanceIdle(l.cfg.Wait)
 		waited += l.cfg.Wait
 		c.Yield()
 	}
+	// Watchdog: the mode never admitted this socket within the wait (or
+	// repetition) budget — proceed anyway rather than starve. The inner
+	// TLE lock still serializes correctly; only throughput-shaping is
+	// bypassed.
+	l.Starvations++
 	l.recordWait(c, sock, waited)
 	l.inner.Critical(c, body)
 }

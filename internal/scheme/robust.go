@@ -1,0 +1,33 @@
+package scheme
+
+import (
+	"natle/internal/htm"
+	"natle/internal/sim"
+	"natle/internal/tle"
+)
+
+// tle-robust is TLE with the full hardening stack armed: the
+// starvation watchdog (on by default in every TLE policy) plus the
+// per-lock HTM circuit breaker, which degrades a pathologically
+// aborting lock to pure mutual exclusion and periodically probes for
+// recovery. Registered as a first-class scheme so sweeps and the chaos
+// harness can compare degradation behaviour against plain TLE under
+// identical fault schedules.
+func init() {
+	Register(&Descriptor{
+		Name:    "tle-robust",
+		Summary: "TLE with circuit breaker: degrades to the mutex under pathological abort rates",
+		Mutex:   true,
+		Robust:  true,
+		Make: func(sys *htm.System, c *sim.Ctx, socket int, opt Options) Instance {
+			pol := resolveTLE(opt.TLE)
+			if pol.Breaker == nil {
+				// The scheme's identity: always armed, whatever the base
+				// policy says.
+				br := tle.DefaultBreakerConfig()
+				pol.Breaker = &br
+			}
+			return tleInstance{tle.New(sys, c, socket, pol)}
+		},
+	})
+}

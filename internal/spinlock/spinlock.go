@@ -39,12 +39,28 @@ func (l *Lock) Acquire(c *sim.Ctx) {
 	backoff := 40 * vtime.Nanosecond
 	for {
 		if l.sys.Read(c, l.addr) == 0 && l.sys.CAS(c, l.addr, 0, 1) {
+			l.stall(c)
 			return
 		}
 		c.AdvanceIdle(backoff)
 		if backoff < 2*vtime.Microsecond {
 			backoff *= 2
 		}
+		c.Yield()
+	}
+}
+
+// stall inserts an injected "preemption" immediately after acquiring
+// the lock: the holder sits descheduled while every transaction
+// subscribed to the lock word has already aborted — the classic TLE
+// convoy trigger. No-op without a fault injector.
+func (l *Lock) stall(c *sim.Ctx) {
+	inj := l.sys.Injector()
+	if inj == nil {
+		return
+	}
+	if d := inj.CSStall(c); d > 0 {
+		c.AdvanceIdle(d)
 		c.Yield()
 	}
 }

@@ -70,8 +70,13 @@ func TestNATLERunsAllBenchmarks(t *testing.T) {
 }
 
 func TestLabyrinthOverflowsCapacity(t *testing.T) {
+	// 24 threads co-schedule hyperthread siblings, halving transaction
+	// capacity: labyrinth's long routing write-sets must overflow or
+	// exhaust their retry budget. (Fewer threads no longer trigger
+	// either reliably: capped exponential backoff desynchronizes the
+	// retry herds that used to exhaust the attempt budget.)
 	b, _ := New("labyrinth")
-	r := Run(b, Config{Threads: 4, Seed: 7, Lock: "tle"})
+	r := Run(b, Config{Threads: 24, Seed: 7, Lock: "tle"})
 	if r.Sync.TLE.Aborts[2] == 0 && r.Sync.TLE.Fallbacks == 0 {
 		t.Error("labyrinth should overflow HTM capacity or fall back; it did neither")
 	}

@@ -193,6 +193,16 @@ func (c *Collector) CacheMiss(at vtime.Time, socket int, remote bool) {
 	}
 }
 
+// Breaker implements Recorder.
+func (c *Collector) Breaker(at vtime.Time, slot, socket int, lock LockID, open bool) {
+	k := KindBreakerClose
+	if open {
+		k = KindBreakerOpen
+	}
+	c.kinds[k].Add(slot, 1)
+	c.trace(Event{Kind: k, At: at, Slot: int16(slot), Socket: int8(socket), Lock: lock})
+}
+
 // CacheInval implements Recorder.
 func (c *Collector) CacheInval(at vtime.Time, socket int, remote bool) {
 	c.kinds[KindCacheInval].Add(socket, 1)

@@ -45,6 +45,9 @@ type Summary struct {
 	CacheInvals       uint64 `json:"cache_invals"`
 	RemoteCacheInvals uint64 `json:"remote_cache_invals"`
 
+	BreakerOpens  uint64 `json:"breaker_opens,omitempty"`
+	BreakerCloses uint64 `json:"breaker_closes,omitempty"`
+
 	CommitLatency HistStats `json:"commit_latency"`
 	AbortGap      HistStats `json:"abort_gap"`
 	FallbackHold  HistStats `json:"fallback_hold"`
@@ -70,6 +73,9 @@ func (c *Collector) Summary() Summary {
 		RemoteCacheMisses: c.RemoteCacheMisses(),
 		CacheInvals:       c.Count(KindCacheInval),
 		RemoteCacheInvals: c.RemoteCacheInvals(),
+
+		BreakerOpens:  c.Count(KindBreakerOpen),
+		BreakerCloses: c.Count(KindBreakerClose),
 
 		CommitLatency: histStats(c.CommitLatency()),
 		AbortGap:      histStats(c.AbortGap()),
@@ -117,6 +123,14 @@ func CSVHeader(extra ...string) string {
 	return strings.Join(cols, ",")
 }
 
+// WriteCSVHeader writes CSVHeader (plus newline) to w, propagating the
+// writer's error — callers streaming sweep results to a file must see
+// a full disk instead of silently truncated output.
+func WriteCSVHeader(w io.Writer, extra ...string) error {
+	_, err := io.WriteString(w, CSVHeader(extra...)+"\n")
+	return err
+}
+
 // CSVRow renders the summary's flat (global) counters as one CSV row,
 // prefixed by any extra caller values matching CSVHeader's extras.
 func (s Summary) CSVRow(extra ...string) string {
@@ -146,6 +160,13 @@ func (s Summary) CSVRow(extra ...string) string {
 	return strings.Join(cols, ",")
 }
 
+// WriteCSV writes the summary's CSVRow (plus newline) to w,
+// propagating the writer's error.
+func (s Summary) WriteCSV(w io.Writer, extra ...string) error {
+	_, err := io.WriteString(w, s.CSVRow(extra...)+"\n")
+	return err
+}
+
 // String renders a compact human-readable roll-up.
 func (s Summary) String() string {
 	var b strings.Builder
@@ -165,6 +186,9 @@ func (s Summary) String() string {
 	if s.FallbackHold.Count > 0 {
 		fmt.Fprintf(&b, "\n  fallback hold:   n=%d p50=%.0fns p99=%.0fns",
 			s.FallbackHold.Count, s.FallbackHold.P50Ns, s.FallbackHold.P99Ns)
+	}
+	if s.BreakerOpens > 0 || s.BreakerCloses > 0 {
+		fmt.Fprintf(&b, "\n  breaker: opens=%d closes=%d", s.BreakerOpens, s.BreakerCloses)
 	}
 	return b.String()
 }
@@ -268,6 +292,11 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 			ce.Name = "tx-start"
 			ce.Phase = "i"
 			ce.Scope = "t"
+			ce.TsUs = us(vtime.Duration(e.At))
+		case KindBreakerOpen, KindBreakerClose:
+			ce.Name = e.Kind.String() + ":" + c.LockName(e.Lock)
+			ce.Phase = "i"
+			ce.Scope = "p"
 			ce.TsUs = us(vtime.Duration(e.At))
 		case KindCacheMiss, KindCacheInval:
 			ce.Name = e.Kind.String()

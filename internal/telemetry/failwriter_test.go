@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"errors"
+	"testing"
+)
+
+// errAfter is an io.Writer that accepts n bytes and then fails every
+// subsequent write — the shape of a full disk or a closed pipe
+// mid-export.
+type errAfter struct {
+	n   int
+	err error
+}
+
+func (w *errAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) <= w.n {
+		w.n -= len(p)
+		return len(p), nil
+	}
+	n := w.n
+	w.n = 0
+	return n, w.err
+}
+
+// TestExportersPropagateWriterErrors: every exporter must surface the
+// writer's error instead of silently truncating output — a sweep
+// writing CSV to a full disk has to fail loudly.
+func TestExportersPropagateWriterErrors(t *testing.T) {
+	sentinel := errors.New("disk full")
+	c := traceScenario()
+	s := c.Summary()
+
+	exporters := map[string]func(w *errAfter) error{
+		"WriteCSVHeader":   func(w *errAfter) error { return WriteCSVHeader(w, "threads") },
+		"Summary.WriteCSV": func(w *errAfter) error { return s.WriteCSV(w, "4") },
+		"Summary.WriteJSON": func(w *errAfter) error {
+			return s.WriteJSON(w)
+		},
+		"Collector.WriteChromeTrace": func(w *errAfter) error {
+			return c.WriteChromeTrace(w)
+		},
+	}
+	for name, export := range exporters {
+		// Failing immediately and failing mid-stream must both surface.
+		for _, accept := range []int{0, 10} {
+			w := &errAfter{n: accept, err: sentinel}
+			err := export(w)
+			if err == nil {
+				t.Errorf("%s (fail after %d bytes): error swallowed", name, accept)
+			} else if !errors.Is(err, sentinel) {
+				t.Errorf("%s (fail after %d bytes): got %v, want the writer's error", name, accept, err)
+			}
+		}
+		// And a writer that never fails must see no error.
+		w := &errAfter{n: 1 << 30, err: sentinel}
+		if err := export(w); err != nil {
+			t.Errorf("%s: unexpected error on a healthy writer: %v", name, err)
+		}
+	}
+}

@@ -84,6 +84,8 @@ const (
 	KindWait
 	KindCacheMiss
 	KindCacheInval
+	KindBreakerOpen
+	KindBreakerClose
 	NumKinds
 )
 
@@ -104,6 +106,10 @@ func (k Kind) String() string {
 		return "cache-miss"
 	case KindCacheInval:
 		return "cache-inval"
+	case KindBreakerOpen:
+		return "breaker-open"
+	case KindBreakerClose:
+		return "breaker-close"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -165,6 +171,12 @@ type Recorder interface {
 	// CacheInval records a write that invalidated other copies
 	// (remote reports whether a remote-socket copy was invalidated).
 	CacheInval(at vtime.Time, socket int, remote bool)
+
+	// Breaker records a circuit-breaker transition on a lock: open=true
+	// when the windowed abort rate tripped it (HTM degraded to pure
+	// mutual exclusion), open=false when a recovery probe committed and
+	// restored elision.
+	Breaker(at vtime.Time, slot, socket int, lock LockID, open bool)
 }
 
 // NopRecorder discards all events. Its methods are empty and
@@ -200,3 +212,6 @@ func (NopRecorder) CacheMiss(vtime.Time, int, bool) {}
 
 // CacheInval implements Recorder.
 func (NopRecorder) CacheInval(vtime.Time, int, bool) {}
+
+// Breaker implements Recorder.
+func (NopRecorder) Breaker(vtime.Time, int, int, LockID, bool) {}

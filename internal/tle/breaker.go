@@ -1,0 +1,153 @@
+package tle
+
+import "natle/internal/vtime"
+
+// BreakerConfig configures the per-lock HTM circuit breaker. When the
+// abort rate over a sliding window of attempts stays pathological the
+// breaker opens: elision is abandoned and critical sections go straight
+// to the fallback lock, which is both faster for the caller (no doomed
+// attempts, no backoff) and kinder to the machine (no coherence traffic
+// from transactions that cannot commit). After ProbeAfter of virtual
+// time the breaker half-opens and lets one critical section probe with
+// a few transactional attempts; a probe commit closes the breaker and
+// restores full elision, a failed probe re-opens it for another
+// ProbeAfter.
+type BreakerConfig struct {
+	// Window is the number of recent transactional attempts the abort
+	// rate is measured over (default 64). The breaker never trips
+	// before a full window has been observed.
+	Window int
+	// TripRate opens the breaker when aborts/attempts over the window
+	// reaches it (default 0.95).
+	TripRate float64
+	// ProbeAfter is how long the breaker stays open before half-opening
+	// to probe for recovery (default 50us of virtual time).
+	ProbeAfter vtime.Duration
+	// ProbeAttempts is the transactional attempt budget of a probing
+	// critical section (default 2).
+	ProbeAttempts int
+}
+
+// DefaultBreakerConfig returns the defaults documented on the fields.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		Window:        64,
+		TripRate:      0.95,
+		ProbeAfter:    50 * vtime.Microsecond,
+		ProbeAttempts: 2,
+	}
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	d := DefaultBreakerConfig()
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.TripRate <= 0 {
+		c.TripRate = d.TripRate
+	}
+	if c.ProbeAfter <= 0 {
+		c.ProbeAfter = d.ProbeAfter
+	}
+	if c.ProbeAttempts <= 0 {
+		c.ProbeAttempts = d.ProbeAttempts
+	}
+	return c
+}
+
+// breaker is the per-lock circuit-breaker state machine. It is driven
+// under the simulator token (one call at a time), so plain fields
+// suffice.
+type breaker struct {
+	cfg BreakerConfig
+
+	// Sliding attempt window: ring[i] is 1 if attempt i aborted.
+	ring   []uint8
+	head   int
+	filled bool
+	aborts int // aborted attempts currently in the ring
+
+	open     bool
+	openedAt vtime.Time
+	probing  bool // a probe critical section is in flight
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	cfg = cfg.withDefaults()
+	return &breaker{cfg: cfg, ring: make([]uint8, cfg.Window)}
+}
+
+// admission is the breaker's verdict for one critical section.
+type admission int
+
+const (
+	admitElide admission = iota // closed: full attempt budget
+	admitProbe                  // half-open: ProbeAttempts budget
+	admitSkip                   // open: straight to the fallback lock
+)
+
+// admit decides how the critical section starting at now may use HTM.
+func (b *breaker) admit(now vtime.Time) admission {
+	if !b.open {
+		return admitElide
+	}
+	if !b.probing && now.Sub(b.openedAt) >= b.cfg.ProbeAfter {
+		b.probing = true
+		return admitProbe
+	}
+	return admitSkip
+}
+
+// record feeds one transactional attempt outcome into the window and
+// reports whether the breaker tripped on this attempt.
+func (b *breaker) record(now vtime.Time, aborted bool) (tripped bool) {
+	b.aborts -= int(b.ring[b.head])
+	if aborted {
+		b.ring[b.head] = 1
+		b.aborts++
+	} else {
+		b.ring[b.head] = 0
+	}
+	b.head++
+	if b.head == len(b.ring) {
+		b.head = 0
+		b.filled = true
+	}
+	if b.open || !b.filled {
+		return false
+	}
+	if float64(b.aborts) >= b.cfg.TripRate*float64(len(b.ring)) {
+		b.trip(now)
+		return true
+	}
+	return false
+}
+
+// trip opens the breaker and resets the window so a later close starts
+// measuring afresh.
+func (b *breaker) trip(now vtime.Time) {
+	b.open = true
+	b.openedAt = now
+	b.probing = false
+	b.reset()
+}
+
+// probeResult reports the outcome of a probing critical section:
+// committed closes the breaker, anything else re-opens it for another
+// ProbeAfter.
+func (b *breaker) probeResult(now vtime.Time, committed bool) {
+	b.probing = false
+	if committed {
+		b.open = false
+		b.reset()
+	} else {
+		b.openedAt = now
+	}
+}
+
+func (b *breaker) reset() {
+	for i := range b.ring {
+		b.ring[i] = 0
+	}
+	b.head, b.aborts, b.filled = 0, 0, false
+}

@@ -18,12 +18,12 @@ import (
 	"natle/internal/sim"
 	"natle/internal/spinlock"
 	"natle/internal/telemetry"
-	"natle/internal/vtime"
 )
 
-// retryJitter bounds the randomized delay inserted between a
-// transactional abort and the next attempt.
-const retryJitter = 300 * vtime.Nanosecond
+// DefaultMaxWaits bounds the uncounted anti-lemming deferrals per
+// critical section before the starvation watchdog forces the fallback
+// lock.
+const DefaultMaxWaits = 64
 
 // Policy selects a TLE retry policy.
 type Policy struct {
@@ -38,6 +38,21 @@ type Policy struct {
 	// such attempts are not counted and the transaction is not retried
 	// until the lock is released, avoiding the lemming effect.
 	CountLockHeld bool
+	// Backoff shapes the randomized delay between an abort and the next
+	// transactional attempt (zero value = package defaults).
+	Backoff Backoff
+	// MaxWaits is the starvation watchdog: the number of uncounted
+	// anti-lemming deferrals (lock-held waits and uncounted lock-held
+	// aborts) one critical section tolerates before giving up on
+	// elision and acquiring the lock. 0 means DefaultMaxWaits; negative
+	// disables the watchdog (the pre-hardening unbounded behaviour).
+	MaxWaits int
+	// Breaker, when non-nil, arms the per-lock HTM circuit breaker:
+	// when the windowed abort rate stays pathological the lock degrades
+	// to pure mutual exclusion and periodically probes for recovery.
+	// A pointer keeps Policy comparable (scheme option merging relies
+	// on comparing against the zero Policy).
+	Breaker *BreakerConfig
 }
 
 // Name returns the paper's name for the policy (e.g. "TLE-20",
@@ -49,6 +64,9 @@ func (p Policy) Name() string {
 	}
 	if p.CountLockHeld {
 		n += "-count-lock"
+	}
+	if p.Breaker != nil {
+		n += "-breaker"
 	}
 	return n
 }
@@ -66,6 +84,11 @@ type Stats struct {
 	CommitsAfterNoHint   uint64    // commits preceded by >=1 hint-clear abort (Fig 2b)
 	LockHeldWaits        uint64    // attempts deferred because the lock was held
 	CommitsAfterCapacity uint64    // commits preceded by >=1 capacity abort
+	Starvations          uint64    // watchdog-forced fallbacks (wait bound hit)
+	BreakerTrips         uint64    // breaker openings
+	BreakerProbes        uint64    // half-open probe critical sections
+	BreakerRecoveries    uint64    // probes that committed and closed the breaker
+	BreakerSkips         uint64    // critical sections sent straight to the lock
 }
 
 // Sub returns the counter deltas s - t.
@@ -91,10 +114,18 @@ func (s *Stats) AbortRate() float64 {
 
 // String renders the counters compactly for logs and test failures.
 func (s Stats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"ops=%d attempts=%d commits=%d aborts=%d rate=%.1f%% fallbacks=%d lock-held-waits=%d",
 		s.Ops, s.Attempts, s.Commits, s.TotalAborts(),
 		100*s.AbortRate(), s.Fallbacks, s.LockHeldWaits)
+	if s.Starvations > 0 {
+		out += fmt.Sprintf(" starvations=%d", s.Starvations)
+	}
+	if s.BreakerTrips > 0 || s.BreakerSkips > 0 {
+		out += fmt.Sprintf(" breaker-trips=%d probes=%d recoveries=%d skips=%d",
+			s.BreakerTrips, s.BreakerProbes, s.BreakerRecoveries, s.BreakerSkips)
+	}
+	return out
 }
 
 // Lock is an elidable lock. It implements lock.CS.
@@ -103,6 +134,7 @@ type Lock struct {
 	sl  *spinlock.Lock
 	pol Policy
 	id  telemetry.LockID
+	br  *breaker // nil unless Policy.Breaker is set
 
 	Stats Stats
 }
@@ -113,13 +145,22 @@ func New(sys *htm.System, c *sim.Ctx, socket int, pol Policy) *Lock {
 	if pol.Attempts <= 0 {
 		pol.Attempts = 20
 	}
-	return &Lock{
+	l := &Lock{
 		sys: sys,
 		sl:  spinlock.New(sys, c, socket),
 		pol: pol,
 		id:  sys.Recorder().RegisterLock(pol.Name()),
 	}
+	if pol.Breaker != nil {
+		l.br = newBreaker(*pol.Breaker)
+	}
+	return l
 }
+
+// BreakerOpen reports whether the circuit breaker is currently open
+// (HTM degraded to pure mutual exclusion). Always false without a
+// breaker. Tests use this to observe the state machine.
+func (l *Lock) BreakerOpen() bool { return l.br != nil && l.br.open }
 
 // TelemetryID returns the lock's id in the telemetry recorder it was
 // registered with (NoLock under the no-op recorder).
@@ -132,21 +173,54 @@ func (l *Lock) Name() string { return l.pol.Name() }
 func (l *Lock) Inner() *spinlock.Lock { return l.sl }
 
 // Critical implements lock.CS: it elides the lock with up to
-// Policy.Attempts transactions and falls back to acquiring it.
+// Policy.Attempts transactions and falls back to acquiring it. With a
+// breaker armed, an open breaker routes the critical section straight
+// to the lock (periodically half-opening to probe for HTM recovery);
+// the starvation watchdog bounds the otherwise-uncounted anti-lemming
+// deferrals so a thread facing a permanently held (or permanently
+// aborting) lock still reaches the fallback.
 func (l *Lock) Critical(c *sim.Ctx, body func()) {
 	l.Stats.Ops++
 	l.sys.SetLockTag(c, l.id)
-	attempts := 0
+
+	budget := l.pol.Attempts
+	probing := false
+	if l.br != nil {
+		switch l.br.admit(c.Now()) {
+		case admitSkip:
+			l.Stats.BreakerSkips++
+			l.fallback(c, body)
+			return
+		case admitProbe:
+			probing = true
+			l.Stats.BreakerProbes++
+			if pa := l.br.cfg.ProbeAttempts; pa < budget {
+				budget = pa
+			}
+		}
+	}
+
+	maxWaits := l.pol.MaxWaits
+	if maxWaits == 0 {
+		maxWaits = DefaultMaxWaits
+	}
+
+	attempts, waits := 0, 0
 	hadNoHint := false
 	hadCapacity := false
-	for attempts < l.pol.Attempts {
-		if !l.pol.CountLockHeld {
+	committed := false
+	starved := false
+	for attempts < budget {
+		if !l.pol.CountLockHeld && l.sl.Held(c) {
 			// Anti-lemming: do not even start a transaction while the
-			// lock is held; wait (uncounted) for its release.
-			if l.sl.Held(c) {
-				l.Stats.LockHeldWaits++
-				l.sl.WaitFree(c)
+			// lock is held; wait (uncounted) for its release — but only
+			// up to the watchdog bound.
+			l.Stats.LockHeldWaits++
+			if waits++; maxWaits > 0 && waits > maxWaits {
+				starved = true
+				break
 			}
+			l.sl.WaitFree(c)
 		}
 		l.Stats.Attempts++
 		o := l.sys.Try(c, func() {
@@ -155,7 +229,18 @@ func (l *Lock) Critical(c *sim.Ctx, body func()) {
 			}
 			body()
 		})
+		if l.br != nil && o.Code != htm.CodeLockHeld {
+			// Lock-held aborts say nothing about HTM health, so they do
+			// not feed the breaker window. Probe attempts are judged by
+			// probeResult below, not by the window (record ignores them
+			// while the breaker is open).
+			if l.br.record(c.Now(), !o.Committed) {
+				l.Stats.BreakerTrips++
+				l.sys.Recorder().Breaker(c.Now(), l.sys.Slot(c), c.Socket(), l.id, true)
+			}
+		}
 		if o.Committed {
+			committed = true
 			l.Stats.Commits++
 			if hadNoHint {
 				l.Stats.CommitsAfterNoHint++
@@ -163,12 +248,17 @@ func (l *Lock) Critical(c *sim.Ctx, body func()) {
 			if hadCapacity {
 				l.Stats.CommitsAfterCapacity++
 			}
-			return
+			break
 		}
 		l.Stats.Aborts[o.Code]++
 		if o.Code == htm.CodeLockHeld {
 			if l.pol.CountLockHeld {
 				attempts++
+			} else if waits++; maxWaits > 0 && waits > maxWaits {
+				// An uncounted lock-held abort is also a deferral: bound
+				// it, or a held lock plus CountLockHeld=false livelocks.
+				starved = true
+				break
 			}
 			// Not counted otherwise; loop re-enters the wait-free path.
 			continue
@@ -182,14 +272,35 @@ func (l *Lock) Critical(c *sim.Ctx, body func()) {
 				break
 			}
 		}
-		attempts++
-		// Randomized retry jitter: abort handling, pipeline refill, and
-		// scheduling noise desynchronize retrying threads on real
-		// hardware; without it the deterministic simulator produces
-		// lock-step retry herds that re-abort each other indefinitely.
-		c.AdvanceIdle(vtime.Duration(c.Intn(int(retryJitter))))
+		// Capped exponential backoff with jitter: randomization
+		// desynchronizes retrying threads (on real hardware abort
+		// handling and scheduling noise do this for free; without it the
+		// deterministic simulator produces lock-step retry herds that
+		// re-abort each other indefinitely), and the exponential growth
+		// sheds offered load while contention persists.
+		c.AdvanceIdle(l.pol.Backoff.Gap(c, attempts))
 		c.Yield()
+		attempts++
 	}
+
+	if probing {
+		l.br.probeResult(c.Now(), committed)
+		if committed {
+			l.Stats.BreakerRecoveries++
+			l.sys.Recorder().Breaker(c.Now(), l.sys.Slot(c), c.Socket(), l.id, false)
+		}
+	}
+	if committed {
+		return
+	}
+	if starved {
+		l.Stats.Starvations++
+	}
+	l.fallback(c, body)
+}
+
+// fallback runs the critical section under the real lock.
+func (l *Lock) fallback(c *sim.Ctx, body func()) {
 	l.Stats.Fallbacks++
 	l.sl.Acquire(c)
 	acquiredAt := c.Now()

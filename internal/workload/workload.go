@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"natle/internal/cache"
+	"natle/internal/fault"
 	"natle/internal/htm"
 	"natle/internal/machine"
 	"natle/internal/natle"
@@ -66,6 +67,11 @@ type Config struct {
 	// CommitDelay inserts a spin of the given virtual duration before
 	// every transactional commit (the Fig 6 injection experiment).
 	CommitDelay vtime.Duration
+
+	// Fault, if non-nil and enabled, installs a deterministic fault
+	// injector (seeded from Seed) for the whole trial, prefill and
+	// warmup included. See internal/fault for the available faults.
+	Fault *fault.Profile
 
 	// MemWords pre-sizes the simulated memory (grown on demand).
 	MemWords int
@@ -130,6 +136,10 @@ type Result struct {
 	// Config.Recorder is a *telemetry.Collector (nil otherwise). Unlike
 	// the windowed deltas above it also covers warmup and prefill.
 	Telemetry *telemetry.Summary
+
+	// Fault counts the faults injected over the whole trial (zero
+	// without Config.Fault).
+	Fault fault.Stats
 }
 
 // Throughput returns operations per virtual second.
@@ -171,6 +181,11 @@ func Run(cfg Config) *Result {
 		// Installed before any locks exist so their RegisterLock calls
 		// land in this recorder.
 		sys.SetRecorder(cfg.Recorder)
+	}
+	var inj *fault.Fault
+	if cfg.Fault != nil && cfg.Fault.Enabled() {
+		inj = fault.New(*cfg.Fault, cfg.Seed)
+		sys.SetInjector(inj)
 	}
 	res := &Result{Config: cfg, PerSock: make([]uint64, cfg.Prof.Sockets)}
 
@@ -218,6 +233,9 @@ func Run(cfg Config) *Result {
 	if col, ok := cfg.Recorder.(*telemetry.Collector); ok {
 		sum := col.Summary()
 		res.Telemetry = &sum
+	}
+	if inj != nil {
+		res.Fault = inj.Stats
 	}
 	return res
 }

@@ -41,6 +41,7 @@ package natle
 import (
 	"natle/internal/cctsa"
 	"natle/internal/cohort"
+	"natle/internal/fault"
 	"natle/internal/harness"
 	"natle/internal/htm"
 	"natle/internal/lock"
@@ -142,6 +143,25 @@ type (
 	// SchemeInstance is a constructed scheme: a CriticalSection that
 	// also reports SchemeStats.
 	SchemeInstance = scheme.Instance
+	// FaultProfile configures the deterministic fault injector
+	// (internal/fault): spurious aborts, lying hint bits, capacity
+	// squeezes, delayed invalidations, critical-section stalls. Assign
+	// to WorkloadConfig.Fault.
+	FaultProfile = fault.Profile
+	// FaultSchedule is a named FaultProfile reproducing one of the
+	// paper's pathologies.
+	FaultSchedule = fault.Schedule
+	// FaultStats counts what an injector actually did during a run.
+	FaultStats = fault.Stats
+	// ChaosConfig configures the chaos matrix (fault schedules ×
+	// robust schemes with conservation and contents invariants).
+	ChaosConfig = harness.ChaosConfig
+	// ChaosCell is one (schedule, scheme) outcome of the chaos matrix.
+	ChaosCell = harness.ChaosCell
+	// TLEBreakerConfig tunes the per-lock circuit breaker
+	// (TLEPolicy.Breaker) that degrades TLE to the plain mutex under
+	// pathological abort rates.
+	TLEBreakerConfig = tle.BreakerConfig
 )
 
 // STAMPConfig configures one STAMP benchmark run by name.
@@ -341,3 +361,25 @@ func QuickScale() Scale { return harness.QuickScale() }
 // FullScale returns the dense figure-sweep scale used for
 // EXPERIMENTS.md.
 func FullScale() Scale { return harness.FullScale() }
+
+// FaultScheduleNames lists the named fault schedules, mild to severe.
+func FaultScheduleNames() []string { return fault.ScheduleNames() }
+
+// LookupFaultSchedule finds a named fault schedule (see
+// FaultScheduleNames); the error lists the valid names.
+func LookupFaultSchedule(name string) (FaultSchedule, error) {
+	return fault.LookupSchedule(name)
+}
+
+// DefaultBreakerConfig returns the circuit-breaker tuning used by the
+// tle-robust scheme.
+func DefaultBreakerConfig() TLEBreakerConfig { return tle.DefaultBreakerConfig() }
+
+// RunChaos runs the chaos matrix: every requested fault schedule
+// against every requested robust scheme, checking conservation and
+// final-contents invariants per cell.
+func RunChaos(cfg ChaosConfig) ([]ChaosCell, error) { return harness.RunChaos(cfg) }
+
+// ChaosReport renders chaos cells one line each and reports whether
+// every cell held its invariants.
+func ChaosReport(cells []ChaosCell) (string, bool) { return harness.ChaosReport(cells) }
