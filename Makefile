@@ -13,12 +13,15 @@ test:
 vet:
 	$(GO) vet ./...
 
-# lint fails on unformatted files (gofmt -l output is non-empty) and
-# on vet findings.
+# lint fails on unformatted files (gofmt -l output is non-empty), on
+# vet findings, and on natlevet findings — the repo's own analyzers
+# guarding determinism, transaction safety, zero-cost hooks, and enum
+# exhaustiveness (see README "Static analysis").
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/natlevet ./...
 
 race:
 	$(GO) test -race ./...

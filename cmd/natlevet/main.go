@@ -1,0 +1,138 @@
+// Command natlevet is the repo's static analysis suite: a vet-style
+// multichecker running the analyzers under internal/analysis over the
+// packages matching its arguments (default ./...). It exits nonzero
+// when any diagnostic survives suppression, so `make lint` and CI gate
+// on a natlevet-clean tree.
+//
+// Usage:
+//
+//	natlevet [-list] [-<analyzer>=false ...] [packages]
+//
+// Each analyzer guards an invariant the compiler cannot see; run
+// `natlevet -list` for the roster, and see README "Static analysis"
+// for which paper phenomenon breaks when each invariant is violated.
+// Findings are suppressed per line with
+// //natlevet:allow <analyzer>(reason).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"natle/internal/analysis"
+	"natle/internal/analysis/determinism"
+	"natle/internal/analysis/exhaustive"
+	"natle/internal/analysis/hookcost"
+	"natle/internal/analysis/load"
+	"natle/internal/analysis/txnsafe"
+)
+
+// analyzers is the natlevet roster, alphabetical.
+var analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	exhaustive.Analyzer,
+	hookcost.Analyzer,
+	txnsafe.Analyzer,
+}
+
+func main() {
+	listOnly := flag.Bool("list", false, "list analyzers and exit")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, true,
+			fmt.Sprintf("run the %s analyzer (%s)", a.Name, firstLine(a.Doc)))
+	}
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "natlevet: %v\n", err)
+		os.Exit(2)
+	}
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var diags []diag
+	for _, p := range pkgs {
+		var pkgDiags []analysis.Diagnostic
+		report := func(d analysis.Diagnostic) { pkgDiags = append(pkgDiags, d) }
+		analysis.LintDirectives(p.Fset, p.Syntax, known, report)
+		allow := analysis.BuildAllowlist(p.Fset, p.Syntax)
+		for _, a := range analyzers {
+			if !*enabled[a.Name] {
+				continue
+			}
+			pass := analysis.NewPass(a, p.Fset, p.Syntax, p.Types, p.TypesInfo, allow, report)
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "natlevet: %s on %s: %v\n", a.Name, p.PkgPath, err)
+				os.Exit(2)
+			}
+		}
+		for _, d := range pkgDiags {
+			pos := p.Fset.Position(d.Pos)
+			diags = append(diags, diag{
+				file: relative(pos.Filename), line: pos.Line, col: pos.Column,
+				analyzer: d.Analyzer, message: d.Message,
+			})
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.col < b.col
+	})
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", d.file, d.line, d.col, d.message, d.analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "natlevet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+type diag struct {
+	file      string
+	line, col int
+	analyzer  string
+	message   string
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func relative(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

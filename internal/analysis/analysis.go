@@ -1,0 +1,256 @@
+// Package analysis is the vocabulary of natlevet, the repo's static
+// analysis suite: Analyzer, Pass and Diagnostic mirror the shape of
+// golang.org/x/tools/go/analysis so each checker reads like a standard
+// vet analyzer, but the implementation is dependency-free — the build
+// environment has no module proxy, so x/tools cannot be fetched and
+// the loader (package load) instead type-checks against the compiler's
+// own export data via `go list -export`. If x/tools ever becomes
+// available, the analyzers port over by swapping this import.
+//
+// The suite exists because the reproduction rests on invariants the
+// compiler cannot see:
+//
+//   - simulated results must be a pure function of (profile, seed) —
+//     wall-clock reads or unseeded global randomness silently break
+//     the fault injector's byte-identical replays (determinism);
+//   - transaction bodies unwind via an htm.AbortSignal panic — a
+//     recover, go statement, or channel operation inside one swallows
+//     or escapes the unwind (txnsafe);
+//   - telemetry and fault hooks are only zero-cost-when-disabled if
+//     every call site keeps the nil-check / Nop-default discipline
+//     (hookcost);
+//   - enum switches and the value-mirrored enum pairs must stay
+//     complete as constants are added (exhaustive).
+//
+// # Suppression
+//
+// A finding is silenced by an allow directive on the same line as the
+// diagnostic or on the line directly above it:
+//
+//	//natlevet:allow determinism(progress timing for humans only)
+//
+// The parenthesized reason is mandatory; a directive without one is
+// itself a diagnostic. Multiple analyzers may be listed in a single
+// directive, comma-separated: //natlevet:allow a(why), b(why).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //natlevet:allow directives.
+	Name string
+
+	// Doc is the help text; the first line is the summary.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting findings
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass connects an Analyzer to one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	allow  *Allowlist
+	report func(Diagnostic)
+}
+
+// NewPass prepares a run of a over one package. The allowlist is
+// shared across analyzers for the package (build it once with
+// BuildAllowlist); report receives every non-suppressed diagnostic.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, allow *Allowlist,
+	report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer: a, Fset: fset, Files: files, Pkg: pkg,
+		TypesInfo: info, allow: allow, report: report,
+	}
+}
+
+// A Diagnostic is one finding, positioned within the fileset of the
+// pass that produced it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf reports a finding unless an allow directive for this
+// analyzer covers its line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.allow != nil {
+		position := p.Fset.Position(pos)
+		if p.allow.Allowed(p.Analyzer.Name, position.Filename, position.Line) {
+			return
+		}
+	}
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// An Allow is one parsed name(reason) entry of an allow directive.
+type Allow struct {
+	Analyzer string
+	Reason   string
+}
+
+// allowDirective is the comment prefix of a suppression.
+const allowDirective = "//natlevet:allow"
+
+// MirrorDirective is the comment prefix of an enum-mirror assertion
+// (interpreted by the exhaustive analyzer).
+const MirrorDirective = "//natlevet:mirror"
+
+var allowEntryRE = regexp.MustCompile(`^([a-zA-Z][a-zA-Z0-9_-]*)\(([^()]*)\)$`)
+
+// parseAllow parses the text of one allow directive comment. It
+// returns nil and an error when the directive is malformed (missing
+// reason, bad entry syntax).
+func parseAllow(text string) ([]Allow, error) {
+	body := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
+	if body == "" {
+		return nil, fmt.Errorf("natlevet:allow directive names no analyzer; use //natlevet:allow name(reason)")
+	}
+	var out []Allow
+	for _, item := range splitTopLevel(body) {
+		m := allowEntryRE.FindStringSubmatch(item)
+		if m == nil {
+			return nil, fmt.Errorf("malformed natlevet:allow entry %q; use name(reason)", item)
+		}
+		if strings.TrimSpace(m[2]) == "" {
+			return nil, fmt.Errorf("natlevet:allow %s() has an empty reason; say why the invariant is safe to waive here", m[1])
+		}
+		out = append(out, Allow{Analyzer: m[1], Reason: strings.TrimSpace(m[2])})
+	}
+	return out, nil
+}
+
+// splitTopLevel splits comma-separated allow entries without breaking
+// on commas inside the (reason) parentheses.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if last := strings.TrimSpace(s[start:]); last != "" {
+		out = append(out, last)
+	}
+	return out
+}
+
+// An Allowlist indexes the allow directives of one package by file and
+// line. A directive sanctions findings on its own line and on the line
+// directly below it (covering both trailing-comment and
+// line-above-the-statement placement).
+type Allowlist struct {
+	byLine map[lineKey][]Allow
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// BuildAllowlist collects the allow directives of the given files.
+// Malformed directives are ignored here; LintDirectives reports them.
+func BuildAllowlist(fset *token.FileSet, files []*ast.File) *Allowlist {
+	al := &Allowlist{byLine: make(map[lineKey][]Allow)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowDirective) {
+					continue
+				}
+				entries, err := parseAllow(c.Text)
+				if err != nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, k := range []lineKey{
+					{pos.Filename, pos.Line},
+					{pos.Filename, pos.Line + 1},
+				} {
+					al.byLine[k] = append(al.byLine[k], entries...)
+				}
+			}
+		}
+	}
+	return al
+}
+
+// Allowed reports whether a directive sanctions findings of the named
+// analyzer at file:line.
+func (al *Allowlist) Allowed(analyzer, file string, line int) bool {
+	for _, a := range al.byLine[lineKey{file, line}] {
+		if a.Analyzer == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// LintDirectives checks every natlevet: comment in the files for
+// well-formedness: allow entries must parse and carry a reason, allow
+// names must be known analyzers, and unrecognized natlevet: verbs are
+// flagged. It reports through report with the pseudo-analyzer name
+// "natlevet".
+func LintDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool, report func(Diagnostic)) {
+	bad := func(pos token.Pos, format string, args ...any) {
+		report(Diagnostic{Pos: pos, Analyzer: "natlevet", Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				switch {
+				case strings.HasPrefix(c.Text, allowDirective):
+					entries, err := parseAllow(c.Text)
+					if err != nil {
+						bad(c.Pos(), "%v", err)
+						continue
+					}
+					for _, e := range entries {
+						if !known[e.Analyzer] {
+							bad(c.Pos(), "natlevet:allow names unknown analyzer %q", e.Analyzer)
+						}
+					}
+				case strings.HasPrefix(c.Text, MirrorDirective):
+					body := strings.TrimSpace(strings.TrimPrefix(c.Text, MirrorDirective))
+					if body == "" || !strings.Contains(body, ".") {
+						bad(c.Pos(), "natlevet:mirror needs an import-path-qualified type: //natlevet:mirror path/to/pkg.Type")
+					}
+				case strings.HasPrefix(c.Text, "//natlevet:"):
+					bad(c.Pos(), "unknown natlevet directive %q (known: allow, mirror)", c.Text)
+				}
+			}
+		}
+	}
+}
+
+// ExprString renders an expression for receiver matching and
+// diagnostics (a thin indirection over types.ExprString so analyzers
+// share one normalization).
+func ExprString(e ast.Expr) string { return types.ExprString(e) }

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	for _, tc := range []struct {
+		text    string
+		want    []Allow
+		wantErr string
+	}{
+		{
+			text: "//natlevet:allow determinism(progress timing)",
+			want: []Allow{{"determinism", "progress timing"}},
+		},
+		{
+			text: "//natlevet:allow determinism(a, b reasons), hookcost(c)",
+			want: []Allow{{"determinism", "a, b reasons"}, {"hookcost", "c"}},
+		},
+		{text: "//natlevet:allow", wantErr: "names no analyzer"},
+		{text: "//natlevet:allow determinism", wantErr: "malformed"},
+		{text: "//natlevet:allow determinism()", wantErr: "empty reason"},
+		{text: "//natlevet:allow determinism( )", wantErr: "empty reason"},
+	} {
+		got, err := parseAllow(tc.text)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("parseAllow(%q) err = %v, want containing %q", tc.text, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseAllow(%q): %v", tc.text, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parseAllow(%q) = %v, want %v", tc.text, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("parseAllow(%q)[%d] = %v, want %v", tc.text, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+const directiveSrc = `package p
+
+//natlevet:allow determinism(same line and line below are sanctioned)
+var a int
+
+//natlevet:allow unknownanalyzer(reason)
+var b int
+
+//natlevet:allow broken
+var c int
+
+//natlevet:frobnicate
+var d int
+`
+
+func TestAllowlistAndLint(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []*ast.File{f}
+
+	al := BuildAllowlist(fset, files)
+	if !al.Allowed("determinism", "p.go", 3) {
+		t.Error("directive line itself not allowed")
+	}
+	if !al.Allowed("determinism", "p.go", 4) {
+		t.Error("line below directive not allowed")
+	}
+	if al.Allowed("determinism", "p.go", 5) {
+		t.Error("two lines below directive should not be allowed")
+	}
+	if al.Allowed("hookcost", "p.go", 4) {
+		t.Error("directive must only sanction the named analyzer")
+	}
+
+	var diags []Diagnostic
+	LintDirectives(fset, files, map[string]bool{"determinism": true},
+		func(d Diagnostic) { diags = append(diags, d) })
+	wants := []string{"unknown analyzer", "malformed", "unknown natlevet directive"}
+	if len(diags) != len(wants) {
+		t.Fatalf("LintDirectives produced %d diagnostics, want %d: %v", len(diags), len(wants), diags)
+	}
+	for i, w := range wants {
+		if !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want containing %q", i, diags[i].Message, w)
+		}
+	}
+}

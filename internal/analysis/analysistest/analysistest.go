@@ -1,0 +1,112 @@
+// Package analysistest runs a natlevet analyzer over fixture packages
+// under a testdata directory and compares its findings against
+// expectations written in the fixtures themselves, mirroring
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	_ = rand.Intn(4) // want `unseeded global`
+//
+// A `// want` comment holds one or more quoted or backquoted regular
+// expressions; each must match a diagnostic reported on that line, and
+// every diagnostic must be matched by some expectation. Fixture
+// directories live at <testdata>/src/<name> and are ordinary Go
+// packages hidden from the go tool (testdata is skipped by ./...), so
+// deliberately-broken invariant violations in them never break the
+// build; they may import real natle/internal/... packages, which the
+// loader resolves through the module's export data.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"natle/internal/analysis"
+	"natle/internal/analysis/load"
+)
+
+// wantRE extracts the quoted or backquoted patterns of a want comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package <testdata>/src/<pkg>, applies the
+// analyzer, and reports mismatches between its diagnostics and the
+// fixtures' want comments through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		p, err := load.Fixture(dir)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", name, err)
+			continue
+		}
+
+		wants := make(map[string][]*expectation) // "file:line" -> expectations
+		for _, f := range p.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "want ") && text != "want" {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+					for _, lit := range wantRE.FindAllString(text, -1) {
+						pat := lit[1 : len(lit)-1]
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Errorf("%s: bad want pattern %q: %v", key, pat, err)
+							continue
+						}
+						wants[key] = append(wants[key], &expectation{re: re})
+					}
+				}
+			}
+		}
+
+		var diags []analysis.Diagnostic
+		pass := analysis.NewPass(a, p.Fset, p.Syntax, p.Types, p.TypesInfo,
+			analysis.BuildAllowlist(p.Fset, p.Syntax),
+			func(d analysis.Diagnostic) { diags = append(diags, d) })
+		if err := a.Run(pass); err != nil {
+			t.Errorf("%s: analyzer %s failed: %v", name, a.Name, err)
+			continue
+		}
+
+		for _, d := range diags {
+			pos := p.Fset.Position(d.Pos)
+			key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+			found := false
+			for _, w := range wants[key] {
+				if !w.matched && w.re.MatchString(d.Message) {
+					w.matched = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s/%s: unexpected diagnostic: %s", name, key, d.Message)
+			}
+		}
+		var keys []string
+		for k := range wants {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			for _, w := range wants[k] {
+				if !w.matched {
+					t.Errorf("%s/%s: no diagnostic matched %q", name, k, w.re)
+				}
+			}
+		}
+	}
+}

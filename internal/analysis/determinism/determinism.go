@@ -1,0 +1,82 @@
+// Package determinism defines the natlevet analyzer enforcing that
+// simulated code is a pure function of (machine profile, fault
+// profile, seed). The fault injector's byte-identical replay tests and
+// the pinned golden traces (PRs 1 and 3) rely on runs being exactly
+// reproducible; one wall-clock read or one draw from math/rand's
+// unseeded global source silently breaks them in a way no unit test
+// reliably catches. Virtual time flows only through internal/vtime and
+// sim.Ctx; randomness flows only through seeded sources (the thread's
+// sim.Ctx RNG, or rand.New(rand.NewSource(seed))).
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"natle/internal/analysis"
+)
+
+// Analyzer flags wall-clock reads and unseeded global randomness.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: `forbid wall-clock time and unseeded global randomness
+
+Simulated results must be a pure function of (profile, seed): replay
+tests compare traces byte-for-byte. time.Now/Sleep/Since/... and the
+package-level math/rand functions (which draw from a process-global
+source) are banned in non-test code; use internal/vtime, the sim.Ctx
+RNG, or an explicitly seeded *rand.Rand. Sanctioned wall-clock uses
+(human progress reporting) carry //natlevet:allow determinism(reason).`,
+	Run: run,
+}
+
+// bannedTime are the time functions that read or wait on the wall
+// clock. Constants (time.Millisecond) and pure arithmetic on
+// time.Time/Duration values remain available.
+var bannedTime = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true,
+	"Since": true, "Until": true,
+}
+
+// allowedRand are the math/rand (and v2) package-level functions that
+// construct explicitly-seeded sources rather than drawing from the
+// global one.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are seeded by construction
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s leaks wall-clock nondeterminism into the run: simulated code must use virtual time (internal/vtime, sim.Ctx)",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"%s.%s draws from the unseeded global source: use the thread's sim.Ctx RNG or rand.New(rand.NewSource(seed))",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"natle/internal/analysis/analysistest"
+	"natle/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "det")
+}

@@ -1,0 +1,46 @@
+// Package det is the determinism analyzer fixture: wall-clock reads
+// and global-source randomness must be flagged; seeded sources,
+// constants, and annotated sanctioned uses must not.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()                      // want `wall-clock`
+	time.Sleep(time.Millisecond)             // want `wall-clock`
+	deadline := time.After(start.Sub(start)) // want `wall-clock`
+	<-deadline
+	return time.Since(start) // want `wall-clock`
+}
+
+func globalRand() int {
+	rand.Shuffle(4, func(i, j int) {}) // want `unseeded global`
+	return rand.Intn(4)                // want `unseeded global`
+}
+
+// timeValue takes the banned function as a value, not a call; the
+// reference alone is nondeterminism waiting to be invoked.
+func timeValue() func() time.Time {
+	return time.Now // want `wall-clock`
+}
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors are deterministic
+	return rng.Intn(4)                    // methods on a seeded *rand.Rand are fine
+}
+
+func constantsOnly() time.Duration {
+	return 3 * time.Millisecond // constants never tick
+}
+
+func sanctioned() time.Time {
+	return time.Now() //natlevet:allow determinism(fixture: progress reporting for humans)
+}
+
+func sanctionedAbove() time.Time {
+	//natlevet:allow determinism(fixture: directive on the line above)
+	return time.Now()
+}

@@ -1,0 +1,86 @@
+// Package enums extracts the constant members of a Go "enum" — a
+// defined type with a block of typed constants — from type-checker
+// data. It is the shared substrate of the exhaustive analyzer and of
+// tests that assert runtime registries cover every declared constant
+// (the scheme registry's LockKind coverage test), replacing the older
+// pattern of re-parsing source files with go/parser and pattern
+// matching on the AST.
+package enums
+
+import (
+	"fmt"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// sentinelPrefixes mark length/bound constants that close an iota
+// block (numCodes, NumKinds, MaxBatch, ...). They size arrays; they
+// are not values a switch should handle.
+var sentinelPrefixes = []string{"num", "Num", "max", "Max"}
+
+// IsSentinel reports whether a constant name looks like an iota-block
+// terminator rather than an enum member.
+func IsSentinel(name string) bool {
+	for _, p := range sentinelPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Members returns the constants of type t declared at package scope in
+// pkg, split into enum members and sentinels, in declaration order.
+func Members(pkg *types.Package, t types.Type) (members, sentinels []*types.Const) {
+	scope := pkg.Scope()
+	var all []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), t) {
+			continue
+		}
+		all = append(all, c)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Pos() < all[j].Pos() })
+	for _, c := range all {
+		if IsSentinel(c.Name()) {
+			sentinels = append(sentinels, c)
+		} else {
+			members = append(members, c)
+		}
+	}
+	return members, sentinels
+}
+
+// Named looks up the defined type called typeName in pkg and returns
+// its enum members, requiring at least one.
+func Named(pkg *types.Package, typeName string) (members, sentinels []*types.Const, err error) {
+	obj := pkg.Scope().Lookup(typeName)
+	if obj == nil {
+		return nil, nil, fmt.Errorf("%s has no type %s", pkg.Path(), typeName)
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, nil, fmt.Errorf("%s.%s is %T, not a type", pkg.Path(), typeName, obj)
+	}
+	members, sentinels = Members(pkg, tn.Type())
+	if len(members) == 0 {
+		return nil, nil, fmt.Errorf("%s.%s has no constants: not an enum", pkg.Path(), typeName)
+	}
+	return members, sentinels, nil
+}
+
+// StringValues returns the string value of each constant; it errors if
+// any member is not of string kind.
+func StringValues(consts []*types.Const) ([]string, error) {
+	var out []string
+	for _, c := range consts {
+		if c.Val().Kind() != constant.String {
+			return nil, fmt.Errorf("constant %s is %v, not a string", c.Name(), c.Val().Kind())
+		}
+		out = append(out, constant.StringVal(c.Val()))
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+// Package exh is the exhaustive analyzer switch fixture: a local enum
+// stands in for the repo's (the rule fires for enums defined in the
+// package under analysis, exactly as it does for natle/... enums).
+package exh
+
+type color uint8
+
+const (
+	red color = iota
+	green
+	blue
+	numColors // sentinel: sizes arrays, exempt from switches
+)
+
+type mode string
+
+const (
+	modeFast mode = "fast"
+	modeSafe mode = "safe"
+)
+
+func partial(c color) string {
+	switch c { // want `missing cases blue`
+	case red:
+		return "red"
+	case green:
+		return "green"
+	}
+	return "?"
+}
+
+func full(c color) string {
+	switch c {
+	case red, green:
+		return "warm-ish"
+	case blue:
+		return "cold"
+	}
+	return "?"
+}
+
+func defaulted(c color) string {
+	switch c {
+	case red:
+		return "red"
+	default:
+		return "not red"
+	}
+}
+
+func stringEnum(m mode) bool {
+	switch m { // want `missing cases modeSafe`
+	case modeFast:
+		return true
+	}
+	return false
+}
+
+func sanctioned(c color) string {
+	switch c { //natlevet:allow exhaustive(fixture: legacy renderer handles the rest elsewhere)
+	case red:
+		return "red"
+	}
+	return "?"
+}
+
+// tagless and non-enum switches are out of scope.
+func outOfScope(n int, c color) string {
+	switch {
+	case n > 0:
+		return "+"
+	}
+	switch n {
+	case 1:
+		return "1"
+	}
+	var arr [numColors]string
+	return arr[c]
+}

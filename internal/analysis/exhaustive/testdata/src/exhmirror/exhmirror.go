@@ -1,0 +1,40 @@
+// Package exhmirror is the mirror-directive fixture: it declares one
+// faithful and one diverged mirror of the real telemetry.Code enum.
+package exhmirror
+
+import "natle/internal/telemetry"
+
+var _ = telemetry.NumCodes // keep the mirrored package imported
+
+// good mirrors telemetry.Code value-for-value (sentinels exempt).
+//
+//natlevet:mirror natle/internal/telemetry.Code
+type good uint8
+
+const (
+	goodNone good = iota
+	goodConflict
+	goodCapacity
+	goodExplicit
+	goodLockHeld
+	numGood
+)
+
+// stale dropped two codes and drifted.
+//
+//natlevet:mirror natle/internal/telemetry.Code
+type stale uint8 // want `does not mirror telemetry.Code`
+
+const (
+	staleNone stale = iota
+	staleConflict
+	staleCapacity
+)
+
+//natlevet:mirror nosuch/pkg.Type
+type unimported uint8 // want `not imported by this package`
+
+const (
+	unimportedA unimported = iota
+	unimportedB
+)

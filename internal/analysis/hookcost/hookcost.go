@@ -1,0 +1,305 @@
+// Package hookcost defines the natlevet analyzer preserving the
+// zero-cost-when-disabled contract of the observability hooks:
+//
+//   - fault.Injector fields are nil when injection is off (the
+//     hot-path default), so every call through an Injector-typed
+//     expression must be dominated by a nil check — both to avoid a
+//     nil-interface panic and to keep the disabled cost at one pointer
+//     comparison;
+//   - telemetry.Recorder fields are never nil: holders default them to
+//     telemetry.Nop() (whose empty methods devirtualize to nothing),
+//     so a Recorder field may be called unguarded only if its package
+//     visibly establishes the Nop default (a composite-literal entry
+//     or assignment of telemetry.Nop()); a field with neither the
+//     default nor a nil check is one forgotten constructor away from a
+//     panic.
+//
+// The guard analysis is syntactic domination: the call must sit inside
+// `if x != nil { ... }` (or the else of an == nil), or follow an
+// `if x == nil { return/... }` early bail in an enclosing block, where
+// x prints identically to the call's receiver expression. Binding the
+// hook to a local first (inj := s.Injector(); if inj != nil { ... })
+// is the idiom the analyzer pushes call sites toward.
+package hookcost
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"natle/internal/analysis"
+)
+
+// Analyzer enforces nil-guarded fault hooks and Nop-defaulted
+// telemetry recorders.
+var Analyzer = &analysis.Analyzer{
+	Name: "hookcost",
+	Doc: `require nil checks around fault.Injector calls and Nop defaults for telemetry.Recorder fields
+
+With no injector installed the fault hooks must cost one pointer
+comparison; with telemetry off the Recorder must be telemetry.Nop(),
+never nil. Calls that violate either pattern panic when the subsystem
+is disabled and erode the zero-cost contract. Call sites with an
+out-of-band guarantee carry //natlevet:allow hookcost(reason).`,
+	Run: run,
+}
+
+const (
+	faultPath     = "natle/internal/fault"
+	telemetryPath = "natle/internal/telemetry"
+)
+
+// isNamedInterface reports whether t is the named interface pkgPath.name.
+func isNamedInterface(t types.Type, pkgPath, name string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == name
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == faultPath || pass.Pkg.Path() == telemetryPath {
+		return nil // the packages defining the hooks trade in them freely
+	}
+	nopDefaulted := nopDefaultedFields(pass)
+	for _, f := range pass.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			recv := sel.X
+			rt := pass.TypesInfo.TypeOf(recv)
+			if rt == nil {
+				return
+			}
+			switch {
+			case isNamedInterface(rt, faultPath, "Injector"):
+				if !guarded(stack, n, analysis.ExprString(recv)) {
+					pass.Reportf(call.Pos(),
+						"call through fault.Injector %q is not dominated by a nil check: with no injector installed this panics, and the hook is no longer one pointer comparison (bind to a local and guard with != nil)",
+						analysis.ExprString(recv))
+				}
+			case isNamedInterface(rt, telemetryPath, "Recorder"):
+				fieldVar := fieldOf(pass, recv)
+				if fieldVar == nil {
+					return // locals/params/results follow the holder's contract
+				}
+				if nopDefaulted[fieldVar] {
+					return
+				}
+				if !guarded(stack, n, analysis.ExprString(recv)) {
+					pass.Reportf(call.Pos(),
+						"telemetry.Recorder field %q is neither defaulted to telemetry.Nop() in this package nor nil-checked here: the zero-cost contract wants Nop, not nil",
+						analysis.ExprString(recv))
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// fieldOf returns the struct field a selector expression denotes, or
+// nil if e is not a field selection.
+func fieldOf(pass *analysis.Pass, e ast.Expr) *types.Var {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// nopDefaultedFields collects Recorder-typed fields that this package
+// visibly initializes with telemetry.Nop(): a composite-literal entry
+// {rec: telemetry.Nop()} or an assignment x.rec = telemetry.Nop().
+func nopDefaultedFields(pass *analysis.Pass) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					v, ok := pass.TypesInfo.Uses[key].(*types.Var)
+					if ok && v.IsField() && isNopCall(pass, kv.Value) {
+						out[v] = true
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					if v := fieldOf(pass, lhs); v != nil && isNopCall(pass, n.Rhs[i]) {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isNopCall reports whether e is a call to telemetry.Nop.
+func isNopCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == telemetryPath && fn.Name() == "Nop"
+}
+
+// inspectWithStack is ast.Inspect with the ancestor stack (outermost
+// first, excluding n itself) passed to the callback.
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// guarded reports whether the node (with its ancestor stack) is
+// dominated by a nil check on the expression printing as estr.
+func guarded(stack []ast.Node, node ast.Node, estr string) bool {
+	child := node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.IfStmt:
+			if child == p.Body && condConjunctNonNil(p.Cond, estr) {
+				return true
+			}
+			if child == p.Else && condDisjunctNil(p.Cond, estr) {
+				return true
+			}
+		case *ast.BlockStmt:
+			if bailedBefore(p.List, child, estr) {
+				return true
+			}
+		case *ast.CaseClause:
+			if bailedBefore(p.Body, child, estr) {
+				return true
+			}
+		case *ast.CommClause:
+			if bailedBefore(p.Body, child, estr) {
+				return true
+			}
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// bailedBefore reports whether a statement preceding child in stmts is
+// an early bail of the form `if estr == nil { return/break/... }`.
+func bailedBefore(stmts []ast.Stmt, child ast.Node, estr string) bool {
+	for _, s := range stmts {
+		if s == child {
+			return false
+		}
+		ifs, ok := s.(*ast.IfStmt)
+		if ok && ifs.Else == nil && terminates(ifs.Body) && condDisjunctNil(ifs.Cond, estr) {
+			return true
+		}
+	}
+	return false
+}
+
+// condConjunctNonNil reports whether cond being true implies
+// estr != nil: the condition contains `estr != nil` as an &&-conjunct.
+func condConjunctNonNil(cond ast.Expr, estr string) bool {
+	cond = ast.Unparen(cond)
+	if b, ok := cond.(*ast.BinaryExpr); ok {
+		switch b.Op {
+		case token.LAND:
+			return condConjunctNonNil(b.X, estr) || condConjunctNonNil(b.Y, estr)
+		case token.NEQ:
+			return isNilCompare(b, estr)
+		}
+	}
+	return false
+}
+
+// condDisjunctNil reports whether cond being false implies
+// estr != nil: the condition contains `estr == nil` as an ||-disjunct.
+func condDisjunctNil(cond ast.Expr, estr string) bool {
+	cond = ast.Unparen(cond)
+	if b, ok := cond.(*ast.BinaryExpr); ok {
+		switch b.Op {
+		case token.LOR:
+			return condDisjunctNil(b.X, estr) || condDisjunctNil(b.Y, estr)
+		case token.EQL:
+			return isNilCompare(b, estr)
+		}
+	}
+	return false
+}
+
+// isNilCompare reports whether b compares the expression printing as
+// estr against nil.
+func isNilCompare(b *ast.BinaryExpr, estr string) bool {
+	x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+	if isNilIdent(y) {
+		return analysis.ExprString(x) == estr
+	}
+	if isNilIdent(x) {
+		return analysis.ExprString(y) == estr
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block visibly ends the enclosing
+// control flow: return, branch (break/continue/goto), panic, or a
+// nested block that terminates.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	case *ast.BlockStmt:
+		return terminates(last)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package hookcost_test
+
+import (
+	"testing"
+
+	"natle/internal/analysis/analysistest"
+	"natle/internal/analysis/hookcost"
+)
+
+func TestHookcost(t *testing.T) {
+	analysistest.Run(t, "testdata", hookcost.Analyzer, "hook")
+}

@@ -1,0 +1,97 @@
+// Package hook is the hookcost analyzer fixture: fault.Injector calls
+// must be nil-guarded, telemetry.Recorder fields must be Nop-defaulted
+// (or guarded), and the recognized guard shapes must all pass.
+package hook
+
+import (
+	"natle/internal/fault"
+	"natle/internal/sim"
+	"natle/internal/telemetry"
+)
+
+type substrate struct {
+	inj fault.Injector
+	rec telemetry.Recorder
+}
+
+// newSubstrate Nop-defaults rec, which sanctions every unguarded call
+// through the field in this package.
+func newSubstrate() *substrate {
+	return &substrate{rec: telemetry.Nop()}
+}
+
+func (s *substrate) unguarded(c *sim.Ctx) {
+	s.inj.TxStart(c) // want `not dominated by a nil check`
+}
+
+func (s *substrate) guarded(c *sim.Ctx) {
+	if s.inj != nil {
+		s.inj.TxStart(c)
+	}
+	s.rec.RegisterLock("fine: rec is Nop-defaulted")
+}
+
+func (s *substrate) guardedConjunct(c *sim.Ctx, hot bool) {
+	if hot && s.inj != nil {
+		s.inj.TxStart(c)
+	}
+}
+
+func (s *substrate) earlyBail(c *sim.Ctx) {
+	if s.inj == nil {
+		return
+	}
+	s.inj.TxStart(c)
+}
+
+func (s *substrate) earlyBailDisjunct(c *sim.Ctx, cold bool) {
+	if s.inj == nil || cold {
+		return
+	}
+	s.inj.TxStart(c)
+}
+
+func (s *substrate) elseBranch(c *sim.Ctx) {
+	if s.inj == nil {
+		_ = c
+	} else {
+		s.inj.TxStart(c)
+	}
+}
+
+func (s *substrate) localBinding(c *sim.Ctx) {
+	inj := s.inj
+	if inj != nil {
+		inj.TxStart(c)
+	}
+	wrong := s.inj
+	if inj != nil {
+		wrong.TxStart(c) // want `not dominated by a nil check`
+	}
+}
+
+// callReceiver cannot be guarded syntactically: the analyzer pushes
+// call sites to bind the hook to a local first.
+func (s *substrate) callReceiver(c *sim.Ctx) {
+	s.injector().TxStart(c) // want `not dominated by a nil check`
+}
+
+func (s *substrate) injector() fault.Injector { return s.inj }
+
+type bare struct {
+	rec telemetry.Recorder // no Nop default anywhere in the package
+}
+
+func (b *bare) emit() {
+	b.rec.RegisterLock("boom") // want `neither defaulted to telemetry.Nop`
+}
+
+func (b *bare) emitGuarded() {
+	if b.rec != nil {
+		b.rec.RegisterLock("checked is acceptable too")
+	}
+}
+
+func (s *substrate) sanctioned(c *sim.Ctx) {
+	s.inj.TxStart(c) //natlevet:allow hookcost(fixture: caller contract guarantees an installed injector)
+}

@@ -1,0 +1,130 @@
+// Package txnsafe defines the natlevet analyzer guarding the abort
+// unwind of transaction bodies. htm.System.Try runs its body func and
+// unwinds aborts by panicking with an htm.AbortSignal, which Try
+// recovers; the elision layers (tle/natle/cohort Lock.Critical) build
+// on the same mechanism. Inside such a body:
+//
+//   - recover() can swallow the AbortSignal, turning an aborted
+//     attempt into a silently half-executed critical section;
+//   - a go statement escapes the abortable region — the goroutine's
+//     effects survive an abort that was supposed to discard them, and
+//     the simulator's cooperative scheduler never runs real
+//     goroutines deterministically anyway;
+//   - channel operations (send, receive, select, close, range-over-
+//     channel) block or publish state across a region that may be
+//     re-executed an arbitrary number of times.
+package txnsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"natle/internal/analysis"
+)
+
+// Analyzer flags unwind-unsafe operations in transaction bodies.
+var Analyzer = &analysis.Analyzer{
+	Name: "txnsafe",
+	Doc: `forbid recover, go, and channel operations in transaction bodies
+
+Closures passed to htm.System.Try or to the Critical methods of the
+lock-elision layers unwind via an AbortSignal panic and may be re-run
+any number of times; recover(), go statements, and channel operations
+break that contract. Bodies that deliberately probe the unwind (tests
+of the machinery itself) carry //natlevet:allow txnsafe(reason).`,
+	Run: run,
+}
+
+// helperPkgs are the packages whose Try/Critical methods accept a
+// transaction body.
+var helperPkgs = map[string]bool{
+	"natle/internal/htm":    true,
+	"natle/internal/tle":    true,
+	"natle/internal/natle":  true,
+	"natle/internal/cohort": true,
+}
+
+// bodyMethods are the method names whose func() arguments are
+// transaction bodies.
+var bodyMethods = map[string]bool{"Try": true, "Critical": true}
+
+func run(pass *analysis.Pass) error {
+	reported := make(map[token.Pos]bool) // dedup when bodies nest
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !bodyMethods[fn.Name()] || !helperPkgs[fn.Pkg().Path()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := arg.(*ast.FuncLit)
+				if !ok || !isBodyFunc(pass.TypesInfo.TypeOf(lit)) {
+					continue
+				}
+				checkBody(pass, lit.Body, reported)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isBodyFunc reports whether t is func() — the transaction-body shape.
+func isBodyFunc(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	return ok && sig.Params().Len() == 0 && sig.Results().Len() == 0
+}
+
+func checkBody(pass *analysis.Pass, body ast.Node, reported map[token.Pos]bool) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos, format, args...)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement inside a transaction body: the goroutine escapes the abortable region and its effects survive an AbortSignal unwind")
+		case *ast.SendStmt:
+			report(n.Pos(), "channel send inside a transaction body: it publishes state from a region that may be unwound and re-executed")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(n.Pos(), "channel receive inside a transaction body: it can block and consumes state from a region that may be unwound and re-executed")
+			}
+		case *ast.SelectStmt:
+			report(n.Pos(), "select inside a transaction body: channel operations break the AbortSignal unwind contract")
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					report(n.Pos(), "range over a channel inside a transaction body: it can block across an abortable region")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "recover":
+						report(n.Pos(), "recover inside a transaction body can swallow the AbortSignal unwind, leaving a half-executed critical section committed")
+					case "close":
+						report(n.Pos(), "close of a channel inside a transaction body: it publishes state from a region that may be unwound and re-executed")
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package txnsafe_test
+
+import (
+	"testing"
+
+	"natle/internal/analysis/analysistest"
+	"natle/internal/analysis/txnsafe"
+)
+
+func TestTxnsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", txnsafe.Analyzer, "txn")
+}

@@ -217,6 +217,10 @@ func (f *Fault) AbortHint(c *sim.Ctx, code telemetry.Code, hint bool) bool {
 			f.Stats.HintLies++
 			return false
 		}
+	case telemetry.CodeNone, telemetry.CodeExplicit, telemetry.CodeLockHeld:
+		// The hint lies model environmental misreporting; explicit and
+		// lock-held aborts carry exact, program-chosen hints that no
+		// hardware path distorts.
 	}
 	return hint
 }

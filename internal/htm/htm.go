@@ -37,7 +37,12 @@ import (
 	"natle/internal/vtime"
 )
 
-// Code is a transaction abort condition code.
+// Code is a transaction abort condition code. Its values mirror
+// package telemetry's Code (telemetry must not import htm); the
+// natlevet exhaustive analyzer asserts the two constant blocks stay
+// value-for-value identical.
+//
+//natlevet:mirror natle/internal/telemetry.Code
 type Code uint8
 
 // Abort condition codes.
@@ -49,10 +54,6 @@ const (
 	CodeLockHeld      // explicit abort because the elided lock was held
 	numCodes
 )
-
-// Abort codes are mirrored by value into package telemetry (which must
-// not import htm); this fails to compile if the two enums diverge.
-var _ [telemetry.NumCodes]struct{} = [numCodes]struct{}{}
 
 // String returns the name of the abort code.
 func (c Code) String() string {

@@ -1,56 +1,35 @@
 package scheme_test
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"sort"
-	"strconv"
 	"strings"
 	"testing"
 
+	"natle/internal/analysis/enums"
+	"natle/internal/analysis/load"
 	"natle/internal/natle"
 	"natle/internal/scheme"
 	"natle/internal/tle"
 	"natle/internal/vtime"
 )
 
-// workloadLockKinds parses internal/workload/workload.go and returns
-// the string values of every LockKind constant declared there.
+// workloadLockKinds type-checks the workload package through the
+// natlevet loader and returns the string value of every LockKind
+// constant, replacing an older version of this test that re-parsed
+// workload.go with go/parser and pattern-matched the AST.
 func workloadLockKinds(t *testing.T) []string {
 	t.Helper()
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "../workload/workload.go", nil, 0)
+	pkg, err := load.One(".", "natle/internal/workload")
 	if err != nil {
-		t.Fatalf("parsing workload.go: %v", err)
+		t.Fatalf("loading workload package: %v", err)
 	}
-	var kinds []string
-	for _, decl := range f.Decls {
-		gd, ok := decl.(*ast.GenDecl)
-		if !ok || gd.Tok != token.CONST {
-			continue
-		}
-		for _, spec := range gd.Specs {
-			vs, ok := spec.(*ast.ValueSpec)
-			if !ok {
-				continue
-			}
-			id, ok := vs.Type.(*ast.Ident)
-			if !ok || id.Name != "LockKind" {
-				continue
-			}
-			for _, v := range vs.Values {
-				lit, ok := v.(*ast.BasicLit)
-				if !ok || lit.Kind != token.STRING {
-					continue
-				}
-				s, err := strconv.Unquote(lit.Value)
-				if err != nil {
-					t.Fatalf("unquoting %s: %v", lit.Value, err)
-				}
-				kinds = append(kinds, s)
-			}
-		}
+	members, _, err := enums.Named(pkg.Types, "LockKind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds, err := enums.StringValues(members)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return kinds
 }

@@ -94,7 +94,10 @@ func TestSetsAgainstModel(t *testing.T) {
 	for _, kind := range []Kind{KindAVL, KindLeafBST, KindBST, KindSkipList} {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
-			cfg := &quick.Config{MaxCount: 12}
+			// A seeded generator keeps the property-test inputs (and
+			// therefore the simulated schedules) identical run to run;
+			// quick's default draws from the wall clock.
+			cfg := &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(1))}
 			f := func(seed int64) bool {
 				return runModelCheck(t, kind, seed, 600, 64)
 			}

@@ -97,7 +97,10 @@ func TestAgainstModel(t *testing.T) {
 		})
 		return ok
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+	// A seeded generator keeps the property-test inputs (and therefore
+	// the simulated schedules) identical run to run; quick's default
+	// draws from the wall clock.
+	if err := quick.Check(f, &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Error(err)
 	}
 }

@@ -197,6 +197,8 @@ func (l *Lock) Critical(c *sim.Ctx, body func()) {
 			if pa := l.br.cfg.ProbeAttempts; pa < budget {
 				budget = pa
 			}
+		case admitElide:
+			// Closed breaker: elide with the full attempt budget.
 		}
 	}
 
