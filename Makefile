@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race check bench figures chaos clean
+.PHONY: all build test vet lint race race-executor check bench figures figures-quick chaos clean
 
 all: build
 
@@ -24,14 +24,19 @@ lint:
 	$(GO) run ./cmd/natlevet ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
+
+# race-executor focuses the race detector on the parallel trial
+# executor and everything it fans out over host goroutines.
+race-executor:
+	$(GO) test -race -timeout 30m ./internal/expt ./internal/harness ./internal/workload
 
 # The full gate: everything must build, lint clean (gofmt + vet), and
 # pass under the race detector.
 check:
 	$(GO) build ./...
 	$(MAKE) lint
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -44,6 +49,11 @@ chaos:
 
 figures:
 	$(GO) run ./cmd/figures
+
+# figures-quick smoke-runs the full figure menu at quick scale on the
+# parallel executor (one worker per host core, default -j).
+figures-quick:
+	$(GO) run ./cmd/figures -scale quick -progress
 
 clean:
 	$(GO) clean ./...

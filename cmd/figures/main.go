@@ -1,12 +1,19 @@
 // Command figures regenerates the paper's tables and figures on the
 // simulated machine and prints them as text tables (or CSV).
 //
+// Each figure is a declarative experiment plan (internal/expt): a grid
+// of self-contained deterministic trials that a bounded worker pool
+// runs across host cores. Results are assembled in plan order, so the
+// output is byte-identical at any -j.
+//
 // Usage:
 //
 //	figures                  # every figure at quick scale
 //	figures -scale full      # the EXPERIMENTS.md record scale
 //	figures -fig fig01,fig12 # a subset
 //	figures -csv             # CSV output
+//	figures -j 8             # eight host workers (default GOMAXPROCS)
+//	figures -progress        # per-trial progress on stderr
 package main
 
 import (
@@ -16,15 +23,18 @@ import (
 	"strings"
 	"time"
 
+	"natle/internal/expt"
 	"natle/internal/harness"
 )
 
 func main() {
 	var (
-		scale = flag.String("scale", "quick", "sweep scale: quick | full")
-		figs  = flag.String("fig", "", "comma-separated figure ids (default: all)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of text tables")
-		list  = flag.Bool("list", false, "list available figure ids and exit")
+		scale    = flag.String("scale", "quick", "sweep scale: quick | full")
+		figs     = flag.String("fig", "", "comma-separated figure ids (default: all)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of text tables")
+		list     = flag.Bool("list", false, "list available figure ids and exit")
+		jobs     = flag.Int("j", 0, "host worker pool size per figure (<= 0: GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report per-trial completion on stderr")
 	)
 	flag.Parse()
 
@@ -33,44 +43,11 @@ func main() {
 		sc = harness.FullScale()
 	}
 
-	type gen struct {
-		id    string
-		build func() *harness.Figure
-	}
-	gens := []gen{
-		{"fig01", func() *harness.Figure { return harness.Fig01(sc) }},
-		{"fig02a", func() *harness.Figure { return harness.Fig02a(sc) }},
-		{"fig02b", func() *harness.Figure { return harness.Fig02b(sc) }},
-		{"fig03", func() *harness.Figure { return harness.Fig03(sc) }},
-		{"fig04", func() *harness.Figure { return harness.Fig04(sc) }},
-		{"fig05", func() *harness.Figure { return harness.Fig05(sc) }},
-		{"fig06", func() *harness.Figure { return harness.Fig06(sc) }},
-		{"fig07", func() *harness.Figure { return harness.Fig07(sc) }},
-		{"llc", func() *harness.Figure { return harness.LLCTable(1<<17, sc.Seed) }},
-		{"fig12", func() *harness.Figure { return harness.Fig12(sc) }},
-		{"fig13", func() *harness.Figure { return harness.Fig13(sc) }},
-		{"fig14", func() *harness.Figure { return harness.Fig14(sc) }},
-		{"fig15", func() *harness.Figure { return harness.Fig15(sc) }},
-		{"fig16", func() *harness.Figure { return harness.Fig16(sc) }},
-		{"fig17", func() *harness.Figure { return harness.Fig17(sc, nil) }},
-		{"fig18a", func() *harness.Figure { return harness.Fig18(sc, true) }},
-		{"fig18b", func() *harness.Figure { return harness.Fig18b(sc) }},
-		{"fig18c", func() *harness.Figure { return harness.Fig18(sc, false) }},
-		{"fig19a", func() *harness.Figure { return harness.Fig19(sc, true) }},
-		{"fig19b", func() *harness.Figure { return harness.Fig19(sc, false) }},
-		{"delegation", func() *harness.Figure { return harness.DelegationTable(sc, []int{1, 4}) }},
-		{"locks", func() *harness.Figure { return harness.LocksTable(sc) }},
-		{"telemetry", func() *harness.Figure { return harness.TelemetryTable(sc) }},
-		{"ablation-remote-latency", func() *harness.Figure { return harness.AblationRemoteLatency(sc) }},
-		{"ablation-profiling-len", func() *harness.Figure { return harness.AblationProfilingLen(sc) }},
-		{"ablation-warmup-threshold", func() *harness.Figure { return harness.AblationWarmupThreshold(sc) }},
-		{"ablation-quanta", func() *harness.Figure { return harness.AblationQuanta(sc) }},
-		{"ablation-adaptive-profiling", func() *harness.Figure { return harness.AblationAdaptiveProfiling(sc) }},
-	}
+	plans := harness.Plans()
 
 	if *list {
-		for _, g := range gens {
-			fmt.Println(g.id)
+		for _, e := range plans {
+			fmt.Println(e.ID)
 		}
 		return
 	}
@@ -82,18 +59,26 @@ func main() {
 		}
 	}
 	ran := 0
-	for _, g := range gens {
-		if len(want) > 0 && !want[g.id] {
+	for _, e := range plans {
+		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
 		start := wallNow()
-		f := g.build()
+		p := e.Build(sc)
+		opt := expt.Options{Workers: *jobs}
+		if *progress {
+			opt.Progress = func(done, total int, key string) {
+				fmt.Fprintf(os.Stderr, "[%s %d/%d %s]\n", p.ID, done, total, key)
+			}
+		}
+		f := harness.Exec(p, opt)
 		if *csv {
 			fmt.Printf("# %s\n%s\n", f.ID, f.CSV())
 		} else {
 			fmt.Println(f.String())
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", g.id, wallNow().Sub(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[%s done in %v, %d trials, j=%d]\n",
+			e.ID, wallNow().Sub(start).Round(time.Millisecond), len(p.Specs), expt.Workers(*jobs))
 		ran++
 	}
 	if ran == 0 {

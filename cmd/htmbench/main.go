@@ -18,7 +18,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
+	"natle/internal/expt"
 	"natle/internal/fault"
 	"natle/internal/harness"
 	"natle/internal/machine"
@@ -54,11 +56,13 @@ func main() {
 		faultName = flag.String("fault", "", "inject the named fault schedule into every trial: "+strings.Join(fault.ScheduleNames(), " | "))
 		chaos     = flag.Bool("faults", false, "run the chaos matrix (fault schedules x robust schemes) instead of a sweep; exits 1 on any invariant violation")
 		breaker   = flag.Bool("breaker", false, "arm the TLE circuit breaker: degrade to the plain mutex under pathological abort rates, probe for recovery")
+		jobs      = flag.Int("j", 0, "host worker pool size for the sweep / chaos matrix (<= 0: GOMAXPROCS)")
+		progress  = flag.Bool("progress", false, "report per-trial completion on stderr")
 	)
 	flag.Parse()
 
 	if *chaos {
-		cfg := harness.ChaosConfig{Seed: *seed}
+		cfg := harness.ChaosConfig{Seed: *seed, Parallel: *jobs}
 		if *faultName != "" {
 			cfg.Schedules = []string{*faultName}
 		}
@@ -156,9 +160,17 @@ func main() {
 	fmt.Printf("%7s %14s %9s %8s %9s %9s %9s %9s\n",
 		"threads", "ops/s", "speedup", "abort%", "conflict", "capacity", "lockheld", "fallback")
 
-	var base float64
-	var lastCol *telemetry.Collector
-	for _, n := range counts {
+	// The sweep runs on a bounded host worker pool: each trial is a
+	// self-contained simulation (its own engine, memory, and recorder),
+	// and rows are rendered in sweep order after the pool drains, so
+	// stdout is byte-identical at any -j.
+	type trial struct {
+		r   *workload.Result
+		col *telemetry.Collector
+	}
+	var finished int32
+	trials := expt.Map(*jobs, len(counts), func(i int) trial {
+		n := counts[i]
 		var col *telemetry.Collector
 		var rec telemetry.Recorder // nil keeps the no-op recorder
 		if recording {
@@ -168,7 +180,6 @@ func main() {
 			}
 			col = telemetry.NewCollector(telemetry.Config{TraceCap: ringCap})
 			rec = col
-			lastCol = col
 		}
 		r := workload.Run(workload.Config{
 			Prof:          p,
@@ -187,6 +198,17 @@ func main() {
 			CommitDelay:   vtime.Duration(*delayUs * float64(vtime.Microsecond)),
 			Recorder:      rec,
 		})
+		if *progress {
+			fmt.Fprintf(os.Stderr, "[%d/%d threads=%d]\n",
+				atomic.AddInt32(&finished, 1), len(counts), n)
+		}
+		return trial{r: r, col: col}
+	})
+
+	var base float64
+	var lastCol *telemetry.Collector
+	for i, tr := range trials {
+		n, r := counts[i], tr.r
 		if base == 0 {
 			base = r.Throughput()
 		}
@@ -198,10 +220,11 @@ func main() {
 		if faultProf != nil {
 			fmt.Println(indent(r.Fault.String(), "    "))
 		}
-		if col == nil {
+		if tr.col == nil {
 			continue
 		}
-		sum := col.Summary()
+		lastCol = tr.col
+		sum := tr.col.Summary()
 		if *telem {
 			fmt.Println(indent(sum.String(), "    "))
 		}

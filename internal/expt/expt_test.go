@@ -1,0 +1,227 @@
+package expt
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMapOrder(t *testing.T) {
+	for _, w := range []int{0, 1, 3, 4, 200} {
+		got := Map(w, 100, func(i int) int { return i * i })
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: len = %d", w, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapOrderUnderReordering forces completion order to differ from
+// index order (item 0 blocks until item 1 finishes) and checks the
+// result slice still comes back in index order.
+func TestMapOrderUnderReordering(t *testing.T) {
+	release := make(chan struct{})
+	got := Map(2, 2, func(i int) string {
+		if i == 0 {
+			<-release
+		} else {
+			close(release)
+		}
+		return fmt.Sprintf("item-%d", i)
+	})
+	if !reflect.DeepEqual(got, []string{"item-0", "item-1"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got := Map(4, 0, func(i int) int { t.Fatal("called"); return 0 })
+	if len(got) != 0 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestMapPanicParallel(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		s := fmt.Sprint(r)
+		if !strings.Contains(s, "panicked: boom 7") {
+			t.Fatalf("panic = %q", s)
+		}
+	}()
+	Map(4, 64, func(i int) int {
+		if i == 7 {
+			panic(fmt.Sprintf("boom %d", i))
+		}
+		return i
+	})
+}
+
+func TestMapPanicSequentialIsRaw(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "raw" {
+			t.Fatalf("panic = %v, want raw", r)
+		}
+	}()
+	Map(1, 3, func(i int) int {
+		if i == 1 {
+			panic("raw")
+		}
+		return i
+	})
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Fatal("Workers(5)")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must resolve non-positive requests to >= 1")
+	}
+}
+
+// plan builds a small plan with two series and explicit baselines.
+func testPlan() *Plan {
+	p := &Plan{ID: "t", Title: "T", Notes: []string{"plan note"}}
+	for _, series := range []string{"a", "b"} {
+		scale := 1.0
+		if series == "b" {
+			scale = 2.0
+		}
+		base := p.Add(TrialSpec{
+			Key:    series + "/baseline",
+			Run:    func() Outcome { return Value(scale) },
+			Reduce: Discard,
+		})
+		for _, x := range []float64{1, 2, 4} {
+			p.Add(TrialSpec{
+				Key: fmt.Sprintf("%s/%g", series, x),
+				Run: func() Outcome {
+					o := Value(scale * x)
+					o.Notes = []string{fmt.Sprintf("note %s/%g", series, x)}
+					return o
+				},
+				Reduce: Ratio(series, x, base),
+			})
+		}
+	}
+	return p
+}
+
+func TestExecuteDeterministicAtAnyWorkerCount(t *testing.T) {
+	ref := testPlan().Execute(Options{Workers: 1})
+	for _, w := range []int{2, 3, 8} {
+		got := testPlan().Execute(Options{Workers: w})
+		if !reflect.DeepEqual(got.Points, ref.Points) {
+			t.Fatalf("workers=%d points differ:\n%v\n%v", w, got.Points, ref.Points)
+		}
+		if !reflect.DeepEqual(got.Notes, ref.Notes) {
+			t.Fatalf("workers=%d notes differ:\n%v\n%v", w, got.Notes, ref.Notes)
+		}
+	}
+	// The ratio points are x for both series (scale cancels).
+	want := []Point{
+		{Series: "a", X: 1, Y: 1}, {Series: "a", X: 2, Y: 2}, {Series: "a", X: 4, Y: 4},
+		{Series: "b", X: 1, Y: 1}, {Series: "b", X: 2, Y: 2}, {Series: "b", X: 4, Y: 4},
+	}
+	if !reflect.DeepEqual(ref.Points, want) {
+		t.Fatalf("points = %v, want %v", ref.Points, want)
+	}
+	if ref.Notes[0] != "plan note" || len(ref.Notes) != 7 {
+		t.Fatalf("notes = %v", ref.Notes)
+	}
+}
+
+func TestExecutePanicIsolatesOneTrial(t *testing.T) {
+	p := &Plan{ID: "t"}
+	p.Add(TrialSpec{Key: "ok1", Run: func() Outcome { return Value(1) }, Reduce: Emit("s", 1)})
+	p.Add(TrialSpec{Key: "bad", Run: func() Outcome { panic("boom") }, Reduce: Emit("s", 2)})
+	p.Add(TrialSpec{Key: "ok2", Run: func() Outcome { return Value(3) }, Reduce: Emit("s", 3)})
+	for _, w := range []int{1, 4} {
+		res := p.Execute(Options{Workers: w})
+		want := []Point{{Series: "s", X: 1, Y: 1}, {Series: "s", X: 3, Y: 3}}
+		if !reflect.DeepEqual(res.Points, want) {
+			t.Fatalf("workers=%d points = %v", w, res.Points)
+		}
+		if len(res.Failed) != 1 || res.Failed[0].Key != "bad" || res.Failed[0].Index != 1 {
+			t.Fatalf("workers=%d failed = %+v", w, res.Failed)
+		}
+		if res.Failed[0].Stack == "" {
+			t.Fatal("missing stack")
+		}
+		if len(res.Notes) != 1 || res.Notes[0] != "trial bad FAILED: boom" {
+			t.Fatalf("notes = %v", res.Notes)
+		}
+	}
+}
+
+func TestExecuteDuplicateKeyPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "duplicate spec key") {
+			t.Fatalf("panic = %v", r)
+		}
+	}()
+	p := &Plan{ID: "t"}
+	p.Add(TrialSpec{Key: "k", Run: func() Outcome { return Outcome{} }})
+	p.Add(TrialSpec{Key: "k", Run: func() Outcome { return Outcome{} }})
+	p.Execute(Options{Workers: 1})
+}
+
+func TestRatioDegradesToGap(t *testing.T) {
+	// Missing baseline key: no point.
+	p := &Plan{ID: "t"}
+	p.Add(TrialSpec{Key: "n", Run: func() Outcome { return Value(5) }, Reduce: Ratio("s", 1, "nope")})
+	if res := p.Execute(Options{Workers: 1}); len(res.Points) != 0 {
+		t.Fatalf("missing baseline: points = %v", res.Points)
+	}
+	// Zero baseline: no point.
+	p = &Plan{ID: "t"}
+	b := p.Add(TrialSpec{Key: "b", Run: func() Outcome { return Value(0) }, Reduce: Discard})
+	p.Add(TrialSpec{Key: "n", Run: func() Outcome { return Value(5) }, Reduce: Ratio("s", 1, b)})
+	if res := p.Execute(Options{Workers: 1}); len(res.Points) != 0 {
+		t.Fatalf("zero baseline: points = %v", res.Points)
+	}
+	// Failed baseline: the dependent trial emits nothing, but survives.
+	p = &Plan{ID: "t"}
+	b = p.Add(TrialSpec{Key: "b", Run: func() Outcome { panic("x") }, Reduce: Discard})
+	p.Add(TrialSpec{Key: "n", Run: func() Outcome { return Value(5) }, Reduce: Ratio("s", 1, b)})
+	res := p.Execute(Options{Workers: 1})
+	if len(res.Points) != 0 || len(res.Failed) != 1 {
+		t.Fatalf("failed baseline: points = %v, failed = %v", res.Points, res.Failed)
+	}
+}
+
+func TestProgressReportsEveryTrial(t *testing.T) {
+	p := testPlan()
+	var mu sync.Mutex
+	seen := map[int]string{}
+	res := p.Execute(Options{
+		Workers: 4,
+		Progress: func(done, total int, key string) {
+			mu.Lock()
+			defer mu.Unlock()
+			if total != len(p.Specs) {
+				t.Errorf("total = %d", total)
+			}
+			if _, dup := seen[done]; dup {
+				t.Errorf("duplicate done count %d", done)
+			}
+			seen[done] = key
+		},
+	})
+	if len(seen) != len(p.Specs) {
+		t.Fatalf("progress calls = %d, want %d", len(seen), len(p.Specs))
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("failed = %v", res.Failed)
+	}
+}

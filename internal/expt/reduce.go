@@ -1,0 +1,28 @@
+package expt
+
+// Emit reduces a scalar outcome to the single point
+// (series, x, o.Value).
+func Emit(series string, x float64) Reducer {
+	return func(o Outcome, _ Lookup) []Point {
+		return []Point{{Series: series, X: x, Y: o.Value}}
+	}
+}
+
+// Ratio reduces a scalar outcome to (series, x, o.Value / base.Value)
+// where base is the trial named by baseKey — the explicit-baseline
+// shape every speedup figure uses. No point is emitted when the
+// baseline is missing, failed, or zero (a sweep must degrade to a gap,
+// not to a division by zero).
+func Ratio(series string, x float64, baseKey string) Reducer {
+	return func(o Outcome, get Lookup) []Point {
+		base, ok := get(baseKey)
+		if !ok || base.Value == 0 {
+			return nil
+		}
+		return []Point{{Series: series, X: x, Y: o.Value / base.Value}}
+	}
+}
+
+// Discard emits nothing: the spec exists only to be referenced by
+// other reducers (hidden baselines, ratio denominators).
+func Discard(Outcome, Lookup) []Point { return nil }

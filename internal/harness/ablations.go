@@ -3,18 +3,20 @@ package harness
 import (
 	"fmt"
 
+	"natle/internal/expt"
 	"natle/internal/machine"
 	"natle/internal/scheme"
 	"natle/internal/vtime"
 	"natle/internal/workload"
 )
 
-// AblationRemoteLatency sweeps the cross-socket transfer latency and
-// shows how the size of the 36->72 collapse tracks the remote/local
-// latency ratio — the mechanism behind the paper's Section 3.2
-// hypothesis.
-func AblationRemoteLatency(sc Scale) *Figure {
-	f := &Figure{
+// PlanAblationRemoteLatency sweeps the cross-socket transfer latency
+// and shows how the size of the 36->72 collapse tracks the
+// remote/local latency ratio — the mechanism behind the paper's
+// Section 3.2 hypothesis. Each latency point is two independent trials
+// (72 and 36 threads) reduced to their ratio after the barrier.
+func PlanAblationRemoteLatency(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "ablation-remote-latency",
 		Title:  "72-thread throughput relative to 36-thread peak vs remote latency",
 		XLabel: "remote/local latency ratio",
@@ -24,26 +26,48 @@ func AblationRemoteLatency(sc Scale) *Figure {
 		20 * vtime.Nanosecond, 60 * vtime.Nanosecond, 135 * vtime.Nanosecond,
 		240 * vtime.Nanosecond, 400 * vtime.Nanosecond,
 	} {
-		p := machine.LargeX52()
-		p.RemoteHit = remote
-		p.RemoteInval = remote * 3 / 8
-		p.RemoteDRAM = remote + 20*vtime.Nanosecond
-		run := func(n int) float64 {
-			r := sc.run(workload.Config{Prof: p, Threads: n, UpdatePct: 100, KeyRange: 2048})
-			return r.Throughput()
+		prof := func() *machine.Profile {
+			p := machine.LargeX52()
+			p.RemoteHit = remote
+			p.RemoteInval = remote * 3 / 8
+			p.RemoteDRAM = remote + 20*vtime.Nanosecond
+			return p
 		}
-		ratio := float64(remote) / float64(p.L3Hit)
-		f.Add("t(72)/t(36)", ratio, run(72)/run(36))
+		run := func(n int) expt.Outcome {
+			return expt.Value(sc.thr(workload.Config{
+				Prof: prof(), Threads: n, UpdatePct: 100, KeyRange: 2048,
+			}))
+		}
+		ratio := float64(remote) / float64(machine.LargeX52().L3Hit)
+		denom := fmt.Sprintf("remote%d/36", remote)
+		p.Add(expt.TrialSpec{
+			Key:    denom,
+			Run:    func() expt.Outcome { return run(36) },
+			Reduce: expt.Discard,
+		})
+		p.Add(expt.TrialSpec{
+			Key:    fmt.Sprintf("remote%d/72", remote),
+			Run:    func() expt.Outcome { return run(72) },
+			Reduce: expt.Ratio("t(72)/t(36)", ratio, denom),
+		})
 	}
-	return f
+	return p
 }
 
-// AblationProfilingLen sweeps the NATLE cycle length (keeping the 10%
-// profiling share) and reports both the read-only overhead (the
+// AblationRemoteLatency executes PlanAblationRemoteLatency on the
+// default pool.
+func AblationRemoteLatency(sc Scale) *Figure {
+	return Exec(PlanAblationRemoteLatency(sc), expt.Options{})
+}
+
+// PlanAblationProfilingLen sweeps the NATLE cycle length (keeping the
+// 10% profiling share) and reports both the read-only overhead (the
 // paper's 27% observation) and the 72-thread update throughput —
-// shorter cycles react faster but switch sockets more often.
-func AblationProfilingLen(sc Scale) *Figure {
-	f := &Figure{
+// shorter cycles react faster but switch sockets more often. Each
+// plotted ratio is a NATLE trial divided by its hidden TLE
+// denominator trial.
+func PlanAblationProfilingLen(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "ablation-profiling-len",
 		Title:  "NATLE cycle length: read-only overhead vs update rescue (72 threads)",
 		XLabel: "quantum (us)",
@@ -56,51 +80,87 @@ func AblationProfilingLen(sc Scale) *Figure {
 		n := sc.NATLE
 		n.ProfilingLen, n.QuantumLen = q, q
 		dur := 4 * (n.ProfilingLen + vtime.Duration(n.Quanta)*n.QuantumLen)
-		run := func(upd int, lk workload.LockKind) float64 {
-			return workload.Run(workload.Config{
+		run := func(upd int, lk workload.LockKind) expt.Outcome {
+			ncfg := n
+			return expt.Value(workload.Run(workload.Config{
 				Threads: 72, UpdatePct: upd, KeyRange: 2048, Lock: lk,
-				NATLE: &n, Seed: sc.Seed,
+				NATLE: &ncfg, Seed: sc.Seed,
 				Duration: dur, Warmup: dur / 4,
-			}).Throughput()
+			}).Throughput())
 		}
 		x := float64(q) / float64(vtime.Microsecond)
-		f.Add("read-only NATLE/TLE", x, run(0, workload.LockNATLE)/run(0, workload.LockTLE))
-		f.Add("100%-upd NATLE/TLE", x, run(100, workload.LockNATLE)/run(100, workload.LockTLE))
+		for _, c := range []struct {
+			series string
+			upd    int
+		}{
+			{"read-only NATLE/TLE", 0},
+			{"100%-upd NATLE/TLE", 100},
+		} {
+			denom := fmt.Sprintf("q%gus/upd%d/tle", x, c.upd)
+			p.Add(expt.TrialSpec{
+				Key:    denom,
+				Run:    func() expt.Outcome { return run(c.upd, workload.LockTLE) },
+				Reduce: expt.Discard,
+			})
+			p.Add(expt.TrialSpec{
+				Key:    fmt.Sprintf("q%gus/upd%d/natle", x, c.upd),
+				Run:    func() expt.Outcome { return run(c.upd, workload.LockNATLE) },
+				Reduce: expt.Ratio(c.series, x, denom),
+			})
+		}
 	}
-	return f
+	return p
 }
 
-// AblationWarmupThreshold shows the effect of the 256-acquisition
+// AblationProfilingLen executes PlanAblationProfilingLen on the
+// default pool.
+func AblationProfilingLen(sc Scale) *Figure {
+	return Exec(PlanAblationProfilingLen(sc), expt.Options{})
+}
+
+// PlanAblationWarmupThreshold shows the effect of the 256-acquisition
 // floor: with the floor disabled (threshold 0), sparse profiling data
 // can lock in a one-socket decision on a workload that scales.
-func AblationWarmupThreshold(sc Scale) *Figure {
-	f := &Figure{
+func PlanAblationWarmupThreshold(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "ablation-warmup-threshold",
 		Title:  "NATLE warmup threshold: read-only 72-thread throughput",
 		XLabel: "threshold",
 		YLabel: "ops/s",
 	}
 	for _, th := range []uint64{0, 16, 64, 256, 1024} {
-		n := sc.NATLE
-		n.WarmupThreshold = th
-		r := workload.Run(workload.Config{
-			Threads: 72, UpdatePct: 0, KeyRange: 2048,
-			// Long external work keeps acquisition counts per profiling
-			// window low, which is where the floor matters.
-			ExternalWork: 2048,
-			Lock:         workload.LockNATLE, NATLE: &n, Seed: sc.Seed,
-			Duration: sc.NATLEDur, Warmup: sc.NATLEWarmup,
+		p.Add(expt.TrialSpec{
+			Key: fmt.Sprintf("threshold/%d", th),
+			Run: func() expt.Outcome {
+				n := sc.NATLE
+				n.WarmupThreshold = th
+				return expt.Value(workload.Run(workload.Config{
+					Threads: 72, UpdatePct: 0, KeyRange: 2048,
+					// Long external work keeps acquisition counts per
+					// profiling window low, which is where the floor
+					// matters.
+					ExternalWork: 2048,
+					Lock:         workload.LockNATLE, NATLE: &n, Seed: sc.Seed,
+					Duration: sc.NATLEDur, Warmup: sc.NATLEWarmup,
+				}).Throughput())
+			},
+			Reduce: expt.Emit("read-only+work", float64(th)),
 		})
-		f.Add("read-only+work", float64(th), r.Throughput())
 	}
-	return f
+	return p
 }
 
-// AblationQuanta sweeps the number of quanta per cycle (the paper uses
-// 9) at fixed cycle length, trading profiling staleness against
+// AblationWarmupThreshold executes PlanAblationWarmupThreshold on the
+// default pool.
+func AblationWarmupThreshold(sc Scale) *Figure {
+	return Exec(PlanAblationWarmupThreshold(sc), expt.Options{})
+}
+
+// PlanAblationQuanta sweeps the number of quanta per cycle (the paper
+// uses 9) at fixed cycle length, trading profiling staleness against
 // switching frequency.
-func AblationQuanta(sc Scale) *Figure {
-	f := &Figure{
+func PlanAblationQuanta(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "ablation-quanta",
 		Title:  "NATLE quanta per cycle: 72-thread 100%-update throughput",
 		XLabel: "quanta",
@@ -108,61 +168,94 @@ func AblationQuanta(sc Scale) *Figure {
 	}
 	cycleBudget := 9 * sc.NATLE.QuantumLen
 	for _, q := range []int{3, 6, 9, 18} {
-		n := sc.NATLE
-		n.Quanta = q
-		n.QuantumLen = cycleBudget / vtime.Duration(q)
-		r := workload.Run(workload.Config{
-			Threads: 72, UpdatePct: 100, KeyRange: 2048,
-			Lock: workload.LockNATLE, NATLE: &n, Seed: sc.Seed,
-			Duration: sc.NATLEDur, Warmup: sc.NATLEWarmup,
+		p.Add(expt.TrialSpec{
+			Key: fmt.Sprintf("quanta/%d", q),
+			Run: func() expt.Outcome {
+				n := sc.NATLE
+				n.Quanta = q
+				n.QuantumLen = cycleBudget / vtime.Duration(q)
+				return expt.Value(workload.Run(workload.Config{
+					Threads: 72, UpdatePct: 100, KeyRange: 2048,
+					Lock: workload.LockNATLE, NATLE: &n, Seed: sc.Seed,
+					Duration: sc.NATLEDur, Warmup: sc.NATLEWarmup,
+				}).Throughput())
+			},
+			Reduce: expt.Emit("100% upd", float64(q)),
 		})
-		f.Add("100% upd", float64(q), r.Throughput())
 	}
-	return f
+	return p
 }
 
-// AblationAdaptiveProfiling measures the extension that implements the
-// paper's "dynamically adapting these settings" future work: skipping
-// profiling during stable periods. It reports NATLE/TLE throughput
-// ratios on the read-only workload (where profiling is pure overhead
-// and adaptation should close the gap the paper reports as ~27%) and
-// on the 100%-update workload (where adaptation must not lose the
-// throttling benefit).
-func AblationAdaptiveProfiling(sc Scale) *Figure {
-	f := &Figure{
+// AblationQuanta executes PlanAblationQuanta on the default pool.
+func AblationQuanta(sc Scale) *Figure {
+	return Exec(PlanAblationQuanta(sc), expt.Options{})
+}
+
+// PlanAblationAdaptiveProfiling measures the extension that implements
+// the paper's "dynamically adapting these settings" future work:
+// skipping profiling during stable periods. It reports NATLE/TLE
+// throughput ratios on the read-only workload (where profiling is pure
+// overhead and adaptation should close the gap the paper reports as
+// ~27%) and on the 100%-update workload (where adaptation must not
+// lose the throttling benefit).
+func PlanAblationAdaptiveProfiling(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "ablation-adaptive-profiling",
 		Title:  "Adaptive profiling frequency: NATLE/TLE at 72 threads (0=fixed, 1=adaptive)",
 		XLabel: "adaptive",
 		YLabel: "NATLE/TLE throughput",
 	}
 	for i, adapt := range []bool{false, true} {
-		n := sc.NATLE
-		n.AdaptProfiling = adapt
-		run := func(upd int, lk workload.LockKind) float64 {
-			return workload.Run(workload.Config{
+		run := func(upd int, lk workload.LockKind) expt.Outcome {
+			n := sc.NATLE
+			n.AdaptProfiling = adapt
+			return expt.Value(workload.Run(workload.Config{
 				Threads: 72, UpdatePct: upd, KeyRange: 2048, Lock: lk,
 				NATLE: &n, Seed: sc.Seed,
 				Duration: 3 * sc.NATLEDur, Warmup: sc.NATLEWarmup,
-			}).Throughput()
+			}).Throughput())
 		}
-		f.Add("read-only", float64(i), run(0, workload.LockNATLE)/run(0, workload.LockTLE))
-		f.Add("100% updates", float64(i), run(100, workload.LockNATLE)/run(100, workload.LockTLE))
+		for _, c := range []struct {
+			series string
+			upd    int
+		}{
+			{"read-only", 0},
+			{"100% updates", 100},
+		} {
+			denom := fmt.Sprintf("adapt%d/upd%d/tle", i, c.upd)
+			p.Add(expt.TrialSpec{
+				Key:    denom,
+				Run:    func() expt.Outcome { return run(c.upd, workload.LockTLE) },
+				Reduce: expt.Discard,
+			})
+			p.Add(expt.TrialSpec{
+				Key:    fmt.Sprintf("adapt%d/upd%d/natle", i, c.upd),
+				Run:    func() expt.Outcome { return run(c.upd, workload.LockNATLE) },
+				Reduce: expt.Ratio(c.series, float64(i), denom),
+			})
+		}
 	}
-	return f
+	return p
 }
 
-// LocksTable is an extension comparison beyond the paper's figures:
+// AblationAdaptiveProfiling executes PlanAblationAdaptiveProfiling on
+// the default pool.
+func AblationAdaptiveProfiling(sc Scale) *Figure {
+	return Exec(PlanAblationAdaptiveProfiling(sc), expt.Options{})
+}
+
+// PlanLocks is an extension comparison beyond the paper's figures:
 // every registered synchronization scheme on the 100%-update AVL
 // workload. It situates NATLE against the concurrency-restriction
 // technique the paper's related work identifies as closest (cohort
 // locks throttle remote threads at lock granularity; NATLE at
-// socket-schedule granularity, while keeping elision). The sweep
+// socket-schedule granularity, while keeping elision). The grid
 // iterates the scheme registry, so a scheme registered tomorrow shows
 // up here with no edit; entries without mutual exclusion ("none"
 // would corrupt the shared set) or without guaranteed completion
 // ("htm-raw" has no capacity fallback) are skipped.
-func LocksTable(sc Scale) *Figure {
-	f := &Figure{
+func PlanLocks(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "locks",
 		Title:  "Lock schemes on AVL keys [0,2048), 100% updates: ops/s",
 		XLabel: "threads",
@@ -172,19 +265,24 @@ func LocksTable(sc Scale) *Figure {
 		if !d.Mutex || !d.Robust {
 			continue
 		}
-		for _, n := range sc.LargeThreads {
-			r := sc.run(workload.Config{Threads: n, UpdatePct: 100, KeyRange: 2048, Lock: workload.LockKind(d.Name)})
-			f.Add(d.Name, float64(n), r.Throughput())
-		}
+		valueSeries(p, d.Name, sc.LargeThreads, func(n int) float64 {
+			return sc.thr(workload.Config{
+				Threads: n, UpdatePct: 100, KeyRange: 2048,
+				Lock: workload.LockKind(d.Name),
+			})
+		})
 	}
-	return f
+	return p
 }
 
-// DelegationTable compares TLE against the Section 4.1 delegation
+// LocksTable executes PlanLocks on the default pool.
+func LocksTable(sc Scale) *Figure { return Exec(PlanLocks(sc), expt.Options{}) }
+
+// PlanDelegation compares TLE against the Section 4.1 delegation
 // baselines (single-operation and batched) on the update-heavy AVL
 // workload.
-func DelegationTable(sc Scale, batches []int) *Figure {
-	f := &Figure{
+func PlanDelegation(sc Scale, batches []int) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "delegation",
 		Title:  "Delegation baselines vs TLE, AVL keys [0,2048), 100% updates: ops/s",
 		XLabel: "threads",
@@ -193,10 +291,9 @@ func DelegationTable(sc Scale, batches []int) *Figure {
 			"paper section 4.1: delegation doubled per-operation performance but coordination overhead dominated",
 		},
 	}
-	for _, n := range sc.LargeThreads {
-		r := sc.run(workload.Config{Threads: n, UpdatePct: 100, KeyRange: 2048})
-		f.Add("TLE-20", float64(n), r.Throughput())
-	}
+	valueSeries(p, "TLE-20", sc.LargeThreads, func(n int) float64 {
+		return sc.thr(workload.Config{Threads: n, UpdatePct: 100, KeyRange: 2048})
+	})
 	for _, b := range batches {
 		name := "delegation"
 		if b > 1 {
@@ -206,9 +303,17 @@ func DelegationTable(sc Scale, batches []int) *Figure {
 			if n < 3 { // needs at least one client beyond the two servers
 				continue
 			}
-			r := RunDelegation(sc, n, b)
-			f.Add(name, float64(n), r)
+			p.Add(expt.TrialSpec{
+				Key:    fmt.Sprintf("%s/%d", name, n),
+				Run:    func() expt.Outcome { return expt.Value(RunDelegation(sc, n, b)) },
+				Reduce: expt.Emit(name, float64(n)),
+			})
 		}
 	}
-	return f
+	return p
+}
+
+// DelegationTable executes PlanDelegation on the default pool.
+func DelegationTable(sc Scale, batches []int) *Figure {
+	return Exec(PlanDelegation(sc, batches), expt.Options{})
 }

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"natle/internal/cctsa"
+	"natle/internal/expt"
 	"natle/internal/machine"
 	"natle/internal/natle"
 	"natle/internal/paraheap"
@@ -41,14 +42,14 @@ func (sc Scale) AppThreads() []int {
 	return sc.LargeThreads
 }
 
-// Fig17 reproduces Figure 17: STAMP total runtimes (milliseconds,
+// PlanFig17 reproduces Figure 17: STAMP total runtimes (milliseconds,
 // lower is better) under TLE and NATLE. Pass the benchmark names to
 // run (nil = all nine).
-func Fig17(sc Scale, names []string) *Figure {
+func PlanFig17(sc Scale, names []string) *expt.Plan {
 	if names == nil {
 		names = stamp.Names()
 	}
-	f := &Figure{
+	p := &expt.Plan{
 		ID:     "fig17",
 		Title:  "STAMP total runtime (virtual ms, lower is better)",
 		XLabel: "threads",
@@ -57,7 +58,7 @@ func Fig17(sc Scale, names []string) *Figure {
 	for _, name := range names {
 		for _, lk := range []string{"tle", "natle"} {
 			series := name + "/" + lk
-			for _, n := range sc.AppThreads() {
+			valueSeries(p, series, sc.AppThreads(), func(n int) float64 {
 				b, err := stamp.NewScaled(name, sc.stampSize())
 				if err != nil {
 					panic(err)
@@ -66,27 +67,32 @@ func Fig17(sc Scale, names []string) *Figure {
 				r := stamp.Run(b, stamp.Config{
 					Threads: n, Seed: sc.Seed, Lock: lk, NATLE: &ncfg,
 				})
-				f.Add(series, float64(n), float64(r.Runtime)/float64(vtime.Millisecond))
-			}
+				return float64(r.Runtime) / float64(vtime.Millisecond)
+			})
 		}
 	}
-	return f
+	return p
 }
 
-// Fig18 reproduces Figure 18(a)/(c): ccTSA total runtime with and
+// Fig17 executes PlanFig17 on the default pool.
+func Fig17(sc Scale, names []string) *Figure {
+	return Exec(PlanFig17(sc, names), expt.Options{})
+}
+
+// PlanFig18 reproduces Figure 18(a)/(c): ccTSA total runtime with and
 // without pinning.
-func Fig18(sc Scale, pinned bool) *Figure {
+func PlanFig18(sc Scale, pinned bool) *expt.Plan {
 	id, title := "fig18a", "ccTSA total runtime, pinned (virtual ms, lower is better)"
 	if !pinned {
 		id, title = "fig18c", "ccTSA total runtime, unpinned (virtual ms, lower is better)"
 	}
-	f := &Figure{ID: id, Title: title, XLabel: "threads", YLabel: "runtime (ms)"}
+	p := &expt.Plan{ID: id, Title: title, XLabel: "threads", YLabel: "runtime (ms)"}
 	var pin machine.PinPolicy = machine.FillSocketFirst{}
 	if !pinned {
 		pin = machine.Unpinned{}
 	}
 	for _, lk := range []string{"tle", "natle"} {
-		for _, n := range sc.AppThreads() {
+		valueSeries(p, lk, sc.AppThreads(), func(n int) float64 {
 			cfg := cctsa.DefaultConfig()
 			// Full-scale runs use a larger genome so high-thread-count
 			// runtimes span several NATLE cycles.
@@ -98,52 +104,72 @@ func Fig18(sc Scale, pinned bool) *Figure {
 			ncfg := appNATLE(sc)
 			cfg.NATLE = &ncfg
 			r := cctsa.Run(cfg)
-			f.Add(lk, float64(n), float64(r.Runtime)/float64(vtime.Millisecond))
-		}
+			return float64(r.Runtime) / float64(vtime.Millisecond)
+		})
 	}
-	return f
+	return p
 }
 
-// Fig18b reproduces Figure 18(b): the share of post-profiling time
+// Fig18 executes PlanFig18 on the default pool.
+func Fig18(sc Scale, pinned bool) *Figure {
+	return Exec(PlanFig18(sc, pinned), expt.Options{})
+}
+
+// PlanFig18b reproduces Figure 18(b): the share of post-profiling time
 // NATLE allocates to socket 0, per cycle, in a 72-thread ccTSA run.
-func Fig18b(sc Scale) *Figure {
-	f := &Figure{
+func PlanFig18b(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "fig18b",
 		Title:  "ccTSA at 72 threads: socket-0 time share per NATLE cycle",
 		XLabel: "cycle",
 		YLabel: "share",
 	}
-	cfg := cctsa.DefaultConfig()
-	cfg.GenomeLen *= sc.stampSize()
-	cfg.Threads = 72
-	cfg.Seed = sc.Seed
-	cfg.Lock = "natle"
-	ncfg := appNATLE(sc)
-	cfg.NATLE = &ncfg
-	r := cctsa.Run(cfg)
-	for _, m := range r.Sync.Timeline {
-		f.Add("socket-0 share", float64(m.Cycle), m.Socket0Share)
-	}
-	return f
+	p.Add(expt.TrialSpec{
+		Key: "cctsa/72/timeline",
+		Run: func() expt.Outcome {
+			cfg := cctsa.DefaultConfig()
+			cfg.GenomeLen *= sc.stampSize()
+			cfg.Threads = 72
+			cfg.Seed = sc.Seed
+			cfg.Lock = "natle"
+			ncfg := appNATLE(sc)
+			cfg.NATLE = &ncfg
+			r := cctsa.Run(cfg)
+			var o expt.Outcome
+			for _, m := range r.Sync.Timeline {
+				o.Points = append(o.Points, expt.Point{
+					Series: "socket-0 share", X: float64(m.Cycle), Y: m.Socket0Share,
+				})
+			}
+			return o
+		},
+	})
+	return p
 }
 
-// Fig19 reproduces Figure 19: paraheap-k total runtime with (a) and
-// without (b) pinning.
-func Fig19(sc Scale, pinned bool) *Figure {
+// Fig18b executes PlanFig18b on the default pool.
+func Fig18b(sc Scale) *Figure { return Exec(PlanFig18b(sc), expt.Options{}) }
+
+// PlanFig19 reproduces Figure 19: paraheap-k total runtime with (a)
+// and without (b) pinning.
+func PlanFig19(sc Scale, pinned bool) *expt.Plan {
 	id, title := "fig19a", "paraheap-k runtime, pinned (virtual ms, lower is better)"
 	if !pinned {
 		id, title = "fig19b", "paraheap-k runtime, unpinned (virtual ms, lower is better)"
 	}
-	f := &Figure{ID: id, Title: title, XLabel: "threads", YLabel: "runtime (ms)"}
+	p := &expt.Plan{ID: id, Title: title, XLabel: "threads", YLabel: "runtime (ms)"}
 	var pin machine.PinPolicy = machine.FillSocketFirst{}
 	if !pinned {
 		pin = machine.Unpinned{}
 	}
+	threads := make([]int, 0, len(sc.AppThreads()))
+	for _, n := range sc.AppThreads() {
+		if n >= 1 {
+			threads = append(threads, n)
+		}
+	}
 	for _, lk := range []string{"tle", "natle"} {
-		for _, n := range sc.AppThreads() {
-			if n < 1 {
-				continue
-			}
+		valueSeries(p, lk, threads, func(n int) float64 {
 			cfg := paraheap.DefaultConfig()
 			cfg.Pin = pin
 			cfg.Threads = n
@@ -152,8 +178,13 @@ func Fig19(sc Scale, pinned bool) *Figure {
 			ncfg := appNATLE(sc)
 			cfg.NATLE = &ncfg
 			r := paraheap.Run(cfg)
-			f.Add(lk, float64(n), float64(r.Runtime)/float64(vtime.Millisecond))
-		}
+			return float64(r.Runtime) / float64(vtime.Millisecond)
+		})
 	}
-	return f
+	return p
+}
+
+// Fig19 executes PlanFig19 on the default pool.
+func Fig19(sc Scale, pinned bool) *Figure {
+	return Exec(PlanFig19(sc, pinned), expt.Options{})
 }

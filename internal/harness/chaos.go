@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"natle/internal/expt"
 	"natle/internal/fault"
 	"natle/internal/htm"
 	"natle/internal/machine"
@@ -36,6 +37,12 @@ type ChaosConfig struct {
 	KeysPerWork  int   // worker key-partition size (default 24)
 	OpsPerWorker int   // deterministic ops per worker (default 160)
 	Seed         int64 // simulator and injector seed (default 1)
+
+	// Parallel bounds the host worker pool running the matrix cells
+	// (<= 0 selects GOMAXPROCS). Cells are independent simulations;
+	// results are assembled in matrix order regardless of the pool
+	// size, so the report is byte-identical at any parallelism.
+	Parallel int
 
 	// Schemes names the registry schemes to run (default: every scheme
 	// with both Mutex and Robust set — non-robust schemes such as raw
@@ -235,26 +242,34 @@ func equalKeys(a, b []int64) bool {
 	return true
 }
 
-// RunChaos runs the full (schedules × schemes) matrix and returns one
-// cell per combination, schedules outermost (the order of
-// cfg.Schedules and cfg.Schemes).
+// RunChaos runs the full (schedules × schemes) matrix on a bounded
+// host worker pool (cfg.Parallel) and returns one cell per
+// combination, schedules outermost (the order of cfg.Schedules and
+// cfg.Schemes). Every name is resolved before any cell runs, so
+// lookup errors surface without burning simulation time.
 func RunChaos(cfg ChaosConfig) ([]ChaosCell, error) {
 	cfg = cfg.withDefaults()
-	var cells []ChaosCell
+	type cellSpec struct {
+		sched fault.Schedule
+		desc  *scheme.Descriptor
+	}
+	var specs []cellSpec
 	for _, sn := range cfg.Schedules {
 		sched, err := fault.LookupSchedule(sn)
 		if err != nil {
-			return cells, err
+			return nil, err
 		}
 		for _, name := range cfg.Schemes {
 			desc, err := scheme.Lookup(name)
 			if err != nil {
-				return cells, err
+				return nil, err
 			}
-			cells = append(cells, RunChaosCell(cfg, sched, desc, nil))
+			specs = append(specs, cellSpec{sched, desc})
 		}
 	}
-	return cells, nil
+	return expt.Map(cfg.Parallel, len(specs), func(i int) ChaosCell {
+		return RunChaosCell(cfg, specs[i].sched, specs[i].desc, nil)
+	}), nil
 }
 
 // ChaosReport renders the matrix and reports whether every cell held

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"natle/internal/expt"
 	"natle/internal/machine"
 	"natle/internal/sets"
 	"natle/internal/tle"
@@ -29,10 +30,14 @@ func (sc Scale) run(cfg workload.Config) *workload.Result {
 	return workload.Run(cfg)
 }
 
-// Fig01 reproduces Figure 1: speedup of the 100%-update AVL
+// thr runs one trial and returns its throughput (the scalar most
+// specs measure).
+func (sc Scale) thr(cfg workload.Config) float64 { return sc.run(cfg).Throughput() }
+
+// PlanFig01 reproduces Figure 1: speedup of the 100%-update AVL
 // microbenchmark (keys [0,2048)) on the large and small machines.
-func Fig01(sc Scale) *Figure {
-	f := &Figure{
+func PlanFig01(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "fig01",
 		Title:  "AVL tree, 100% updates, keys [0,2048): speedup over 1 thread",
 		XLabel: "threads",
@@ -40,25 +45,23 @@ func Fig01(sc Scale) *Figure {
 	}
 	for _, m := range []struct {
 		name    string
-		prof    *machine.Profile
+		prof    func() *machine.Profile
 		threads []int
 	}{
-		{"large", large(), sc.LargeThreads},
-		{"small", small(), sc.SmallThreads},
+		{"large", large, sc.LargeThreads},
+		{"small", small, sc.SmallThreads},
 	} {
-		var base float64
-		for _, n := range m.threads {
-			r := sc.run(workload.Config{
-				Prof: m.prof, Threads: n, UpdatePct: 100, KeyRange: 2048,
+		speedupSeries(p, m.name, m.threads, func(n int) float64 {
+			return sc.thr(workload.Config{
+				Prof: m.prof(), Threads: n, UpdatePct: 100, KeyRange: 2048,
 			})
-			if base == 0 {
-				base = r.Throughput() / float64(n) // n is 1 in the provided scales
-			}
-			f.Add(m.name, float64(n), r.Throughput()/base)
-		}
+		})
 	}
-	return f
+	return p
 }
+
+// Fig01 executes PlanFig01 on the default pool.
+func Fig01(sc Scale) *Figure { return Exec(PlanFig01(sc), expt.Options{}) }
 
 // retryPolicies is the Figure 2(a) policy matrix.
 func retryPolicies() []tle.Policy {
@@ -72,58 +75,58 @@ func retryPolicies() []tle.Policy {
 	}
 }
 
-// Fig02a reproduces Figure 2(a): TLE retry policies on a large AVL
+// PlanFig02a reproduces Figure 2(a): TLE retry policies on a large AVL
 // tree (keys [0,131072)), 100% updates.
-func Fig02a(sc Scale) *Figure {
-	f := &Figure{
+func PlanFig02a(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "fig02a",
 		Title:  "AVL tree, 100% updates, keys [0,131072): retry policies, speedup over 1 thread",
 		XLabel: "threads",
 		YLabel: "speedup",
 	}
 	for _, pol := range retryPolicies() {
-		var base float64
-		for _, n := range sc.LargeThreads {
-			r := sc.run(workload.Config{
+		speedupSeries(p, pol.Name(), sc.LargeThreads, func(n int) float64 {
+			return sc.thr(workload.Config{
 				Threads: n, UpdatePct: 100, KeyRange: 131072, TLE: pol,
 				MemWords: 1 << 22,
 			})
-			if base == 0 {
-				base = r.Throughput()
-			}
-			f.Add(pol.Name(), float64(n), r.Throughput()/base)
-		}
+		})
 	}
-	return f
+	return p
 }
 
-// Fig02b reproduces Figure 2(b): the percentage of TLE-20 critical
+// Fig02a executes PlanFig02a on the default pool.
+func Fig02a(sc Scale) *Figure { return Exec(PlanFig02a(sc), expt.Options{}) }
+
+// PlanFig02b reproduces Figure 2(b): the percentage of TLE-20 critical
 // sections that commit in a transaction after at least one earlier
 // attempt failed with the hint bit clear.
-func Fig02b(sc Scale) *Figure {
-	f := &Figure{
+func PlanFig02b(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "fig02b",
 		Title:  "Percent of operations committing after a hint-clear failure (TLE-20)",
 		XLabel: "threads",
 		YLabel: "percent",
 	}
-	for _, n := range sc.LargeThreads {
+	valueSeries(p, "TLE-20", sc.LargeThreads, func(n int) float64 {
 		r := sc.run(workload.Config{
 			Threads: n, UpdatePct: 100, KeyRange: 131072, MemWords: 1 << 22,
 		})
-		pct := 0.0
-		if r.Sync.TLE.Commits > 0 {
-			pct = 100 * float64(r.Sync.TLE.CommitsAfterNoHint) / float64(r.Sync.TLE.Commits)
+		if r.Sync.TLE.Commits == 0 {
+			return 0
 		}
-		f.Add("TLE-20", float64(n), pct)
-	}
-	return f
+		return 100 * float64(r.Sync.TLE.CommitsAfterNoHint) / float64(r.Sync.TLE.Commits)
+	})
+	return p
 }
 
-// Fig03 reproduces Figure 3: read-only vs 2%-update workloads on the
-// small AVL tree.
-func Fig03(sc Scale) *Figure {
-	f := &Figure{
+// Fig02b executes PlanFig02b on the default pool.
+func Fig02b(sc Scale) *Figure { return Exec(PlanFig02b(sc), expt.Options{}) }
+
+// PlanFig03 reproduces Figure 3: read-only vs 2%-update workloads on
+// the small AVL tree.
+func PlanFig03(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "fig03",
 		Title:  "AVL tree, keys [0,2048): 100% lookup vs 2% updates, speedup over 1 thread",
 		XLabel: "threads",
@@ -134,70 +137,77 @@ func Fig03(sc Scale) *Figure {
 		if upd > 0 {
 			name = fmt.Sprintf("%d%% updates", upd)
 		}
-		var base float64
-		for _, n := range sc.LargeThreads {
-			r := sc.run(workload.Config{Threads: n, UpdatePct: upd, KeyRange: 2048})
-			if base == 0 {
-				base = r.Throughput()
-			}
-			f.Add(name, float64(n), r.Throughput()/base)
-		}
+		speedupSeries(p, name, sc.LargeThreads, func(n int) float64 {
+			return sc.thr(workload.Config{Threads: n, UpdatePct: upd, KeyRange: 2048})
+		})
 	}
-	return f
+	return p
 }
 
-// Fig04 reproduces Figure 4: TLE vs no synchronization on the
+// Fig03 executes PlanFig03 on the default pool.
+func Fig03(sc Scale) *Figure { return Exec(PlanFig03(sc), expt.Options{}) }
+
+// PlanFig04 reproduces Figure 4: TLE vs no synchronization on the
 // search-and-replace workload (keys [0,4096)).
-func Fig04(sc Scale) *Figure {
-	f := &Figure{
+func PlanFig04(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "fig04",
 		Title:  "Search-and-replace, AVL keys [0,4096): TLE vs no synchronization, speedup",
 		XLabel: "threads",
 		YLabel: "speedup",
 	}
 	for _, kind := range []workload.LockKind{workload.LockTLE, workload.LockNoSync} {
-		var base float64
-		for _, n := range sc.LargeThreads {
-			r := sc.run(workload.Config{
+		speedupSeries(p, string(kind), sc.LargeThreads, func(n int) float64 {
+			return sc.thr(workload.Config{
 				Threads: n, KeyRange: 4096, SearchReplace: true, Lock: kind,
 			})
-			if base == 0 {
-				base = r.Throughput()
-			}
-			f.Add(string(kind), float64(n), r.Throughput()/base)
-		}
+		})
 	}
-	return f
+	return p
 }
 
-// Fig05 reproduces Figure 5: the abort-rate breakdown for the Fig 4
-// TLE curve.
-func Fig05(sc Scale) *Figure {
-	f := &Figure{
+// Fig04 executes PlanFig04 on the default pool.
+func Fig04(sc Scale) *Figure { return Exec(PlanFig04(sc), expt.Options{}) }
+
+// PlanFig05 reproduces Figure 5: the abort-rate breakdown for the
+// Fig 4 TLE curve.
+func PlanFig05(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "fig05",
 		Title:  "Abort rate by cause for the Fig 4 TLE curve (% of attempts)",
 		XLabel: "threads",
 		YLabel: "percent of attempts",
 	}
 	for _, n := range sc.LargeThreads {
-		r := sc.run(workload.Config{Threads: n, KeyRange: 4096, SearchReplace: true})
-		at := float64(r.Sync.TLE.Attempts)
-		if at == 0 {
-			continue
-		}
-		f.Add("total", float64(n), 100*float64(r.HTM.TotalAborts())/at)
-		f.Add("conflict", float64(n), 100*float64(r.Sync.TLE.Aborts[1])/at)
-		f.Add("capacity", float64(n), 100*float64(r.Sync.TLE.Aborts[2])/at)
-		f.Add("lock-held", float64(n), 100*float64(r.Sync.TLE.Aborts[4])/at)
+		p.Add(expt.TrialSpec{
+			Key: fmt.Sprintf("breakdown/%d", n),
+			Run: func() expt.Outcome {
+				r := sc.run(workload.Config{Threads: n, KeyRange: 4096, SearchReplace: true})
+				at := float64(r.Sync.TLE.Attempts)
+				if at == 0 {
+					return expt.Outcome{}
+				}
+				x := float64(n)
+				return expt.Outcome{Points: []expt.Point{
+					{Series: "total", X: x, Y: 100 * float64(r.HTM.TotalAborts()) / at},
+					{Series: "conflict", X: x, Y: 100 * float64(r.Sync.TLE.Aborts[1]) / at},
+					{Series: "capacity", X: x, Y: 100 * float64(r.Sync.TLE.Aborts[2]) / at},
+					{Series: "lock-held", X: x, Y: 100 * float64(r.Sync.TLE.Aborts[4]) / at},
+				}}
+			},
+		})
 	}
-	return f
+	return p
 }
 
-// Fig06 reproduces Figure 6: a 36-thread single-socket run with an
+// Fig05 executes PlanFig05 on the default pool.
+func Fig05(sc Scale) *Figure { return Exec(PlanFig05(sc), expt.Options{}) }
+
+// PlanFig06 reproduces Figure 6: a 36-thread single-socket run with an
 // artificial delay before each commit; the x axis is the delay, the
 // series are the abort rate and the conflict share of aborts.
-func Fig06(sc Scale) *Figure {
-	f := &Figure{
+func PlanFig06(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "fig06",
 		Title:  "36 threads on one socket, delay before commit (AVL keys [0,131072), 100% upd)",
 		XLabel: "delay (us)",
@@ -207,52 +217,64 @@ func Fig06(sc Scale) *Figure {
 		},
 	}
 	for _, us := range []float64{0, 0.5, 1, 2, 4, 8, 16, 32, 43} {
-		r := sc.run(workload.Config{
-			Threads: 36, Pin: machine.SingleSocket{}, UpdatePct: 100,
-			KeyRange: 131072, MemWords: 1 << 22,
-			CommitDelay: vtime.Duration(us * float64(vtime.Microsecond)),
+		p.Add(expt.TrialSpec{
+			Key: fmt.Sprintf("delay/%gus", us),
+			Run: func() expt.Outcome {
+				r := sc.run(workload.Config{
+					Threads: 36, Pin: machine.SingleSocket{}, UpdatePct: 100,
+					KeyRange: 131072, MemWords: 1 << 22,
+					CommitDelay: vtime.Duration(us * float64(vtime.Microsecond)),
+				})
+				aborts := float64(r.HTM.TotalAborts())
+				attempts := float64(r.HTM.Starts)
+				if attempts == 0 {
+					return expt.Outcome{}
+				}
+				conflictShare := 0.0
+				if aborts > 0 {
+					conflictShare = 100 * float64(r.HTM.Aborts[1]) / aborts
+				}
+				// The paper's footnote 1 reports the average successful
+				// transaction length (~61 ns without delay, ~43 us at the
+				// maximum delay).
+				return expt.Outcome{Points: []expt.Point{
+					{Series: "abort rate", X: us, Y: 100 * aborts / attempts},
+					{Series: "conflict share of aborts", X: us, Y: conflictShare},
+					{Series: "avg tx length (us)", X: us, Y: r.HTM.AvgCommitDuration().Seconds() * 1e6},
+				}}
+			},
 		})
-		aborts := float64(r.HTM.TotalAborts())
-		attempts := float64(r.HTM.Starts)
-		if attempts == 0 {
-			continue
-		}
-		f.Add("abort rate", us, 100*aborts/attempts)
-		conflictShare := 0.0
-		if aborts > 0 {
-			conflictShare = 100 * float64(r.HTM.Aborts[1]) / aborts
-		}
-		f.Add("conflict share of aborts", us, conflictShare)
-		// The paper's footnote 1 reports the average successful
-		// transaction length (~61 ns without delay, ~43 us at the
-		// maximum delay).
-		f.Add("avg tx length (us)", us, r.HTM.AvgCommitDuration().Seconds()*1e6)
 	}
-	return f
+	return p
 }
 
-// Fig07 reproduces Figure 7: AVL vs leaf-oriented BST with 20% updates
-// and keys [0,2048).
-func Fig07(sc Scale) *Figure {
-	f := &Figure{
+// Fig06 executes PlanFig06 on the default pool.
+func Fig06(sc Scale) *Figure { return Exec(PlanFig06(sc), expt.Options{}) }
+
+// PlanFig07 reproduces Figure 7: AVL vs leaf-oriented BST with 20%
+// updates and keys [0,2048).
+func PlanFig07(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "fig07",
 		Title:  "AVL vs leaf-oriented BST, 20% updates, keys [0,2048): throughput (ops/s)",
 		XLabel: "threads",
 		YLabel: "ops/s",
 	}
 	for _, kind := range []sets.Kind{sets.KindAVL, sets.KindLeafBST} {
-		for _, n := range sc.LargeThreads {
-			r := sc.run(workload.Config{Threads: n, UpdatePct: 20, KeyRange: 2048, SetKind: kind})
-			f.Add(string(kind), float64(n), r.Throughput())
-		}
+		valueSeries(p, string(kind), sc.LargeThreads, func(n int) float64 {
+			return sc.thr(workload.Config{Threads: n, UpdatePct: 20, KeyRange: 2048, SetKind: kind})
+		})
 	}
-	return f
+	return p
 }
 
-// Fig12 reproduces Figure 12: TLE vs NATLE on the AVL tree (keys
+// Fig07 executes PlanFig07 on the default pool.
+func Fig07(sc Scale) *Figure { return Exec(PlanFig07(sc), expt.Options{}) }
+
+// PlanFig12 reproduces Figure 12: TLE vs NATLE on the AVL tree (keys
 // [0,2048)) for 0/20/100% updates, without and with external work.
-func Fig12(sc Scale) *Figure {
-	f := &Figure{
+func PlanFig12(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "fig12",
 		Title:  "AVL keys [0,2048): TLE vs NATLE, ops/s (panels: upd% x external work)",
 		XLabel: "threads",
@@ -262,23 +284,25 @@ func Fig12(sc Scale) *Figure {
 		for _, upd := range []int{0, 20, 100} {
 			for _, kind := range []workload.LockKind{workload.LockTLE, workload.LockNATLE} {
 				name := fmt.Sprintf("%s/upd%d/work%d", kind, upd, work)
-				for _, n := range sc.LargeThreads {
-					r := sc.run(workload.Config{
+				valueSeries(p, name, sc.LargeThreads, func(n int) float64 {
+					return sc.thr(workload.Config{
 						Threads: n, UpdatePct: upd, KeyRange: 2048,
 						ExternalWork: work, Lock: kind,
 					})
-					f.Add(name, float64(n), r.Throughput())
-				}
+				})
 			}
 		}
 	}
-	return f
+	return p
 }
 
-// Fig13 reproduces Figure 13: unbalanced BSTs and skip-lists with
+// Fig12 executes PlanFig12 on the default pool.
+func Fig12(sc Scale) *Figure { return Exec(PlanFig12(sc), expt.Options{}) }
+
+// PlanFig13 reproduces Figure 13: unbalanced BSTs and skip-lists with
 // external work (keys [0,2048)).
-func Fig13(sc Scale) *Figure {
-	f := &Figure{
+func PlanFig13(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "fig13",
 		Title:  "Leaf-oriented BST and skip-list, keys [0,2048), external work: ops/s",
 		XLabel: "threads",
@@ -288,23 +312,25 @@ func Fig13(sc Scale) *Figure {
 		for _, upd := range []int{20, 100} {
 			for _, lk := range []workload.LockKind{workload.LockTLE, workload.LockNATLE} {
 				name := fmt.Sprintf("%s/%s/upd%d", kind, lk, upd)
-				for _, n := range sc.LargeThreads {
-					r := sc.run(workload.Config{
+				valueSeries(p, name, sc.LargeThreads, func(n int) float64 {
+					return sc.thr(workload.Config{
 						Threads: n, UpdatePct: upd, KeyRange: 2048,
 						SetKind: kind, ExternalWork: 256, Lock: lk,
 					})
-					f.Add(name, float64(n), r.Throughput())
-				}
+				})
 			}
 		}
 	}
-	return f
+	return p
 }
 
-// Fig14 reproduces Figure 14: the leaf-oriented BST with a tiny key
-// range [0,128), where even leaf-only updates conflict.
-func Fig14(sc Scale) *Figure {
-	f := &Figure{
+// Fig13 executes PlanFig13 on the default pool.
+func Fig13(sc Scale) *Figure { return Exec(PlanFig13(sc), expt.Options{}) }
+
+// PlanFig14 reproduces Figure 14: the leaf-oriented BST with a tiny
+// key range [0,128), where even leaf-only updates conflict.
+func PlanFig14(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "fig14",
 		Title:  "Leaf-oriented BST, keys [0,128): ops/s",
 		XLabel: "threads",
@@ -313,23 +339,25 @@ func Fig14(sc Scale) *Figure {
 	for _, upd := range []int{40, 100} {
 		for _, lk := range []workload.LockKind{workload.LockTLE, workload.LockNATLE} {
 			name := fmt.Sprintf("%s/upd%d", lk, upd)
-			for _, n := range sc.LargeThreads {
-				r := sc.run(workload.Config{
+			valueSeries(p, name, sc.LargeThreads, func(n int) float64 {
+				return sc.thr(workload.Config{
 					Threads: n, UpdatePct: upd, KeyRange: 128,
 					SetKind: sets.KindLeafBST, ExternalWork: 256, Lock: lk,
 				})
-				f.Add(name, float64(n), r.Throughput())
-			}
+			})
 		}
 	}
-	return f
+	return p
 }
 
-// Fig15 reproduces Figure 15: alternative pinning policies
+// Fig14 executes PlanFig14 on the default pool.
+func Fig14(sc Scale) *Figure { return Exec(PlanFig14(sc), expt.Options{}) }
+
+// PlanFig15 reproduces Figure 15: alternative pinning policies
 // (alternating sockets, and unpinned under the simulated OS scheduler)
 // for the 100%-update AVL workload with external work.
-func Fig15(sc Scale) *Figure {
-	f := &Figure{
+func PlanFig15(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "fig15",
 		Title:  "AVL keys [0,2048), 100% upd, external work: pinning policies, ops/s",
 		XLabel: "threads",
@@ -338,22 +366,24 @@ func Fig15(sc Scale) *Figure {
 	for _, pin := range []machine.PinPolicy{machine.Alternating{}, machine.Unpinned{}} {
 		for _, lk := range []workload.LockKind{workload.LockTLE, workload.LockNATLE} {
 			name := fmt.Sprintf("%s/%s", pin.Name(), lk)
-			for _, n := range sc.LargeThreads {
-				r := sc.run(workload.Config{
+			valueSeries(p, name, sc.LargeThreads, func(n int) float64 {
+				return sc.thr(workload.Config{
 					Threads: n, Pin: pin, UpdatePct: 100, KeyRange: 2048,
 					ExternalWork: 256, Lock: lk,
 				})
-				f.Add(name, float64(n), r.Throughput())
-			}
+			})
 		}
 	}
-	return f
+	return p
 }
 
-// Fig16 reproduces Figure 16: two AVL trees, one update-only and one
-// search-only, with combined and per-tree throughput.
-func Fig16(sc Scale) *Figure {
-	f := &Figure{
+// Fig15 executes PlanFig15 on the default pool.
+func Fig15(sc Scale) *Figure { return Exec(PlanFig15(sc), expt.Options{}) }
+
+// PlanFig16 reproduces Figure 16: two AVL trees, one update-only and
+// one search-only, with combined and per-tree throughput.
+func PlanFig16(sc Scale) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "fig16",
 		Title:  "Two AVL trees (update-only + search-only), keys [0,2048): ops/s",
 		XLabel: "threads",
@@ -364,20 +394,31 @@ func Fig16(sc Scale) *Figure {
 			if n%2 == 1 {
 				continue // the paper runs even thread counts only
 			}
-			cfg := workload.Config{Threads: n, KeyRange: 2048, Lock: lk}
-			if lk == workload.LockNATLE {
-				ncfg := sc.NATLE
-				cfg.NATLE = &ncfg
-				cfg.Duration, cfg.Warmup = sc.NATLEDur, sc.NATLEWarmup
-			} else {
-				cfg.Duration, cfg.Warmup = sc.Dur, sc.Warmup
-			}
-			cfg.Seed = sc.Seed
-			r := workload.RunTwoTrees(workload.TwoTreesConfig{Base: cfg, SearchWork: 256})
-			f.Add(string(lk)+"/combined", float64(n), r.CombinedThroughput())
-			f.Add(string(lk)+"/updates", float64(n), r.UpdateThroughput())
-			f.Add(string(lk)+"/searches", float64(n), r.SearchThroughput())
+			p.Add(expt.TrialSpec{
+				Key: fmt.Sprintf("%s/%d", lk, n),
+				Run: func() expt.Outcome {
+					cfg := workload.Config{Threads: n, KeyRange: 2048, Lock: lk}
+					if lk == workload.LockNATLE {
+						ncfg := sc.NATLE
+						cfg.NATLE = &ncfg
+						cfg.Duration, cfg.Warmup = sc.NATLEDur, sc.NATLEWarmup
+					} else {
+						cfg.Duration, cfg.Warmup = sc.Dur, sc.Warmup
+					}
+					cfg.Seed = sc.Seed
+					r := workload.RunTwoTrees(workload.TwoTreesConfig{Base: cfg, SearchWork: 256})
+					x := float64(n)
+					return expt.Outcome{Points: []expt.Point{
+						{Series: string(lk) + "/combined", X: x, Y: r.CombinedThroughput()},
+						{Series: string(lk) + "/updates", X: x, Y: r.UpdateThroughput()},
+						{Series: string(lk) + "/searches", X: x, Y: r.SearchThroughput()},
+					}}
+				},
+			})
 		}
 	}
-	return f
+	return p
 }
+
+// Fig16 executes PlanFig16 on the default pool.
+func Fig16(sc Scale) *Figure { return Exec(PlanFig16(sc), expt.Options{}) }

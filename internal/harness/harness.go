@@ -47,6 +47,33 @@ func (f *Figure) Add(series string, x, y float64) {
 	f.Series = append(f.Series, Series{Name: series, X: []float64{x}, Y: []float64{y}})
 }
 
+// index is a rendering accelerator built once per String/CSV call:
+// the sorted union of all x values plus one x->y map per series, so a
+// dense grid renders in O(series × points) instead of rescanning every
+// series linearly for every table row.
+type index struct {
+	xs     []float64
+	series []map[float64]float64
+}
+
+func (f *Figure) index() index {
+	ix := index{series: make([]map[float64]float64, len(f.Series))}
+	seen := map[float64]bool{}
+	for i, s := range f.Series {
+		m := make(map[float64]float64, len(s.X))
+		for j, x := range s.X {
+			m[x] = s.Y[j]
+			if !seen[x] {
+				seen[x] = true
+				ix.xs = append(ix.xs, x)
+			}
+		}
+		ix.series[i] = m
+	}
+	sort.Float64s(ix.xs)
+	return ix
+}
+
 // String renders the figure as an aligned text table (rows = x values,
 // one column per series).
 func (f *Figure) String() string {
@@ -55,16 +82,16 @@ func (f *Figure) String() string {
 	for _, n := range f.Notes {
 		fmt.Fprintf(&b, "   note: %s\n", n)
 	}
-	xs := f.xUnion()
+	ix := f.index()
 	fmt.Fprintf(&b, "%14s", f.XLabel)
 	for _, s := range f.Series {
 		fmt.Fprintf(&b, " %18s", s.Name)
 	}
 	b.WriteByte('\n')
-	for _, x := range xs {
+	for _, x := range ix.xs {
 		fmt.Fprintf(&b, "%14.6g", x)
-		for _, s := range f.Series {
-			if y, ok := lookup(s, x); ok {
+		for _, m := range ix.series {
+			if y, ok := m[x]; ok {
 				fmt.Fprintf(&b, " %18.6g", y)
 			} else {
 				fmt.Fprintf(&b, " %18s", "-")
@@ -84,41 +111,18 @@ func (f *Figure) CSV() string {
 		b.WriteString(s.Name)
 	}
 	b.WriteByte('\n')
-	for _, x := range f.xUnion() {
+	ix := f.index()
+	for _, x := range ix.xs {
 		fmt.Fprintf(&b, "%g", x)
-		for _, s := range f.Series {
+		for _, m := range ix.series {
 			b.WriteByte(',')
-			if y, ok := lookup(s, x); ok {
+			if y, ok := m[x]; ok {
 				fmt.Fprintf(&b, "%g", y)
 			}
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
-}
-
-func (f *Figure) xUnion() []float64 {
-	seen := map[float64]bool{}
-	var xs []float64
-	for _, s := range f.Series {
-		for _, x := range s.X {
-			if !seen[x] {
-				seen[x] = true
-				xs = append(xs, x)
-			}
-		}
-	}
-	sort.Float64s(xs)
-	return xs
-}
-
-func lookup(s Series, x float64) (float64, bool) {
-	for i, v := range s.X {
-		if v == x {
-			return s.Y[i], true
-		}
-	}
-	return 0, false
 }
 
 // Scale selects sweep density and trial lengths.

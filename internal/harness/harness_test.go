@@ -24,21 +24,27 @@ func TestFigureFormatting(t *testing.T) {
 	}
 }
 
-func TestXUnionSortedUnique(t *testing.T) {
+func TestIndexSortedUnique(t *testing.T) {
 	f := &Figure{}
-	f.Add("a", 3, 1)
-	f.Add("a", 1, 1)
-	f.Add("b", 3, 1)
-	f.Add("b", 2, 1)
-	xs := f.xUnion()
+	f.Add("a", 3, 10)
+	f.Add("a", 1, 11)
+	f.Add("b", 3, 12)
+	f.Add("b", 2, 13)
+	ix := f.index()
 	want := []float64{1, 2, 3}
-	if len(xs) != len(want) {
-		t.Fatalf("xUnion = %v", xs)
+	if len(ix.xs) != len(want) {
+		t.Fatalf("index xs = %v", ix.xs)
 	}
-	for i := range xs {
-		if xs[i] != want[i] {
-			t.Fatalf("xUnion = %v, want %v", xs, want)
+	for i := range ix.xs {
+		if ix.xs[i] != want[i] {
+			t.Fatalf("index xs = %v, want %v", ix.xs, want)
 		}
+	}
+	if y, ok := ix.series[1][2]; !ok || y != 13 {
+		t.Fatalf("series b at x=2: got %v, %v", y, ok)
+	}
+	if _, ok := ix.series[0][2]; ok {
+		t.Fatal("series a should have no point at x=2")
 	}
 }
 

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"natle/internal/expt"
 	"natle/internal/htm"
 	"natle/internal/machine"
 	"natle/internal/mem"
@@ -59,9 +60,10 @@ func RunLLC(arrayLines int, remote bool, seed int64) *LLCResult {
 	return res
 }
 
-// LLCTable renders both variants (local and remote home) as a Figure.
-func LLCTable(arrayLines int, seed int64) *Figure {
-	f := &Figure{
+// PlanLLC renders both variants (local and remote home) as a plan of
+// two independent trials.
+func PlanLLC(arrayLines int, seed int64) *expt.Plan {
+	p := &expt.Plan{
 		ID:     "llc",
 		Title:  "Single-thread stride-2-line transactional reads over a large array",
 		XLabel: "variant (0=local, 1=remote)",
@@ -71,10 +73,27 @@ func LLCTable(arrayLines int, seed int64) *Figure {
 		},
 	}
 	for i, remote := range []bool{false, true} {
-		r := RunLLC(arrayLines, remote, seed)
-		f.Add("reads", float64(i), float64(r.Reads))
-		f.Add("llc-misses", float64(i), float64(r.LLCMisses))
-		f.Add("aborts", float64(i), float64(r.Aborts))
+		name := "local"
+		if remote {
+			name = "remote"
+		}
+		p.Add(expt.TrialSpec{
+			Key: name,
+			Run: func() expt.Outcome {
+				r := RunLLC(arrayLines, remote, seed)
+				x := float64(i)
+				return expt.Outcome{Points: []expt.Point{
+					{Series: "reads", X: x, Y: float64(r.Reads)},
+					{Series: "llc-misses", X: x, Y: float64(r.LLCMisses)},
+					{Series: "aborts", X: x, Y: float64(r.Aborts)},
+				}}
+			},
+		})
 	}
-	return f
+	return p
+}
+
+// LLCTable executes PlanLLC on the default pool.
+func LLCTable(arrayLines int, seed int64) *Figure {
+	return Exec(PlanLLC(arrayLines, seed), expt.Options{})
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// raceDetectorOn reports whether this test binary was built with
+// -race. The detector multiplies simulated-trial cost several-fold,
+// so the heaviest plans opt out of the byte-identity sweep under it
+// (see parallel_test.go).
+const raceDetectorOn = true
