@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race race-executor check bench figures figures-quick chaos clean
+.PHONY: all build test vet lint race race-executor check bench figures figures-quick chaos bench-snapshot service-check clean
 
 all: build
 
@@ -46,6 +46,23 @@ bench:
 # conservation invariants and fault-free final contents.
 chaos:
 	$(GO) run ./cmd/htmbench -faults
+
+# bench-snapshot regenerates the committed service benchmark snapshot:
+# the max sustainable arrival rate at a 1 ms p99 SLO for every
+# batch-capable scheme, at quick scale. Deterministic — a diff in
+# BENCH_service.json after this target means the performance model
+# actually changed.
+bench-snapshot:
+	$(GO) run ./cmd/htmbench -service -slo 1000 -slojson BENCH_service.json
+
+# service-check regenerates the service figure family at -j 1 and
+# -j 4 and fails on any byte difference, then runs the natlevet
+# analyzers over the service package (CI runs this as its own job).
+service-check:
+	$(GO) run ./cmd/figures -fig service-latency,service-slo,service-arrivals,service-chaos -j 1 > /tmp/service_j1.txt
+	$(GO) run ./cmd/figures -fig service-latency,service-slo,service-arrivals,service-chaos -j 4 > /tmp/service_j4.txt
+	cmp /tmp/service_j1.txt /tmp/service_j4.txt
+	$(GO) run ./cmd/natlevet ./internal/service/...
 
 figures:
 	$(GO) run ./cmd/figures

@@ -25,6 +25,7 @@ import (
 	"natle/internal/harness"
 	"natle/internal/machine"
 	"natle/internal/scheme"
+	"natle/internal/service"
 	"natle/internal/sets"
 	"natle/internal/telemetry"
 	"natle/internal/tle"
@@ -34,13 +35,14 @@ import (
 
 func main() {
 	var (
-		prof      = flag.String("machine", "large", "machine profile: large | small")
-		pin       = flag.String("pin", "fill", "pinning: fill | alt | none | socket0")
-		setKind   = flag.String("set", "avl", "set: avl | leafbst | bst | skiplist")
-		keys      = flag.Int64("keys", 2048, "key range [0, keys)")
-		updates   = flag.Int("updates", 100, "update percentage")
-		extWork   = flag.Int("work", 0, "external work max iterations")
-		lockKind  = flag.String("lock", "tle", "lock: "+scheme.FlagHelp())
+		prof     = flag.String("machine", "large", "machine profile: large | small")
+		pin      = flag.String("pin", "fill", "pinning: fill | alt | none | socket0")
+		setKind  = flag.String("set", "avl", "set: avl | leafbst | bst | skiplist")
+		keys     = flag.Int64("keys", 2048, "key range [0, keys)")
+		updates  = flag.Int("updates", 100, "update percentage")
+		extWork  = flag.Int("work", 0, "external work max iterations")
+		lockKind = flag.String("lock", "tle", "lock: "+scheme.FlagHelp()+
+			" (batch-capable: "+scheme.BatchHelp()+")")
 		attempts  = flag.Int("attempts", 20, "TLE transactional attempts")
 		honorHint = flag.Bool("hint", false, "fall back immediately when the hint bit is clear")
 		countLock = flag.Bool("countlock", false, "count lock-held attempts (disables anti-lemming)")
@@ -58,6 +60,16 @@ func main() {
 		breaker   = flag.Bool("breaker", false, "arm the TLE circuit breaker: degrade to the plain mutex under pathological abort rates, probe for recovery")
 		jobs      = flag.Int("j", 0, "host worker pool size for the sweep / chaos matrix (<= 0: GOMAXPROCS)")
 		progress  = flag.Bool("progress", false, "report per-trial completion on stderr")
+
+		svc     = flag.Bool("service", false, "run the open-loop KV service workload instead of the closed-loop set sweep")
+		arrival = flag.String("arrival", "poisson", "service arrival process: "+strings.Join(service.ArrivalNames(), " | "))
+		rates   = flag.String("rates", "", "service offered loads in req/s, comma-separated (default: quick-scale sweep)")
+		shards  = flag.Int("shards", 0, "service KV shards (0: default)")
+		servers = flag.Int("servers", 0, "service server threads per shard (0: default)")
+		batch   = flag.Int("batch", 0, "service max requests per critical section (0: default; clamped to 1 for schemes without the batch capability)")
+		qcap    = flag.Int("qcap", 0, "service per-shard admission-queue bound (0: default)")
+		sloUs   = flag.Float64("slo", 0, "service SLO search: target p99 in microseconds, searched over every batch-capable scheme (0: rate sweep of -lock instead)")
+		sloJSON = flag.String("slojson", "", "write the service SLO search results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -97,6 +109,26 @@ func main() {
 	p := machine.LargeX52()
 	if *prof == "small" {
 		p = machine.SmallI7()
+	}
+
+	if *svc {
+		runService(serviceArgs{
+			prof:    p,
+			scheme:  *lockKind,
+			arrival: *arrival,
+			rates:   *rates,
+			shards:  *shards,
+			servers: *servers,
+			batch:   *batch,
+			qcap:    *qcap,
+			window:  vtime.Duration(*durMs * float64(vtime.Millisecond)),
+			seed:    *seed,
+			fault:   faultProf,
+			sloUs:   *sloUs,
+			sloJSON: *sloJSON,
+			jobs:    *jobs,
+		})
+		return
 	}
 	var policy machine.PinPolicy
 	switch *pin {

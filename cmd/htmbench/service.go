@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"natle/internal/expt"
+	"natle/internal/fault"
+	"natle/internal/machine"
+	"natle/internal/scheme"
+	"natle/internal/service"
+	"natle/internal/vtime"
+)
+
+// The -service mode: the open-loop KV service instead of the
+// closed-loop set sweep. Two sub-modes:
+//
+//   - rate sweep (default): the -lock scheme absorbs each offered
+//     load in -rates, one table row per rate (latency percentiles,
+//     shed share, batching);
+//   - SLO search (-slo <p99 target in us>): every batch-capable
+//     scheme is binary-searched for its maximum sustainable load
+//     under the target; -slojson writes the result as deterministic
+//     JSON (the committed BENCH_service.json snapshot).
+
+type serviceArgs struct {
+	prof    *machine.Profile
+	scheme  string
+	arrival string
+	rates   string
+	shards  int
+	servers int
+	batch   int
+	qcap    int
+	window  vtime.Duration
+	seed    int64
+	fault   *fault.Profile
+	sloUs   float64
+	sloJSON string
+	jobs    int
+}
+
+// defaultServiceRates is the quick-scale offered-load sweep.
+var defaultServiceRates = []float64{2e6, 8e6, 16e6, 24e6, 32e6}
+
+func (a serviceArgs) base() service.Config {
+	kind, err := service.LookupArrival(a.arrival)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	return service.Config{
+		Prof:     a.prof,
+		Seed:     a.seed,
+		Scheme:   a.scheme,
+		Arrival:  kind,
+		Window:   a.window,
+		Shards:   a.shards,
+		Servers:  a.servers,
+		Batch:    a.batch,
+		QueueCap: a.qcap,
+		Fault:    a.fault,
+	}
+}
+
+func runService(a serviceArgs) {
+	if a.sloUs > 0 {
+		runServiceSLO(a)
+		return
+	}
+
+	sweep := defaultServiceRates
+	if a.rates != "" {
+		sweep = sweep[:0]
+		for _, f := range strings.Split(a.rates, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || r <= 0 {
+				fmt.Fprintf(os.Stderr, "bad rate %q\n", f)
+				os.Exit(2)
+			}
+			sweep = append(sweep, r)
+		}
+	}
+
+	cfg := a.base()
+	fmt.Printf("# %s, service: scheme=%s arrival=%s window=%v\n",
+		a.prof.Name, a.scheme, a.arrival, a.window)
+	if a.fault != nil {
+		fmt.Printf("# fault schedule injected\n")
+	}
+	fmt.Printf("%12s %8s %7s %12s %12s %12s %9s %9s\n",
+		"rate(r/s)", "reqs", "shed%", "p50", "p99", "p999", "avgbatch", "fallback")
+
+	results := expt.Map(a.jobs, len(sweep), func(i int) *service.Result {
+		c := cfg
+		c.Rate = sweep[i]
+		return service.Run(c)
+	})
+	for i, r := range results {
+		avgBatch := 0.0
+		if r.Batches > 0 {
+			avgBatch = float64(r.Completed) / float64(r.Batches)
+		}
+		fmt.Printf("%12.4g %8d %6.2f%% %12v %12v %12v %9.2f %9d\n",
+			sweep[i], r.Requests, 100*r.ShedFraction(),
+			r.E2E.Quantile(0.50), r.E2E.Quantile(0.99), r.E2E.Quantile(0.999),
+			avgBatch, r.Sync.TLE.Fallbacks)
+		if r.BatchClamped {
+			fmt.Printf("             # batch clamped to 1: scheme %q lacks the batch capability\n", a.scheme)
+		}
+	}
+}
+
+// benchEntry is one scheme's SLO search result in the JSON snapshot.
+// Field order is the marshaled order; nothing here depends on host
+// time or parallelism, so the file is byte-stable run over run.
+type benchEntry struct {
+	Scheme    string  `json:"scheme"`
+	Sustained float64 `json:"sustained_req_per_s"`
+	LatencyUs float64 `json:"latency_us_at_sustained"`
+	Probes    int     `json:"probes"`
+}
+
+type benchFile struct {
+	Workload  string       `json:"workload"`
+	Machine   string       `json:"machine"`
+	Arrival   string       `json:"arrival"`
+	WindowUs  float64      `json:"window_us"`
+	TargetUs  float64      `json:"target_p99_us"`
+	Quantile  float64      `json:"quantile"`
+	BracketLo float64      `json:"bracket_lo_req_per_s"`
+	BracketHi float64      `json:"bracket_hi_req_per_s"`
+	Iters     int          `json:"bisection_iters"`
+	Seed      int64        `json:"seed"`
+	Schemes   []benchEntry `json:"schemes"`
+}
+
+func runServiceSLO(a serviceArgs) {
+	target := vtime.Duration(a.sloUs * float64(vtime.Microsecond))
+	slo := service.SLO{Target: target}
+	names := scheme.BatchNames()
+
+	fmt.Printf("# %s, service SLO search: arrival=%s window=%v target p99 <= %v\n",
+		a.prof.Name, a.arrival, a.window, target)
+	results := expt.Map(a.jobs, len(names), func(i int) service.SLOResult {
+		cfg := a.base()
+		cfg.Scheme = names[i]
+		return service.SearchSLO(cfg, slo)
+	})
+	for _, r := range results {
+		fmt.Println(r)
+	}
+
+	if a.sloJSON == "" {
+		return
+	}
+	norm := results[0].SLO // post-defaults copy (same for every scheme)
+	out := benchFile{
+		Workload:  "open-loop KV service",
+		Machine:   a.prof.Name,
+		Arrival:   a.arrival,
+		WindowUs:  a.window.Seconds() * 1e6,
+		TargetUs:  norm.Target.Seconds() * 1e6,
+		Quantile:  norm.Quantile,
+		BracketLo: norm.Lo,
+		BracketHi: norm.Hi,
+		Iters:     norm.Iters,
+		Seed:      a.seed,
+	}
+	for i, r := range results {
+		out.Schemes = append(out.Schemes, benchEntry{
+			Scheme:    names[i],
+			Sustained: r.Sustained,
+			LatencyUs: r.LatencyAt.Seconds() * 1e6,
+			Probes:    len(r.Probes),
+		})
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(a.sloJSON, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", a.sloJSON)
+}

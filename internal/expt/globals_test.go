@@ -18,14 +18,16 @@ import (
 //
 // Allowlisted globals and why each is pool-safe:
 //
-//	scheme.registry      written only from init (via MustRegister);
-//	                     read-only once trials exist
-//	fault.schedules      a fixed table, never mutated
-//	telemetry.nopShared  a stateless NopRecorder sentinel
+//	scheme.registry       written only from init (via MustRegister);
+//	                      read-only once trials exist
+//	fault.schedules       a fixed table, never mutated
+//	telemetry.nopShared   a stateless NopRecorder sentinel
+//	service.arrivalTable  a fixed table, never mutated
 var sharedStateAllowlist = map[string]string{
-	"scheme/registry":     "init-only registration, read-only afterwards",
-	"fault/schedules":     "immutable schedule table",
-	"telemetry/nopShared": "stateless no-op recorder sentinel",
+	"scheme/registry":      "init-only registration, read-only afterwards",
+	"fault/schedules":      "immutable schedule table",
+	"telemetry/nopShared":  "stateless no-op recorder sentinel",
+	"service/arrivalTable": "immutable arrival-process table",
 }
 
 // trialPathPackages are the internal packages whose code can run inside
@@ -34,8 +36,8 @@ var sharedStateAllowlist = map[string]string{
 var trialPathPackages = []string{
 	"cache", "cctsa", "cohort", "delegation", "expt", "fault", "harness",
 	"htm", "lock", "machine", "mem", "natle", "paraheap", "scheme",
-	"sets", "sim", "simmap", "spinlock", "stamp", "telemetry", "tle",
-	"vtime", "workload",
+	"service", "sets", "sim", "simmap", "spinlock", "stamp", "telemetry",
+	"tle", "vtime", "workload",
 }
 
 func TestNoSharedPackageState(t *testing.T) {

@@ -15,6 +15,7 @@ import (
 
 	"natle/internal/machine"
 	"natle/internal/natle"
+	"natle/internal/service"
 	"natle/internal/vtime"
 )
 
@@ -137,6 +138,11 @@ type Scale struct {
 	NATLEWarmup vtime.Duration
 	NATLE       natle.Config
 
+	// Service-workload knobs (the open-loop KV service plans).
+	ServiceWindow vtime.Duration // arrival window per service trial
+	ServiceRates  []float64      // offered-load sweep, req/virtual second
+	ServiceSLO    service.SLO    // SLO-search target and rate bracket
+
 	Seed int64
 }
 
@@ -151,14 +157,22 @@ func QuickScale() Scale {
 	n.QuantumLen = 100 * vtime.Microsecond
 	n.WarmupThreshold = 64
 	return Scale{
-		LargeThreads: []int{1, 9, 18, 36, 42, 54, 72},
-		SmallThreads: []int{1, 2, 4, 6, 8},
-		Dur:          400 * vtime.Microsecond,
-		Warmup:       150 * vtime.Microsecond,
-		NATLEDur:     3600 * vtime.Microsecond,
-		NATLEWarmup:  1300 * vtime.Microsecond,
-		NATLE:        n,
-		Seed:         1,
+		LargeThreads:  []int{1, 9, 18, 36, 42, 54, 72},
+		SmallThreads:  []int{1, 2, 4, 6, 8},
+		Dur:           400 * vtime.Microsecond,
+		Warmup:        150 * vtime.Microsecond,
+		NATLEDur:      3600 * vtime.Microsecond,
+		NATLEWarmup:   1300 * vtime.Microsecond,
+		NATLE:         n,
+		ServiceWindow: vtime.Millisecond,
+		ServiceRates:  []float64{2e6, 8e6, 16e6, 24e6, 32e6},
+		ServiceSLO: service.SLO{
+			Target: vtime.Millisecond,
+			Lo:     2e6,
+			Hi:     4e7,
+			Iters:  4,
+		},
+		Seed: 1,
 	}
 }
 
@@ -166,14 +180,24 @@ func QuickScale() Scale {
 // default (larger) NATLE cycle.
 func FullScale() Scale {
 	return Scale{
-		LargeThreads: []int{1, 2, 4, 8, 12, 18, 24, 30, 36, 37, 40, 44, 48, 54, 60, 66, 72},
-		SmallThreads: []int{1, 2, 3, 4, 5, 6, 7, 8},
-		Dur:          2 * vtime.Millisecond,
-		Warmup:       400 * vtime.Microsecond,
-		NATLEDur:     9 * vtime.Millisecond,
-		NATLEWarmup:  3300 * vtime.Microsecond,
-		NATLE:        natle.DefaultConfig(),
-		Seed:         1,
+		LargeThreads:  []int{1, 2, 4, 8, 12, 18, 24, 30, 36, 37, 40, 44, 48, 54, 60, 66, 72},
+		SmallThreads:  []int{1, 2, 3, 4, 5, 6, 7, 8},
+		Dur:           2 * vtime.Millisecond,
+		Warmup:        400 * vtime.Microsecond,
+		NATLEDur:      9 * vtime.Millisecond,
+		NATLEWarmup:   3300 * vtime.Microsecond,
+		NATLE:         natle.DefaultConfig(),
+		ServiceWindow: 4 * vtime.Millisecond,
+		ServiceRates: []float64{
+			1e6, 2e6, 4e6, 8e6, 12e6, 16e6, 20e6, 24e6, 28e6, 32e6, 40e6,
+		},
+		ServiceSLO: service.SLO{
+			Target: vtime.Millisecond,
+			Lo:     1e6,
+			Hi:     6.4e7,
+			Iters:  7,
+		},
+		Seed: 1,
 	}
 }
 

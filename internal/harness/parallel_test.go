@@ -26,6 +26,12 @@ func microScale() Scale {
 	sc.NATLE.ProfilingLen = 100 * vtime.Microsecond
 	sc.NATLE.QuantumLen = 50 * vtime.Microsecond
 	sc.NATLE.Quanta = 2
+	// Service plans: one pre-knee and one post-knee rate over a short
+	// window, and a two-step SLO bisection — every series and the shed
+	// path still exercised.
+	sc.ServiceWindow /= 4
+	sc.ServiceRates = []float64{8e6, 32e6}
+	sc.ServiceSLO.Iters = 2
 	return sc
 }
 

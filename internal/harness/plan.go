@@ -115,6 +115,10 @@ func Plans() []PlanEntry {
 		{"delegation", func(sc Scale) *expt.Plan { return PlanDelegation(sc, []int{1, 4}) }},
 		{"locks", PlanLocks},
 		{"telemetry", PlanTelemetry},
+		{"service-latency", PlanServiceLatency},
+		{"service-slo", PlanServiceSLO},
+		{"service-arrivals", PlanServiceArrivals},
+		{"service-chaos", PlanServiceChaos},
 		{"ablation-remote-latency", PlanAblationRemoteLatency},
 		{"ablation-profiling-len", PlanAblationProfilingLen},
 		{"ablation-warmup-threshold", PlanAblationWarmupThreshold},

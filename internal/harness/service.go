@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"natle/internal/expt"
+	"natle/internal/fault"
+	"natle/internal/scheme"
+	"natle/internal/service"
+	"natle/internal/vtime"
+)
+
+// The service plans: the open-loop KV service (internal/service) as
+// figure families. Where the paper's figures ask "how fast can N
+// threads hammer a structure?", these ask the production-shaped dual:
+// "what offered load can each scheme absorb within a latency SLO, and
+// what does its tail look like on the way there?". Every trial is a
+// full deterministic service run (arrivals -> admission -> shards ->
+// telemetry), so the plans inherit the executor's byte-identity
+// guarantee unchanged.
+
+// serviceBase is the shared trial config: the scale's window and seed,
+// and the scale's NATLE cycle (shortened at QuickScale exactly like
+// the closed-loop NATLE figures).
+func (sc Scale) serviceBase() service.Config {
+	n := sc.NATLE
+	return service.Config{
+		Seed:   sc.Seed,
+		Window: sc.ServiceWindow,
+		NATLE:  &n,
+	}
+}
+
+// usF converts a virtual duration to microseconds for plotting.
+func usF(d vtime.Duration) float64 { return d.Seconds() * 1e6 }
+
+// serviceMidRate picks the sweep's middle offered load (the chaos plan
+// runs at one fixed rate so fault schedules are the only axis).
+func (sc Scale) serviceMidRate() float64 {
+	if len(sc.ServiceRates) == 0 {
+		return 8e6
+	}
+	return sc.ServiceRates[len(sc.ServiceRates)/2]
+}
+
+// PlanServiceLatency sweeps offered load under Poisson arrivals for
+// the headline schemes and plots the end-to-end latency distribution
+// (p50 and p99) plus the shed share — the knee where each scheme's
+// shards saturate is the figure's story.
+func PlanServiceLatency(sc Scale) *expt.Plan {
+	p := &expt.Plan{
+		ID:     "service-latency",
+		Title:  "KV service, poisson arrivals: end-to-end latency vs offered load",
+		XLabel: "req/s",
+		YLabel: "latency [us] / shed [%]",
+	}
+	for _, schm := range []string{"lock", "tle", "natle"} {
+		for _, rate := range sc.ServiceRates {
+			p.Add(expt.TrialSpec{
+				Key: fmt.Sprintf("%s/%.4g", schm, rate),
+				Run: func() expt.Outcome {
+					cfg := sc.serviceBase()
+					cfg.Scheme = schm
+					cfg.Rate = rate
+					r := service.Run(cfg)
+					return expt.Outcome{Points: []expt.Point{
+						{Series: schm + "/p50", X: rate, Y: usF(r.E2E.Quantile(0.50))},
+						{Series: schm + "/p99", X: rate, Y: usF(r.E2E.Quantile(0.99))},
+						{Series: schm + "/shed%", X: rate, Y: 100 * r.ShedFraction()},
+					}}
+				},
+			})
+		}
+	}
+	return p
+}
+
+// PlanServiceSLO binary-searches the maximum sustainable arrival rate
+// under the scale's latency SLO for every Batch-capable scheme — the
+// ROADMAP's "what rate fits in 1 ms p99?" question answered per
+// scheme. The x axis indexes schemes in registry order; the notes name
+// each one with its searched rate.
+func PlanServiceSLO(sc Scale) *expt.Plan {
+	schemes := scheme.BatchNames()
+	p := &expt.Plan{
+		ID: "service-slo",
+		Title: fmt.Sprintf("KV service: max sustainable load at p%g <= %v",
+			100*quantileOrDefault(sc.ServiceSLO), sc.ServiceSLO.Target),
+		XLabel: "scheme#",
+		YLabel: "req/s",
+		Notes: []string{
+			"x axis indexes Batch-capable schemes in registry order: " +
+				strings.Join(schemes, ", "),
+		},
+	}
+	for i, name := range schemes {
+		p.Add(expt.TrialSpec{
+			Key: "slo/" + name,
+			Run: func() expt.Outcome {
+				cfg := sc.serviceBase()
+				cfg.Scheme = name
+				r := service.SearchSLO(cfg, sc.ServiceSLO)
+				return expt.Outcome{
+					Points: []expt.Point{
+						{Series: "sustained", X: float64(i), Y: r.Sustained},
+					},
+					Notes: []string{r.String()},
+				}
+			},
+		})
+	}
+	return p
+}
+
+// quantileOrDefault mirrors SLO.defaults for display (the search
+// itself normalizes independently).
+func quantileOrDefault(s service.SLO) float64 {
+	if s.Quantile <= 0 || s.Quantile >= 1 {
+		return 0.99
+	}
+	return s.Quantile
+}
+
+// PlanServiceArrivals holds the scheme fixed (TLE) and sweeps offered
+// load under each arrival process: the same time-averaged rate arrives
+// smoothly, in bursts, or on a diurnal curve, and the p99 separation
+// between the curves is the cost of non-stationarity.
+func PlanServiceArrivals(sc Scale) *expt.Plan {
+	p := &expt.Plan{
+		ID:     "service-arrivals",
+		Title:  "KV service, TLE shards: p99 latency by arrival process",
+		XLabel: "req/s",
+		YLabel: "p99 [us] / shed [%]",
+	}
+	for _, a := range service.Arrivals() {
+		for _, rate := range sc.ServiceRates {
+			p.Add(expt.TrialSpec{
+				Key: fmt.Sprintf("%s/%.4g", a.Kind, rate),
+				Run: func() expt.Outcome {
+					cfg := sc.serviceBase()
+					cfg.Scheme = "tle"
+					cfg.Arrival = a.Kind
+					cfg.Rate = rate
+					r := service.Run(cfg)
+					return expt.Outcome{Points: []expt.Point{
+						{Series: string(a.Kind) + "/p99", X: rate, Y: usF(r.E2E.Quantile(0.99))},
+						{Series: string(a.Kind) + "/shed%", X: rate, Y: 100 * r.ShedFraction()},
+					}}
+				},
+			})
+		}
+	}
+	return p
+}
+
+// PlanServiceChaos drives the hardened schemes (tle-robust's breaker,
+// natle's throttle) through every named fault schedule under bursty
+// arrivals at the sweep's middle rate: non-stationary load on top of
+// injected HTM adversity. The conservation invariant (arrivals =
+// completed + shed) must hold in every cell; a violation surfaces as a
+// deterministic note and the test suite fails on it.
+func PlanServiceChaos(sc Scale) *expt.Plan {
+	scheds := fault.ScheduleNames()
+	p := &expt.Plan{
+		ID:     "service-chaos",
+		Title:  "KV service, bursty arrivals: hardened schemes under fault schedules",
+		XLabel: "schedule#",
+		YLabel: "p99 [us] / shed [%]",
+		Notes: []string{
+			"x axis indexes fault schedules in order: " + strings.Join(scheds, ", "),
+		},
+	}
+	rate := sc.serviceMidRate()
+	for _, schm := range []string{"tle-robust", "natle"} {
+		for i, sn := range scheds {
+			p.Add(expt.TrialSpec{
+				Key: fmt.Sprintf("%s/%s", schm, sn),
+				Run: func() expt.Outcome {
+					sched, err := fault.LookupSchedule(sn)
+					if err != nil {
+						panic(err)
+					}
+					cfg := sc.serviceBase()
+					cfg.Scheme = schm
+					cfg.Arrival = service.ArrivalBursty
+					cfg.Rate = rate
+					cfg.Fault = &sched.Profile
+					r := service.Run(cfg)
+					o := expt.Outcome{Points: []expt.Point{
+						{Series: schm + "/p99", X: float64(i), Y: usF(r.E2E.Quantile(0.99))},
+						{Series: schm + "/shed%", X: float64(i), Y: 100 * r.ShedFraction()},
+					}}
+					if r.Arrivals != r.Admitted+r.Shed || r.Admitted != r.Completed {
+						o.Notes = append(o.Notes, fmt.Sprintf(
+							"%s/%s: CONSERVATION BROKEN: arrivals=%d admitted=%d shed=%d completed=%d",
+							schm, sn, r.Arrivals, r.Admitted, r.Shed, r.Completed))
+					}
+					return o
+				},
+			})
+		}
+	}
+	return p
+}

@@ -19,6 +19,7 @@ func init() {
 		Summary: "plain test-and-test-and-set spin lock, never elided",
 		Mutex:   true,
 		Robust:  true,
+		Batch:   true,
 		Make: func(sys *htm.System, c *sim.Ctx, socket int, _ Options) Instance {
 			return statless{lock.Plain{L: spinlock.New(sys, c, socket)}}
 		},
@@ -28,6 +29,7 @@ func init() {
 		Summary: "transactional lock elision (paper Section 3; default policy TLE-20)",
 		Mutex:   true,
 		Robust:  true,
+		Batch:   true,
 		Make: func(sys *htm.System, c *sim.Ctx, socket int, opt Options) Instance {
 			return tleInstance{tle.New(sys, c, socket, resolveTLE(opt.TLE))}
 		},
@@ -37,6 +39,7 @@ func init() {
 		Summary: "NUMA-aware TLE: per-lock adaptive socket throttling (paper Section 4)",
 		Mutex:   true,
 		Robust:  true,
+		Batch:   true,
 		Make: func(sys *htm.System, c *sim.Ctx, socket int, opt Options) Instance {
 			inner := tle.New(sys, c, socket, resolveTLE(opt.TLE))
 			return natleInstance{
@@ -50,6 +53,7 @@ func init() {
 		Summary: "NUMA-aware cohort lock, no elision (related-work baseline)",
 		Mutex:   true,
 		Robust:  true,
+		Batch:   true,
 		Make: func(sys *htm.System, c *sim.Ctx, _ int, _ Options) Instance {
 			return statless{cohort.New(sys, c, 0)}
 		},

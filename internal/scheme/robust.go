@@ -19,6 +19,7 @@ func init() {
 		Summary: "TLE with circuit breaker: degrades to the mutex under pathological abort rates",
 		Mutex:   true,
 		Robust:  true,
+		Batch:   true,
 		Make: func(sys *htm.System, c *sim.Ctx, socket int, opt Options) Instance {
 			pol := resolveTLE(opt.TLE)
 			if pol.Breaker == nil {

@@ -98,6 +98,13 @@ type Descriptor struct {
 	// completes regardless of its footprint (false for raw HTM, which
 	// has no fallback for capacity-bound sections).
 	Robust bool
+	// Batch reports whether the scheme can execute multi-request
+	// batches as one critical section (the service workload's per-shard
+	// batching). Requires mutual exclusion (a batch must be atomic) and
+	// robustness (a batch multiplies the transactional footprint, so a
+	// scheme without a capacity fallback may never complete one); false
+	// for the unsynchronized baseline and raw HTM.
+	Batch bool
 	// Make builds an instance whose lock word (if any) is homed on the
 	// given socket.
 	Make func(sys *htm.System, c *sim.Ctx, socket int, opt Options) Instance
@@ -174,6 +181,23 @@ func All() []*Descriptor {
 
 // FlagHelp renders the accepted -lock values for flag usage strings.
 func FlagHelp() string { return strings.Join(Names(), " | ") }
+
+// BatchNames returns the names of the schemes with the Batch
+// capability, sorted (the schemes the service workload may drive with
+// per-shard request batches larger than one).
+func BatchNames() []string {
+	var n []string
+	for _, d := range All() {
+		if d.Batch {
+			n = append(n, d.Name)
+		}
+	}
+	return n
+}
+
+// BatchHelp renders the Batch-capable scheme names for flag usage
+// strings, so help text stays generated from the registry.
+func BatchHelp() string { return strings.Join(BatchNames(), ", ") }
 
 // Help renders one "name: summary" line per scheme (for docs and
 // extended help output).

@@ -19,6 +19,7 @@ func init() {
 		Summary: "TLE that falls back immediately on a hint-clear abort (Fig 2 policy)",
 		Mutex:   true,
 		Robust:  true,
+		Batch:   true,
 		Make: func(sys *htm.System, c *sim.Ctx, socket int, opt Options) Instance {
 			pol := resolveTLE(opt.TLE)
 			pol.HonorHint = true // the scheme's identity, whatever the base policy

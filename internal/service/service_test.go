@@ -1,0 +1,241 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"natle/internal/expt"
+	"natle/internal/fault"
+	"natle/internal/vtime"
+)
+
+// quick returns a short trial config exercising the full pipeline
+// (shedding included at high rates) in little host time.
+func quick() Config {
+	return Config{
+		Seed:   7,
+		Window: 250 * vtime.Microsecond,
+	}
+}
+
+// TestScheduleByteIdentical pins the arrival layer's determinism
+// contract: the request schedule is a pure function of (Config, Seed),
+// so rendering it from one host worker and from several concurrent
+// workers must produce byte-identical text for every arrival process.
+func TestScheduleByteIdentical(t *testing.T) {
+	for _, kind := range Arrivals() {
+		t.Run(string(kind.Kind), func(t *testing.T) {
+			cfg := quick()
+			cfg.Arrival = kind.Kind
+			cfg.Rate = 8e6
+			render := func() []byte { return AppendSchedule(nil, cfg.Schedule()) }
+			// Workers=1 and Workers=4 generate the same schedule 4 times
+			// each; every copy must match every other byte for byte.
+			seq := expt.Map(1, 4, func(int) []byte { return render() })
+			par := expt.Map(4, 4, func(int) []byte { return render() })
+			for i := 1; i < 4; i++ {
+				if !bytes.Equal(seq[0], seq[i]) || !bytes.Equal(seq[0], par[i]) {
+					t.Fatalf("schedule differs across generations (copy %d)", i)
+				}
+			}
+			if len(seq[0]) == 0 {
+				t.Fatal("empty schedule at 8e6 req/s")
+			}
+		})
+	}
+}
+
+// TestScheduleSeedAndOrder checks that schedules are time-ordered,
+// route consistently (Shard is a function of Key), and that different
+// seeds give different schedules.
+func TestScheduleSeedAndOrder(t *testing.T) {
+	cfg := quick()
+	cfg.Rate = 4e6
+	a := cfg.Schedule()
+	for i, q := range a {
+		if q.ID != i {
+			t.Fatalf("request %d has ID %d", i, q.ID)
+		}
+		if i > 0 && q.At < a[i-1].At {
+			t.Fatalf("schedule out of order at %d: %v < %v", i, q.At, a[i-1].At)
+		}
+		if want := int(hash64(q.Key) % 8); q.Shard != want {
+			t.Fatalf("request %d: shard %d, want %d", i, q.Shard, want)
+		}
+	}
+	cfg.Seed = 8
+	b := cfg.Schedule()
+	if bytes.Equal(AppendSchedule(nil, a), AppendSchedule(nil, b)) {
+		t.Fatal("seeds 7 and 8 produced identical schedules")
+	}
+}
+
+// resultFingerprint renders everything a trial measures; the
+// determinism test compares these strings across runs and worker
+// counts.
+func resultFingerprint(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reqs=%d arr=%d adm=%d shed=%d done=%d batches=%d clamped=%v\n",
+		r.Requests, r.Arrivals, r.Admitted, r.Shed, r.Completed, r.Batches, r.BatchClamped)
+	fmt.Fprintf(&b, "e2e=%v/%v/%v queue=%v service=%v\n",
+		r.E2E.Quantile(0.5), r.E2E.Quantile(0.99), r.E2E.Quantile(0.999),
+		r.Queue.Quantile(0.99), r.Service.Quantile(0.99))
+	fmt.Fprintf(&b, "start=%v last=%v drained=%v\n", r.Start, r.LastArrival, r.Drained)
+	fmt.Fprintf(&b, "sync=%+v\nhtm=%+v\nfault=%+v\n", r.Sync.TLE, r.HTM, r.Fault)
+	for i, s := range r.PerShard {
+		fmt.Fprintf(&b, "shard%d=%+v\n", i, s)
+	}
+	return b.String()
+}
+
+// TestRunDeterministic runs the same trial from concurrent pool
+// workers and sequentially; every fingerprint must match — the service
+// Result is a pure function of (Config, Seed).
+func TestRunDeterministic(t *testing.T) {
+	for _, sch := range []string{"lock", "tle", "natle"} {
+		t.Run(sch, func(t *testing.T) {
+			cfg := quick()
+			cfg.Scheme = sch
+			cfg.Rate = 16e6
+			cfg.Arrival = ArrivalBursty
+			fps := expt.Map(4, 4, func(int) string { return resultFingerprint(Run(cfg)) })
+			for i := 1; i < 4; i++ {
+				if fps[i] != fps[0] {
+					t.Fatalf("run %d diverged:\n--- run 0\n%s\n--- run %d\n%s", i, fps[0], i, fps[i])
+				}
+			}
+		})
+	}
+}
+
+// TestConservation asserts the service's loss accounting under every
+// fault schedule (and fault-free): arrivals = admitted + shed and
+// admitted = completed — shedding is the only sanctioned loss, no
+// matter what the injector does to the HTM underneath.
+func TestConservation(t *testing.T) {
+	schedules := append([]string{""}, fault.ScheduleNames()...)
+	for _, sn := range schedules {
+		name := sn
+		if name == "" {
+			name = "fault-free"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := quick()
+			cfg.Scheme = "tle-robust"
+			cfg.Arrival = ArrivalBursty
+			cfg.Rate = 24e6 // past the knee: shedding genuinely occurs
+			if sn != "" {
+				sched, err := fault.LookupSchedule(sn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Fault = &sched.Profile
+			}
+			r := Run(cfg)
+			if r.Arrivals != uint64(r.Requests) {
+				t.Errorf("arrivals %d != schedule length %d", r.Arrivals, r.Requests)
+			}
+			if r.Arrivals != r.Admitted+r.Shed {
+				t.Errorf("admission leak: arrivals %d != admitted %d + shed %d",
+					r.Arrivals, r.Admitted, r.Shed)
+			}
+			if r.Admitted != r.Completed {
+				t.Errorf("completion leak: admitted %d != completed %d", r.Admitted, r.Completed)
+			}
+			for i, s := range r.PerShard {
+				if s.Arrivals != s.Admitted+s.Shed || s.Admitted != s.Completed {
+					t.Errorf("shard %d leak: %+v", i, s)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchClamp checks the Batch capability contract: schemes without
+// it (no mutual exclusion, or no capacity fallback) have multi-request
+// batches forced to 1, flagged on the result; capable schemes keep
+// their batch size.
+func TestBatchClamp(t *testing.T) {
+	for _, tc := range []struct {
+		scheme  string
+		clamped bool
+	}{
+		{"none", true}, {"htm-raw", true},
+		{"lock", false}, {"tle", false},
+	} {
+		cfg := quick()
+		cfg.Scheme = tc.scheme
+		cfg.Rate = 2e6
+		cfg.Batch = 8
+		r := Run(cfg)
+		if r.BatchClamped != tc.clamped {
+			t.Errorf("%s: BatchClamped = %v, want %v", tc.scheme, r.BatchClamped, tc.clamped)
+		}
+		want := 8
+		if tc.clamped {
+			want = 1
+		}
+		if r.Config.Batch != want {
+			t.Errorf("%s: effective batch %d, want %d", tc.scheme, r.Config.Batch, want)
+		}
+		if r.Admitted != r.Completed {
+			t.Errorf("%s: admitted %d != completed %d", tc.scheme, r.Admitted, r.Completed)
+		}
+	}
+}
+
+// TestSearchSLO sanity-checks the bisection: the reported sustained
+// rate comes from a probe that actually sustained, an impossible
+// target reports unsustainable, and a trivially loose ceiling is hit
+// exactly.
+func TestSearchSLO(t *testing.T) {
+	cfg := quick()
+	cfg.Scheme = "lock"
+	slo := SLO{Target: vtime.Millisecond, Lo: 1e6, Hi: 4e7, Iters: 3}
+	r := SearchSLO(cfg, slo)
+	if r.Sustained <= 0 {
+		t.Fatalf("lock unsustainable even at %g req/s: %v", slo.Lo, r)
+	}
+	found := false
+	for _, p := range r.Probes {
+		if p.Rate == r.Sustained {
+			if !p.Sustains {
+				t.Fatalf("sustained rate %g comes from a failing probe", r.Sustained)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sustained rate %g matches no probe", r.Sustained)
+	}
+
+	// An impossible target: nothing beats the serverPoll latency floor.
+	hard := SearchSLO(cfg, SLO{Target: vtime.Nanosecond, Lo: 1e6, Hi: 4e6, Iters: 1})
+	if hard.Sustained != 0 {
+		t.Fatalf("1ns target reported sustainable at %g req/s", hard.Sustained)
+	}
+
+	// A floor-only bracket whose ceiling holds reports the ceiling.
+	loose := SearchSLO(cfg, SLO{Target: vtime.Millisecond, Lo: 1e5, Hi: 2e5, Iters: 1})
+	if loose.Sustained != 2e5 {
+		t.Fatalf("loose ceiling: sustained %g, want 2e5", loose.Sustained)
+	}
+}
+
+// TestArrivalLookup exercises the arrival registry surface.
+func TestArrivalLookup(t *testing.T) {
+	for _, n := range ArrivalNames() {
+		k, err := LookupArrival(n)
+		if err != nil || string(k) != n {
+			t.Errorf("LookupArrival(%q) = %v, %v", n, k, err)
+		}
+	}
+	if _, err := LookupArrival("nope"); err == nil {
+		t.Error("LookupArrival(nope) succeeded")
+	}
+	if h := ArrivalHelp(); !strings.Contains(h, "poisson") || !strings.Contains(h, "bursty") {
+		t.Errorf("ArrivalHelp missing processes:\n%s", h)
+	}
+}

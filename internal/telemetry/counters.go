@@ -63,6 +63,41 @@ func Sub[T any](a, b T) T {
 	return a
 }
 
+// Add returns the field-wise sum a + b of a counter-snapshot struct,
+// the aggregation dual of Sub: every integer (and float) field of the
+// result, including elements of nested arrays and structs, is a's
+// value plus b's. Layers that split counters across independent
+// shards (the service workload keeps one scheme instance per shard)
+// merge their snapshots with it. Like Sub it panics loudly on
+// non-numeric fields — snapshot types are numbers all the way down.
+func Add[T any](a, b T) T {
+	va := reflect.ValueOf(&a).Elem()
+	vb := reflect.ValueOf(&b).Elem()
+	addValue(va, vb)
+	return a
+}
+
+func addValue(a, b reflect.Value) {
+	switch a.Kind() {
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		a.SetUint(a.Uint() + b.Uint())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		a.SetInt(a.Int() + b.Int())
+	case reflect.Float32, reflect.Float64:
+		a.SetFloat(a.Float() + b.Float())
+	case reflect.Array, reflect.Slice:
+		for i := 0; i < a.Len(); i++ {
+			addValue(a.Index(i), b.Index(i))
+		}
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			addValue(a.Field(i), b.Field(i))
+		}
+	default:
+		panic("telemetry: Add: unsupported snapshot field kind " + a.Kind().String())
+	}
+}
+
 func subValue(a, b reflect.Value) {
 	switch a.Kind() {
 	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
