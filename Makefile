@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race race-executor check bench figures figures-quick chaos bench-snapshot service-check clean
+.PHONY: all build test vet lint race race-executor native-check check bench figures figures-quick chaos bench-snapshot service-check clean
 
 all: build
 
@@ -31,12 +31,27 @@ race:
 race-executor:
 	$(GO) test -race -timeout 30m ./internal/expt ./internal/harness ./internal/workload
 
+# native-check gates the real-execution backend: the native lock
+# suite and the cross-backend conformance tests under the race
+# detector (real goroutines on real memory are exactly what -race is
+# for), the natlevet analyzers over the backend split, and an
+# htmbench smoke run that must report nonzero native throughput.
+native-check:
+	$(GO) test -race -timeout 10m ./internal/native
+	$(GO) test -race -timeout 10m -run 'TestCrossBackendConformance|TestSimWorldMatchesKind' ./internal/workload
+	$(GO) run ./cmd/natlevet ./internal/backend/... ./internal/native/... ./internal/workload/...
+	@out=$$($(GO) run ./cmd/htmbench -backend=native -lock=native-tle -threads 2 -ops 4096); \
+	echo "$$out"; \
+	echo "$$out" | awk 'NR>3 && $$2+0 > 0 { ok = 1 } END { exit !ok }' || \
+		{ echo "native smoke run reported zero throughput"; exit 1; }
+
 # The full gate: everything must build, lint clean (gofmt + vet), and
 # pass under the race detector.
 check:
 	$(GO) build ./...
 	$(MAKE) lint
 	$(GO) test -race -timeout 30m ./...
+	$(MAKE) native-check
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -47,13 +62,16 @@ bench:
 chaos:
 	$(GO) run ./cmd/htmbench -faults
 
-# bench-snapshot regenerates the committed service benchmark snapshot:
-# the max sustainable arrival rate at a 1 ms p99 SLO for every
-# batch-capable scheme, at quick scale. Deterministic — a diff in
-# BENCH_service.json after this target means the performance model
-# actually changed.
+# bench-snapshot regenerates the committed benchmark snapshots. The
+# service half is deterministic — a diff in BENCH_service.json after
+# this target means the performance model actually changed. The
+# native half (BENCH_native.json) is wall-clock and host-dependent:
+# its structure is stable, its values are not, and byte-comparisons
+# must exclude the measured fields alongside the "host" fingerprint
+# that explains them.
 bench-snapshot:
 	$(GO) run ./cmd/htmbench -service -slo 1000 -slojson BENCH_service.json
+	$(GO) run ./cmd/htmbench -backend=native -threads 1,2,4,8,16 -benchjson BENCH_native.json
 
 # service-check regenerates the service figure family at -j 1 and
 # -j 4 and fails on any byte difference, then runs the natlevet

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"natle/internal/backend"
 	"natle/internal/cctsa"
 	"natle/internal/machine"
 	"natle/internal/scheme"
@@ -19,7 +20,7 @@ import (
 func main() {
 	var (
 		threads  = flag.Int("threads", 1, "worker threads")
-		lockK    = flag.String("lock", "tle", "lock: "+scheme.FlagHelp())
+		lockK    = flag.String("lock", "tle", "lock: "+scheme.FlagHelpFor(backend.Sim))
 		genome   = flag.Int("genome", 1<<15, "genome length in bases")
 		coverage = flag.Int("coverage", 6, "read coverage")
 		pin      = flag.Bool("pin", true, "pin threads (fill-socket-first)")
@@ -27,7 +28,7 @@ func main() {
 		timeline = flag.Bool("timeline", false, "print per-cycle socket-0 share (Fig 18b)")
 	)
 	flag.Parse()
-	if _, err := scheme.Lookup(*lockK); err != nil {
+	if _, err := scheme.LookupFor(backend.Sim, *lockK); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}

@@ -1,10 +1,20 @@
-// Command htmbench is an ad-hoc microbenchmark driver for the
-// simulated machine: it sweeps thread counts for one workload and
-// prints throughput, speedup over one thread, and abort statistics.
+// Command htmbench is an ad-hoc microbenchmark driver: it sweeps
+// thread counts for one workload and prints throughput, speedup over
+// one thread, and abort statistics.
 //
-// Example (the paper's Figure 1 workload):
+// Example (the paper's Figure 1 workload, on the simulated machine):
 //
 //	htmbench -set avl -keys 2048 -updates 100 -lock tle
+//
+// -backend=native runs the backend-agnostic workloads on real
+// goroutines over real memory with wall-clock timing instead
+// (host-dependent numbers; see README "Native backend"):
+//
+//	htmbench -backend=native -lock=native-tle -workload counter
+//
+// The -lock help and validation are generated per backend: a native
+// run never advertises sim-only schemes such as htm-raw, and vice
+// versa.
 //
 // Fault injection: -fault <schedule> runs the sweep with a named fault
 // schedule injected; -faults runs the full chaos matrix (every fault
@@ -20,6 +30,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"natle/internal/backend"
 	"natle/internal/expt"
 	"natle/internal/fault"
 	"natle/internal/harness"
@@ -34,15 +45,29 @@ import (
 )
 
 func main() {
+	// The registry view (and so the -lock default, help, and
+	// validation) depends on -backend, which must be known before the
+	// flags are defined; pre-scan the command line for it.
+	bk := backendArg(os.Args[1:])
+	if !backend.Valid(bk) {
+		fmt.Fprintf(os.Stderr, "unknown backend %q (sim | native)\n", bk)
+		os.Exit(2)
+	}
+	lockDefault, lockHelp := "tle", "lock: "+scheme.FlagHelpFor(backend.Sim)+
+		" (batch-capable: "+scheme.BatchHelp()+")"
+	if bk == backend.Native {
+		lockDefault, lockHelp = "native-tle", "lock: "+scheme.FlagHelpFor(backend.Native)
+	}
+
 	var (
-		prof     = flag.String("machine", "large", "machine profile: large | small")
-		pin      = flag.String("pin", "fill", "pinning: fill | alt | none | socket0")
-		setKind  = flag.String("set", "avl", "set: avl | leafbst | bst | skiplist")
-		keys     = flag.Int64("keys", 2048, "key range [0, keys)")
-		updates  = flag.Int("updates", 100, "update percentage")
-		extWork  = flag.Int("work", 0, "external work max iterations")
-		lockKind = flag.String("lock", "tle", "lock: "+scheme.FlagHelp()+
-			" (batch-capable: "+scheme.BatchHelp()+")")
+		backendF  = flag.String("backend", "sim", "execution backend: sim | native")
+		prof      = flag.String("machine", "large", "machine profile: large | small")
+		pin       = flag.String("pin", "fill", "pinning: fill | alt | none | socket0")
+		setKind   = flag.String("set", "avl", "set: avl | leafbst | bst | skiplist")
+		keys      = flag.Int64("keys", 2048, "key range [0, keys)")
+		updates   = flag.Int("updates", 100, "update percentage")
+		extWork   = flag.Int("work", 0, "external work max iterations")
+		lockKind  = flag.String("lock", lockDefault, lockHelp)
 		attempts  = flag.Int("attempts", 20, "TLE transactional attempts")
 		honorHint = flag.Bool("hint", false, "fall back immediately when the hint bit is clear")
 		countLock = flag.Bool("countlock", false, "count lock-held attempts (disables anti-lemming)")
@@ -70,8 +95,51 @@ func main() {
 		qcap    = flag.Int("qcap", 0, "service per-shard admission-queue bound (0: default)")
 		sloUs   = flag.Float64("slo", 0, "service SLO search: target p99 in microseconds, searched over every batch-capable scheme (0: rate sweep of -lock instead)")
 		sloJSON = flag.String("slojson", "", "write the service SLO search results as JSON to this file")
+
+		nativeOps = flag.Int("ops", 1<<14, "native backend: per-thread operation count")
+		nativeWl  = flag.String("workload", workload.BackendCounter,
+			"native backend: workload: "+strings.Join(workload.BackendWorkloads(), " | "))
+		benchJSON = flag.String("benchjson", "", "native backend: write the BENCH_native.json snapshot (every native scheme x workload) to this file")
 	)
 	flag.Parse()
+	if backend.Kind(*backendF) != bk {
+		// Only reachable when -backend hides in a place the pre-scan
+		// cannot see (after a terminating "--"); keep the two in sync.
+		fmt.Fprintln(os.Stderr, "-backend must precede any -- terminator")
+		os.Exit(2)
+	}
+
+	if bk == backend.Native {
+		if *faultName != "" || *chaos || *svc {
+			fmt.Fprintln(os.Stderr, "fault injection, chaos, and the service workload are sim-only (deterministic virtual time)")
+			os.Exit(2)
+		}
+		if _, err := scheme.LookupFor(backend.Native, *lockKind); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// TLE knobs pass through only when set explicitly, so native
+		// schemes keep their own defaults (e.g. 8 attempts, not the
+		// sim default 20).
+		var pol tle.Policy
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "attempts" {
+				pol.Attempts = *attempts
+			}
+		})
+		runNative(nativeArgs{
+			lock:       *lockKind,
+			workload:   *nativeWl,
+			threadsCSV: *threads,
+			ops:        *nativeOps,
+			seed:       *seed,
+			keys:       int(*keys),
+			work:       *extWork,
+			pol:        pol,
+			benchJSON:  *benchJSON,
+		})
+		return
+	}
 
 	if *chaos {
 		cfg := harness.ChaosConfig{Seed: *seed, Parallel: *jobs}
@@ -101,7 +169,7 @@ func main() {
 		}
 		faultProf = &sched.Profile
 	}
-	if _, err := scheme.Lookup(*lockKind); err != nil {
+	if _, err := scheme.LookupFor(backend.Sim, *lockKind); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -285,6 +353,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote Chrome trace of the last trial to %s (%d events, %d dropped)\n",
 			*traceOut, lastCol.Summary().TraceEvents, lastCol.TraceDropped())
 	}
+}
+
+// backendArg pre-scans the raw arguments for -backend, which decides
+// the registry view the -lock flag is defined against (default,
+// help, validation) before flag.Parse can run.
+func backendArg(args []string) backend.Kind {
+	k := backend.Sim
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if a == "--" {
+			break
+		}
+		switch {
+		case a == "-backend" || a == "--backend":
+			if i+1 < len(args) {
+				k = backend.Kind(args[i+1])
+				i++
+			}
+		case strings.HasPrefix(a, "-backend="):
+			k = backend.Kind(strings.TrimPrefix(a, "-backend="))
+		case strings.HasPrefix(a, "--backend="):
+			k = backend.Kind(strings.TrimPrefix(a, "--backend="))
+		}
+	}
+	return k
 }
 
 // indent prefixes every line of s (for nesting summaries under the

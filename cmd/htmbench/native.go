@@ -1,0 +1,100 @@
+package main
+
+// The -backend=native side of htmbench: thread sweeps of the
+// backend-agnostic workloads on real goroutines over real memory,
+// timed by the wall clock. Numbers are host- and load-dependent and
+// never feed the deterministic figure pipeline; the committed
+// BENCH_native.json snapshot (written via -benchjson) is structurally
+// stable with a host fingerprint explaining its values.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"natle/internal/harness"
+	"natle/internal/tle"
+	"natle/internal/workload"
+)
+
+type nativeArgs struct {
+	lock       string
+	workload   string
+	threadsCSV string
+	ops        int
+	seed       int64
+	keys       int
+	work       int
+	pol        tle.Policy
+	benchJSON  string
+}
+
+func runNative(a nativeArgs) {
+	known := false
+	for _, wl := range workload.BackendWorkloads() {
+		known = known || wl == a.workload
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (have %s)\n",
+			a.workload, strings.Join(workload.BackendWorkloads(), " | "))
+		os.Exit(2)
+	}
+	var counts []int
+	if a.threadsCSV != "" {
+		for _, f := range strings.Split(a.threadsCSV, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad thread count %q\n", f)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+	}
+	cfg := harness.NativeSweepConfig{
+		Lock:         a.lock,
+		Workload:     a.workload,
+		Threads:      counts,
+		Ops:          a.ops,
+		Seed:         a.seed,
+		KeyRange:     a.keys,
+		ExternalWork: a.work,
+		TLE:          a.pol,
+	}
+	host := harness.Fingerprint()
+	fmt.Printf("# backend=native lock=%s workload=%s ops/thread=%d seed=%d\n",
+		a.lock, a.workload, a.ops, a.seed)
+	fmt.Printf("# wall-clock timing on %s/%s, %d CPUs, %s — host-dependent, not comparable to sim figures\n",
+		host.GOOS, host.GOARCH, host.CPUs, host.GoVersion)
+	fmt.Printf("%8s %14s %8s %12s %12s %12s\n",
+		"threads", "ops/sec", "speedup", "commits", "aborts", "fallbacks")
+	var base float64
+	for _, r := range harness.NativeSweep(cfg) {
+		var commits, aborts, fallbacks uint64
+		for _, s := range r.Sync {
+			commits += s.TLE.Commits
+			aborts += s.TLE.TotalAborts()
+			fallbacks += s.TLE.Fallbacks
+		}
+		tput := r.Throughput()
+		if base == 0 {
+			base = tput
+		}
+		fmt.Printf("%8d %14.0f %8.2f %12d %12d %12d\n",
+			r.Threads, tput, tput/base, commits, aborts, fallbacks)
+	}
+	if a.benchJSON != "" {
+		snap := harness.NativeBenchSnapshot(cfg)
+		buf, err := harness.MarshalNativeBench(snap)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(a.benchJSON, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d schemes x %d workloads)\n", a.benchJSON,
+			len(snap.Workloads[0].Schemes), len(snap.Workloads))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"natle/internal/backend"
 	"natle/internal/machine"
 	"natle/internal/paraheap"
 	"natle/internal/scheme"
@@ -19,14 +20,14 @@ import (
 func main() {
 	var (
 		threads = flag.Int("threads", 1, "worker threads per phase")
-		lockK   = flag.String("lock", "tle", "lock: "+scheme.FlagHelp())
+		lockK   = flag.String("lock", "tle", "lock: "+scheme.FlagHelpFor(backend.Sim))
 		points  = flag.Int("points", 6144, "data points")
 		k       = flag.Int("k", 8, "clusters")
 		pin     = flag.Bool("pin", true, "pin threads (fill-socket-first)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
-	if _, err := scheme.Lookup(*lockK); err != nil {
+	if _, err := scheme.LookupFor(backend.Sim, *lockK); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}

@@ -12,6 +12,7 @@ import (
 	"os"
 	"strings"
 
+	"natle/internal/backend"
 	"natle/internal/scheme"
 	"natle/internal/stamp"
 	"natle/internal/vtime"
@@ -21,12 +22,12 @@ func main() {
 	var (
 		bench   = flag.String("bench", "", "benchmark name (or 'all'); see -list")
 		threads = flag.Int("threads", 1, "worker threads")
-		lockK   = flag.String("lock", "tle", "lock: "+scheme.FlagHelp())
+		lockK   = flag.String("lock", "tle", "lock: "+scheme.FlagHelpFor(backend.Sim))
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
-	if _, err := scheme.Lookup(*lockK); err != nil {
+	if _, err := scheme.LookupFor(backend.Sim, *lockK); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}

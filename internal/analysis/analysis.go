@@ -114,6 +114,34 @@ const allowDirective = "//natlevet:allow"
 // (interpreted by the exhaustive analyzer).
 const MirrorDirective = "//natlevet:mirror"
 
+// BackendDirective is the comment prefix of a package-level execution
+// backend declaration. Packages default to the simulated backend,
+// where determinism and txnsafe are load-bearing invariants; a package
+// whose point is real execution (wall-clock time, real goroutines —
+// internal/native) declares
+//
+//	//natlevet:backend native
+//
+// once at package level, and those two analyzers skip it wholesale.
+// The remaining analyzers (hookcost, exhaustive) apply everywhere.
+const BackendDirective = "//natlevet:backend"
+
+// PackageBackend returns the backend declared by a BackendDirective in
+// any of the package's files ("" when none is declared, i.e. the
+// simulated default).
+func PackageBackend(files []*ast.File) string {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, BackendDirective) {
+					return strings.TrimSpace(strings.TrimPrefix(c.Text, BackendDirective))
+				}
+			}
+		}
+	}
+	return ""
+}
+
 var allowEntryRE = regexp.MustCompile(`^([a-zA-Z][a-zA-Z0-9_-]*)\(([^()]*)\)$`)
 
 // parseAllow parses the text of one allow directive comment. It
@@ -242,8 +270,13 @@ func LintDirectives(fset *token.FileSet, files []*ast.File, known map[string]boo
 					if body == "" || !strings.Contains(body, ".") {
 						bad(c.Pos(), "natlevet:mirror needs an import-path-qualified type: //natlevet:mirror path/to/pkg.Type")
 					}
+				case strings.HasPrefix(c.Text, BackendDirective):
+					body := strings.TrimSpace(strings.TrimPrefix(c.Text, BackendDirective))
+					if body != "native" {
+						bad(c.Pos(), "natlevet:backend declares unknown backend %q (only %q exempts a package; the simulated default needs no directive)", body, "native")
+					}
 				case strings.HasPrefix(c.Text, "//natlevet:"):
-					bad(c.Pos(), "unknown natlevet directive %q (known: allow, mirror)", c.Text)
+					bad(c.Pos(), "unknown natlevet directive %q (known: allow, mirror, backend)", c.Text)
 				}
 			}
 		}

@@ -100,3 +100,48 @@ func TestAllowlistAndLint(t *testing.T) {
 		}
 	}
 }
+
+func TestPackageBackend(t *testing.T) {
+	parse := func(src string) []*ast.File {
+		t.Helper()
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []*ast.File{f}
+	}
+	if got := PackageBackend(parse("package p\n")); got != "" {
+		t.Errorf("undeclared backend = %q, want \"\"", got)
+	}
+	native := parse("//natlevet:backend native\npackage p\n")
+	if got := PackageBackend(native); got != "native" {
+		t.Errorf("declared backend = %q, want \"native\"", got)
+	}
+
+	// Lint: a valid declaration is silent, an unknown backend is not.
+	lint := func(src string) []Diagnostic {
+		t.Helper()
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var diags []Diagnostic
+		LintDirectives(fset, []*ast.File{f}, nil, func(d Diagnostic) { diags = append(diags, d) })
+		return diags
+	}
+	if diags := lint("//natlevet:backend native\npackage p\n"); len(diags) != 0 {
+		t.Errorf("valid backend directive flagged: %v", diags)
+	}
+	for _, src := range []string{
+		"//natlevet:backend quantum\npackage p\n",
+		"//natlevet:backend\npackage p\n",
+		"//natlevet:backend sim\npackage p\n", // the default needs no directive
+	} {
+		diags := lint(src)
+		if len(diags) != 1 || !strings.Contains(diags[0].Message, "unknown backend") {
+			t.Errorf("lint(%q) = %v, want one unknown-backend diagnostic", src, diags)
+		}
+	}
+}

@@ -48,6 +48,11 @@ var allowedRand = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
+	if analysis.PackageBackend(pass.Files) == "native" {
+		// Wall-clock time is the declared point of a native-backend
+		// package; determinism is a sim-only invariant.
+		return nil
+	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)

@@ -1,0 +1,24 @@
+// Package detnative is the backend-gating fixture: the package-level
+// directive below declares it a native-backend package, so wall-clock
+// reads and global randomness — violations in any simulated package
+// (see the det fixture, which stays strict) — must produce no
+// diagnostics here. There are deliberately no want comments in this
+// file.
+//
+//natlevet:backend native
+package detnative
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockIsThePoint() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Microsecond)
+	return time.Since(start)
+}
+
+func hostRandomness() int {
+	return rand.Intn(4)
+}

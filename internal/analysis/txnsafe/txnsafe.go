@@ -50,6 +50,12 @@ var helperPkgs = map[string]bool{
 var bodyMethods = map[string]bool{"Try": true, "Critical": true}
 
 func run(pass *analysis.Pass) error {
+	if analysis.PackageBackend(pass.Files) == "native" {
+		// Native critical sections unwind through their own recover
+		// (internal/native's abortSignal) and run real goroutines by
+		// design; the sim unwind contract does not apply.
+		return nil
+	}
 	reported := make(map[token.Pos]bool) // dedup when bodies nest
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -8,5 +8,5 @@ import (
 )
 
 func TestTxnsafe(t *testing.T) {
-	analysistest.Run(t, "testdata", txnsafe.Analyzer, "txn")
+	analysistest.Run(t, "testdata", txnsafe.Analyzer, "txn", "txnnative")
 }

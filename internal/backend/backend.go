@@ -1,0 +1,107 @@
+// Package backend makes *which world a scheme executes in* a
+// first-class axis of the substrate. A backend bundles the four
+// capabilities every synchronization scheme and workload driver
+// consumes — a time source, thread spawn/join, word-addressed shared
+// memory, and critical-section entry — behind interfaces small enough
+// that the same workload code runs unchanged on either side:
+//
+//   - the sim backend (internal/workload.SimWorld) executes on the
+//     deterministic discrete-event simulator: virtual time, simulated
+//     threads under a pinning policy, simulated cache-coherent memory.
+//     Simulated results are a pure function of (profile, seed) — they
+//     predict.
+//   - the native backend (internal/native.World) executes on real
+//     goroutines over real memory ([]atomic.Uint64 words) with
+//     wall-clock time. Native results are host measurements — they
+//     prove.
+//
+// This package holds only the vocabulary (no execution machinery), so
+// internal/scheme can declare per-backend factories without importing
+// either world, and the worlds can be built in the packages that own
+// their machinery.
+package backend
+
+// Kind names one execution backend.
+type Kind string
+
+const (
+	// Sim is the deterministic discrete-event simulator backend
+	// (virtual time, simulated threads and memory).
+	Sim Kind = "sim"
+	// Native is the real-execution backend (wall-clock time, real
+	// goroutines, atomic words in process memory).
+	Native Kind = "native"
+)
+
+// Kinds returns every backend, in fixed order.
+func Kinds() []Kind { return []Kind{Sim, Native} }
+
+// Valid reports whether k names a known backend.
+func Valid(k Kind) bool {
+	switch k {
+	case Sim, Native:
+		return true
+	default:
+		return false
+	}
+}
+
+// Ctx is the per-thread execution context a backend hands to setup
+// and worker functions. One Ctx belongs to exactly one thread and is
+// never shared, so implementations keep per-thread state (RNG,
+// speculative transaction state) in it without synchronization.
+type Ctx interface {
+	// Thread is the worker's index within the trial, or -1 for the
+	// setup context that runs before workers start.
+	Thread() int
+	// Socket is the thread's placement domain: the simulated socket
+	// under the trial's pinning policy on sim; a thread-index stripe
+	// on native (real NUMA introspection is not portable from pure
+	// Go, see internal/native).
+	Socket() int
+	// Rand64 draws from the thread's deterministic seeded RNG.
+	Rand64() uint64
+	// Intn returns a draw in [0, n) from the same RNG.
+	Intn(n int) int
+	// Now returns the backend clock in nanoseconds: virtual time on
+	// sim, monotonic wall-clock time on native.
+	Now() int64
+	// Work burns n iterations of external (non-critical-section)
+	// work.
+	Work(n int)
+	// Alloc reserves nWords zeroed words of the world's shared memory
+	// and returns the address of the first. Call only from the setup
+	// context (single-threaded, before workers run).
+	Alloc(nWords int) int
+	// Load reads shared word a. Inside a Critical body the access is
+	// transactional on backends with optimistic schemes (tracked and
+	// validated; it may abort and re-run the body).
+	Load(a int) uint64
+	// Store writes shared word a, transactionally inside a Critical
+	// body.
+	Store(a int, v uint64)
+}
+
+// CS executes critical sections on a backend (the backend-agnostic
+// mirror of lock.CS). Bodies must be restartable: optimistic schemes
+// unwind aborted attempts and re-run them.
+type CS interface {
+	Critical(c Ctx, body func())
+	// Name identifies the scheme in benchmark output.
+	Name() string
+}
+
+// World is one constructed execution backend: a shared memory plus
+// the ability to run one trial of worker threads over it.
+type World interface {
+	// Kind names the backend.
+	Kind() Kind
+	// Run executes one trial: setup runs first, alone (allocate
+	// memory, build scheme instances), then threads workers run body
+	// concurrently; Run returns after every worker finished.
+	Run(threads int, setup func(Ctx), body func(Ctx))
+	// Peek reads shared word a after Run returned (quiesced memory
+	// inspection for conformance checks; not synchronized against
+	// running workers).
+	Peek(a int) uint64
+}

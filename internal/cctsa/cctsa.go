@@ -17,6 +17,7 @@ package cctsa
 import (
 	"fmt"
 
+	"natle/internal/backend"
 	"natle/internal/htm"
 	"natle/internal/lock"
 	"natle/internal/machine"
@@ -86,7 +87,7 @@ func Run(cfg Config) *Result {
 	if cfg.Lock == "" {
 		cfg.Lock = "tle"
 	}
-	desc, err := scheme.Lookup(cfg.Lock)
+	desc, err := scheme.LookupFor(backend.Sim, cfg.Lock)
 	if err != nil {
 		panic(fmt.Sprintf("cctsa: %v", err))
 	}

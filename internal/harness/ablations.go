@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"natle/internal/backend"
 	"natle/internal/expt"
 	"natle/internal/machine"
 	"natle/internal/scheme"
@@ -261,7 +262,7 @@ func PlanLocks(sc Scale) *expt.Plan {
 		XLabel: "threads",
 		YLabel: "ops/s",
 	}
-	for _, d := range scheme.All() {
+	for _, d := range scheme.AllFor(backend.Sim) {
 		if !d.Mutex || !d.Robust {
 			continue
 		}

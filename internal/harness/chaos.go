@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"natle/internal/backend"
 	"natle/internal/expt"
 	"natle/internal/fault"
 	"natle/internal/htm"
@@ -69,7 +70,7 @@ func (cfg ChaosConfig) withDefaults() ChaosConfig {
 		cfg.Seed = 1
 	}
 	if cfg.Schemes == nil {
-		for _, d := range scheme.All() {
+		for _, d := range scheme.AllFor(backend.Sim) {
 			if d.Mutex && d.Robust {
 				cfg.Schemes = append(cfg.Schemes, d.Name)
 			}
@@ -260,7 +261,7 @@ func RunChaos(cfg ChaosConfig) ([]ChaosCell, error) {
 			return nil, err
 		}
 		for _, name := range cfg.Schemes {
-			desc, err := scheme.Lookup(name)
+			desc, err := scheme.LookupFor(backend.Sim, name)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,70 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"natle/internal/backend"
+	"natle/internal/scheme"
+)
+
+// Mutex is the native plain-lock baseline: a sync.Mutex, never
+// elided.
+type Mutex struct {
+	mu       sync.Mutex
+	acquires atomic.Uint64
+}
+
+// NewMutex builds a native-mutex instance.
+func NewMutex() *Mutex { return &Mutex{} }
+
+// Critical implements backend.CS.
+func (m *Mutex) Critical(_ backend.Ctx, body func()) {
+	m.mu.Lock()
+	body()
+	m.mu.Unlock()
+	m.acquires.Add(1)
+}
+
+// Name implements backend.CS.
+func (m *Mutex) Name() string { return "native-mutex" }
+
+// Stats implements scheme.BackendInstance. Lock baselines have no
+// elision counters; acquisitions ride in Extra.
+func (m *Mutex) Stats() scheme.Stats {
+	return scheme.Stats{Extra: map[string]uint64{"acquires": m.acquires.Load()}}
+}
+
+// Spin is a test-and-test-and-set spinlock over one atomic word, the
+// native mirror of the simulated "lock" scheme.
+type Spin struct {
+	word     atomic.Uint32
+	acquires atomic.Uint64
+}
+
+// NewSpin builds a native-spin instance.
+func NewSpin() *Spin { return &Spin{} }
+
+// Critical implements backend.CS.
+func (s *Spin) Critical(bc backend.Ctx, body func()) {
+	c := bc.(*Thread)
+	for {
+		if s.word.Load() == 0 && s.word.CompareAndSwap(0, 1) {
+			break
+		}
+		// Test-and-test-and-set: spin on the read path, with a short
+		// pause so the owner's release is not drowned in CAS traffic.
+		c.spinWait(int64(40 + c.Intn(40)))
+	}
+	body()
+	s.word.Store(0)
+	s.acquires.Add(1)
+}
+
+// Name implements backend.CS.
+func (s *Spin) Name() string { return "native-spin" }
+
+// Stats implements scheme.BackendInstance.
+func (s *Spin) Stats() scheme.Stats {
+	return scheme.Stats{Extra: map[string]uint64{"acquires": s.acquires.Load()}}
+}

@@ -1,0 +1,222 @@
+package native
+
+import (
+	"testing"
+
+	"natle/internal/backend"
+	"natle/internal/tle"
+)
+
+// runCounter increments a shared word ops times per thread under cs
+// and returns the final value.
+func runCounter(w *World, cs backend.CS, threads, ops int) uint64 {
+	var addr int
+	w.Run(threads, func(c backend.Ctx) {
+		addr = c.Alloc(1)
+	}, func(c backend.Ctx) {
+		for j := 0; j < ops; j++ {
+			cs.Critical(c, func() {
+				c.Store(addr, c.Load(addr)+1)
+			})
+		}
+	})
+	return w.Peek(addr)
+}
+
+func TestSocketStriping(t *testing.T) {
+	w := NewWorld(Config{Sockets: 2})
+	got := make([]int, 4)
+	w.Run(4, func(c backend.Ctx) {
+		if c.Thread() != -1 || c.Socket() != 0 {
+			t.Errorf("setup ctx: thread %d socket %d, want -1, 0", c.Thread(), c.Socket())
+		}
+	}, func(c backend.Ctx) {
+		got[c.Thread()] = c.Socket()
+	})
+	want := []int{0, 0, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("socket striping %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAllocOverflowPanics(t *testing.T) {
+	w := NewWorld(Config{Words: 8})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("alloc past capacity did not panic")
+		}
+	}()
+	w.Run(0, func(c backend.Ctx) { c.Alloc(9) }, nil)
+}
+
+// TestTLEValidationAbort injects one deterministic conflict: the body
+// advances the sequence word between two loads (as a concurrent
+// writer's commit would), which must abort exactly the first
+// optimistic attempt and succeed on the second.
+func TestTLEValidationAbort(t *testing.T) {
+	w := NewWorld(Config{})
+	lk := NewTLE(0, tle.Backoff{})
+	poisoned := false
+	w.Run(1, func(c backend.Ctx) { c.Alloc(2) }, func(c backend.Ctx) {
+		lk.Critical(c, func() {
+			c.Load(0)
+			if !poisoned {
+				poisoned = true
+				lk.seq.Add(2) // a foreign writer's commit
+			}
+			c.Load(1)
+		})
+	})
+	st := lk.st.tleStats()
+	if st.Ops != 1 || st.Commits != 1 || st.TotalAborts() != 1 || st.Fallbacks != 0 {
+		t.Fatalf("ops=%d commits=%d aborts=%d fallbacks=%d, want 1/1/1/0",
+			st.Ops, st.Commits, st.TotalAborts(), st.Fallbacks)
+	}
+}
+
+// TestTLEFallbackOnPersistentConflict poisons every optimistic
+// attempt, exhausting the budget; the section must complete on the
+// exclusive fallback (where the poison is harmless: no validation).
+func TestTLEFallbackOnPersistentConflict(t *testing.T) {
+	w := NewWorld(Config{})
+	lk := NewTLE(3, tle.Backoff{})
+	var addr int
+	w.Run(1, func(c backend.Ctx) { addr = c.Alloc(1) }, func(c backend.Ctx) {
+		nc := c.(*Thread)
+		lk.Critical(c, func() {
+			c.Load(addr)
+			if nc.tx.active {
+				lk.seq.Add(2)
+			}
+			c.Store(addr, c.Load(addr)+1)
+		})
+	})
+	if got := w.Peek(addr); got != 1 {
+		t.Fatalf("counter = %d, want 1", got)
+	}
+	st := lk.st.tleStats()
+	if st.Fallbacks != 1 || st.TotalAborts() != 3 || st.Commits != 0 {
+		t.Fatalf("fallbacks=%d aborts=%d commits=%d, want 1/3/0", st.Fallbacks, st.TotalAborts(), st.Commits)
+	}
+	if st.Ops != st.Commits+st.Fallbacks {
+		t.Fatalf("conservation broken: ops=%d commits+fallbacks=%d", st.Ops, st.Commits+st.Fallbacks)
+	}
+}
+
+// TestTLEWriterUpgradeExcludes: a committed writer's sequence bump
+// must be visible as two increments (lock, unlock), keeping the word
+// even and growing.
+func TestTLEWriterUpgrade(t *testing.T) {
+	w := NewWorld(Config{})
+	lk := NewTLE(0, tle.Backoff{})
+	var addr int
+	w.Run(1, func(c backend.Ctx) { addr = c.Alloc(1) }, func(c backend.Ctx) {
+		lk.Critical(c, func() { c.Store(addr, 7) })
+	})
+	if got := lk.seq.Load(); got != 2 {
+		t.Fatalf("sequence after one write commit = %d, want 2", got)
+	}
+	if got := w.Peek(addr); got != 7 {
+		t.Fatalf("word = %d, want 7", got)
+	}
+}
+
+// TestTLEBodyPanicReleasesLock: a non-abort panic from an upgraded
+// writer must release the sequence lock before propagating, or every
+// later section wedges.
+func TestTLEBodyPanicReleasesLock(t *testing.T) {
+	w := NewWorld(Config{})
+	lk := NewTLE(0, tle.Backoff{})
+	var addr int
+	w.Run(1, func(c backend.Ctx) { addr = c.Alloc(1) }, func(c backend.Ctx) {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("workload panic swallowed")
+				}
+			}()
+			lk.Critical(c, func() {
+				c.Store(addr, 1)
+				panic("workload bug")
+			})
+		}()
+		// The lock must still be usable.
+		lk.Critical(c, func() { c.Store(addr, c.Load(addr)+1) })
+	})
+	if got := lk.seq.Load(); got%2 != 0 {
+		t.Fatalf("sequence left odd (%d) after panic", got)
+	}
+	if got := w.Peek(addr); got != 2 {
+		t.Fatalf("word = %d, want 2", got)
+	}
+}
+
+// TestTLESoakContended is the short contended soak the CI race job
+// runs: heavy true sharing across goroutines, where lost updates,
+// torn validation, or a leaked sequence lock would show up as a wrong
+// final count, a race report, or a hang.
+func TestTLESoakContended(t *testing.T) {
+	threads, ops := 8, 4000
+	if testing.Short() {
+		threads, ops = 4, 1000
+	}
+	w := NewWorld(Config{})
+	lk := NewTLE(0, tle.Backoff{})
+	if got, want := runCounter(w, lk, threads, ops), uint64(threads*ops); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	st := lk.st.tleStats()
+	if st.Ops != uint64(threads*ops) {
+		t.Fatalf("ops = %d, want %d", st.Ops, threads*ops)
+	}
+	if st.Commits+st.Fallbacks != st.Ops {
+		t.Fatalf("conservation broken: ops=%d commits=%d fallbacks=%d", st.Ops, st.Commits, st.Fallbacks)
+	}
+}
+
+// TestNATLESoakContended: same soak through the throttling layer, with
+// a window small enough that real decisions fire. Progress (no
+// deadlock between throttling and the op-count-bounded schedule) and
+// conservation are the assertions; decision counts are host-dependent.
+func TestNATLESoakContended(t *testing.T) {
+	threads, ops := 8, 4000
+	if testing.Short() {
+		threads, ops = 4, 1000
+	}
+	w := NewWorld(Config{Sockets: 2})
+	lk := NewNATLE(NewTLE(0, tle.Backoff{}), w.Sockets(), NATLEConfig{Window: 200_000, Wait: 5_000})
+	if got, want := runCounter(w, lk, threads, ops), uint64(threads*ops); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	st := lk.Stats()
+	if st.TLE.Commits+st.TLE.Fallbacks != st.TLE.Ops {
+		t.Fatalf("conservation broken: ops=%d commits=%d fallbacks=%d",
+			st.TLE.Ops, st.TLE.Commits, st.TLE.Fallbacks)
+	}
+	if int(st.Extra["natle_decisions"]) != len(st.Timeline) {
+		t.Fatalf("decisions=%d but timeline has %d samples",
+			st.Extra["natle_decisions"], len(st.Timeline))
+	}
+}
+
+// TestMutexAndSpinConservation covers the two plain-lock baselines.
+func TestMutexAndSpinConservation(t *testing.T) {
+	w1 := NewWorld(Config{})
+	m := NewMutex()
+	if got := runCounter(w1, m, 4, 500); got != 2000 {
+		t.Fatalf("mutex counter = %d, want 2000", got)
+	}
+	if got := m.Stats().Extra["acquires"]; got != 2000 {
+		t.Fatalf("mutex acquires = %d, want 2000", got)
+	}
+	w2 := NewWorld(Config{})
+	s := NewSpin()
+	if got := runCounter(w2, s, 4, 500); got != 2000 {
+		t.Fatalf("spin counter = %d, want 2000", got)
+	}
+	if got := s.Stats().Extra["acquires"]; got != 2000 {
+		t.Fatalf("spin acquires = %d, want 2000", got)
+	}
+}

@@ -1,0 +1,280 @@
+package native
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"natle/internal/backend"
+	"natle/internal/natle"
+	"natle/internal/scheme"
+)
+
+// maxGroups bounds the native stand-in for sockets (thread groups).
+const maxGroups = 8
+
+// NATLEConfig tunes the wall-clock throttling loop. The simulated
+// NATLE profiles by running each mode for a slice of every cycle and
+// counting acquisitions on virtual time; on real hardware that
+// profiling tax is pure overhead, so the native variant instead
+// smooths the per-group commit throughput it observes anyway into an
+// EWMA and re-decides once per window.
+type NATLEConfig struct {
+	// Window is the decision window in wall-clock nanoseconds
+	// (default 2ms; the paper's 300ms cycle scaled to bench-length
+	// native runs).
+	Window int64
+	// Wait is how long a throttled thread waits before re-checking
+	// admission (default 20us).
+	Wait int64
+	// MaxWait is the starvation watchdog: cumulative throttled wait
+	// before a section proceeds regardless (default 2*Window).
+	MaxWait int64
+	// Alpha is the EWMA weight of the newest window (default 0.5).
+	Alpha float64
+	// AbortFrac is the throttling trigger: shape admission only while
+	// the window's abort fraction exceeds it (default 0.05); below
+	// it, elision is working and every group runs.
+	AbortFrac float64
+	// Warmup is the minimum commits a window needs before its numbers
+	// may drive a throttling decision (default 256, as in the paper).
+	Warmup uint64
+}
+
+// DefaultNATLEConfig returns the defaults above.
+func DefaultNATLEConfig() NATLEConfig {
+	return NATLEConfig{
+		Window:    2_000_000,
+		Wait:      20_000,
+		Alpha:     0.5,
+		AbortFrac: 0.05,
+		Warmup:    256,
+	}
+}
+
+// padCounter is a cache-line-padded counter, so per-group commit
+// bumps from different goroutines do not false-share.
+type padCounter struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// NATLE is native-tle plus per-lock adaptive group throttling driven
+// by a wall-clock EWMA of per-group commit throughput.
+type NATLE struct {
+	inner  *TLE
+	groups int
+	cfg    NATLEConfig
+
+	windowStart atomic.Int64  // ns; 0 = not started
+	decision    atomic.Uint64 // pref<<32 | alt<<16 | permille
+
+	commits [maxGroups]padCounter
+	ewma    [maxGroups]atomic.Uint64 // math.Float64bits of commits/sec
+
+	lastAttempts atomic.Uint64 // inner counter snapshot at last decision
+	lastAborts   atomic.Uint64
+
+	decisions   atomic.Uint64
+	throttled   atomic.Uint64 // sections that waited at least once
+	starvations atomic.Uint64 // watchdog-forced proceeds
+
+	tl struct {
+		sync.Mutex
+		samples []natle.ModeSample
+	}
+}
+
+// NewNATLE builds a native-natle lock over inner for the given group
+// count. Zero config fields select DefaultNATLEConfig values.
+func NewNATLE(inner *TLE, groups int, cfg NATLEConfig) *NATLE {
+	def := DefaultNATLEConfig()
+	if cfg.Window <= 0 {
+		cfg.Window = def.Window
+	}
+	if cfg.Wait <= 0 {
+		cfg.Wait = def.Wait
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 2 * cfg.Window
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = def.Alpha
+	}
+	if cfg.AbortFrac <= 0 {
+		cfg.AbortFrac = def.AbortFrac
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = def.Warmup
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	if groups > maxGroups {
+		groups = maxGroups
+	}
+	n := &NATLE{inner: inner, groups: groups, cfg: cfg}
+	// Until the first decision: everyone runs.
+	n.decision.Store(n.pack(groups, groups, 1000))
+	return n
+}
+
+func (n *NATLE) pack(pref, alt int, permille int64) uint64 {
+	return uint64(pref)<<32 | uint64(alt)<<16 | uint64(permille)
+}
+
+// Name implements backend.CS.
+func (n *NATLE) Name() string { return "native-natle(" + n.inner.Name() + ")" }
+
+// Stats implements scheme.BackendInstance: the inner elision counters
+// plus the decision timeline and the throttling extras.
+func (n *NATLE) Stats() scheme.Stats {
+	n.tl.Lock()
+	timeline := append([]natle.ModeSample(nil), n.tl.samples...)
+	n.tl.Unlock()
+	return scheme.Stats{
+		TLE:      n.inner.st.tleStats(),
+		Timeline: timeline,
+		Extra: map[string]uint64{
+			"natle_decisions":      n.decisions.Load(),
+			"natle_throttled":      n.throttled.Load(),
+			"natle_starvations":    n.starvations.Load(),
+			"natle_inner_fallback": n.inner.st.fallbacks.Load(),
+		},
+	}
+}
+
+// Critical implements backend.CS: wait until the thread's group is
+// admitted by the current decision (bounded by the starvation
+// watchdog), then run under the inner native-tle lock.
+func (n *NATLE) Critical(bc backend.Ctx, body func()) {
+	c := bc.(*Thread)
+	if c.tx.active {
+		body()
+		return
+	}
+	g := c.Socket()
+	n.maybeDecide(c)
+	var waited int64
+	for !n.admitted(c, g) {
+		if waited >= n.cfg.MaxWait {
+			n.starvations.Add(1)
+			break
+		}
+		c.spinWait(n.cfg.Wait)
+		waited += n.cfg.Wait
+		n.maybeDecide(c)
+	}
+	if waited > 0 {
+		n.throttled.Add(1)
+	}
+	n.inner.Critical(c, body)
+	n.commits[g].v.Add(1)
+}
+
+// admitted checks the thread's group against the current decision:
+// the preferred group owns the first permille share of each window
+// position, the alternate the rest (the paper's proportional quantum
+// split, on wall-clock windows).
+func (n *NATLE) admitted(c *Thread, g int) bool {
+	d := n.decision.Load()
+	pref := int(d >> 32 & 0xffff)
+	if pref >= n.groups {
+		return true
+	}
+	alt := int(d >> 16 & 0xffff)
+	permille := int64(d & 0xffff)
+	pos := (c.w.now() - n.windowStart.Load()) % n.cfg.Window
+	if pos < 0 {
+		pos = 0
+	}
+	if pos*1000 < permille*n.cfg.Window {
+		return pref == g
+	}
+	return alt == g
+}
+
+// maybeDecide elects at most one thread per expired window (CAS on
+// the window start) to run the decision.
+func (n *NATLE) maybeDecide(c *Thread) {
+	now := c.w.now()
+	ws := n.windowStart.Load()
+	if ws == 0 {
+		n.windowStart.CompareAndSwap(0, now)
+		return
+	}
+	if now-ws < n.cfg.Window || !n.windowStart.CompareAndSwap(ws, now) {
+		return
+	}
+	n.decide(now - ws)
+}
+
+// decide folds the expired window's per-group commit counts into the
+// EWMAs and publishes the next admission decision.
+func (n *NATLE) decide(elapsed int64) {
+	sec := float64(elapsed) / 1e9
+	acqs := make([]uint64, n.groups)
+	var total uint64
+	for g := 0; g < n.groups; g++ {
+		acqs[g] = n.commits[g].v.Swap(0)
+		total += acqs[g]
+	}
+	att := n.inner.st.attempts.Load()
+	ab := n.inner.st.aborts.Load()
+	dAtt := att - n.lastAttempts.Swap(att)
+	dAb := ab - n.lastAborts.Swap(ab)
+	var abortFrac float64
+	if dAtt > 0 {
+		abortFrac = float64(dAb) / float64(dAtt)
+	}
+	e := make([]float64, n.groups)
+	for g := 0; g < n.groups; g++ {
+		old := math.Float64frombits(n.ewma[g].Load())
+		e[g] = n.cfg.Alpha*(float64(acqs[g])/sec) + (1-n.cfg.Alpha)*old
+		n.ewma[g].Store(math.Float64bits(e[g]))
+	}
+
+	pref, alt, permille := n.groups, n.groups, int64(1000)
+	if total >= n.cfg.Warmup && abortFrac > n.cfg.AbortFrac && n.groups > 1 {
+		pref = 0
+		for g := 1; g < n.groups; g++ {
+			if e[g] > e[pref] {
+				pref = g
+			}
+		}
+		alt = (pref + 1) % n.groups
+		for g := 0; g < n.groups; g++ {
+			if g != pref && e[g] >= e[alt] {
+				alt = g
+			}
+		}
+		if den := e[pref] + e[alt]; den > 0 {
+			permille = int64(1000 * e[pref] / den)
+		}
+		if permille < 1 {
+			permille = 1
+		}
+		if permille > 1000 {
+			permille = 1000
+		}
+	}
+	n.decision.Store(n.pack(pref, alt, permille))
+	cycle := int(n.decisions.Add(1)) - 1
+
+	sample := natle.ModeSample{
+		Cycle:         cycle,
+		FastestMode:   pref,
+		SlicePerMille: permille,
+		Acqs:          acqs,
+	}
+	admit := func(mode int) bool { return mode >= n.groups || mode == 0 }
+	if admit(pref) {
+		sample.Socket0Share += float64(permille) / 1000
+	}
+	if permille < 1000 && admit(alt) {
+		sample.Socket0Share += float64(1000-permille) / 1000
+	}
+	n.tl.Lock()
+	n.tl.samples = append(n.tl.samples, sample)
+	n.tl.Unlock()
+}

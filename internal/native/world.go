@@ -1,0 +1,223 @@
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"natle/internal/backend"
+)
+
+// Config sizes a native world.
+type Config struct {
+	// Words is the shared-memory capacity in 64-bit words (default
+	// 1<<20). Alloc panics on overflow: the word array must never
+	// reallocate while workers hold references into it.
+	Words int
+	// Seed feeds the per-thread deterministic RNGs, so the *operation
+	// schedule* of a native trial is reproducible even though its
+	// timing is not.
+	Seed int64
+	// Sockets is the thread-group count used as the native stand-in
+	// for socket placement (default 2). Pure Go has no portable NUMA
+	// introspection, so groups are thread-index stripes: thread i of
+	// n is in group i*Sockets/n, mirroring the simulator's
+	// fill-socket-first pinning.
+	Sockets int
+}
+
+// World is the native execution backend: real goroutines over a real
+// atomic word array on wall-clock time. It implements backend.World.
+type World struct {
+	mem     []atomic.Uint64
+	next    int
+	seed    int64
+	sockets int
+	threads int // workers of the current Run (socket striping)
+	epoch   time.Time
+}
+
+// NewWorld builds a native world.
+func NewWorld(cfg Config) *World {
+	if cfg.Words <= 0 {
+		cfg.Words = 1 << 20
+	}
+	if cfg.Sockets <= 0 {
+		cfg.Sockets = 2
+	}
+	return &World{
+		mem:     make([]atomic.Uint64, cfg.Words),
+		seed:    cfg.Seed,
+		sockets: cfg.Sockets,
+		epoch:   time.Now(),
+	}
+}
+
+// Kind implements backend.World.
+func (w *World) Kind() backend.Kind { return backend.Native }
+
+// Peek implements backend.World.
+func (w *World) Peek(a int) uint64 { return w.mem[a].Load() }
+
+// Sockets returns the world's thread-group count (the native stand-in
+// for socket placement).
+func (w *World) Sockets() int { return w.sockets }
+
+// now returns monotonic wall-clock nanoseconds since the world was
+// built (time.Since uses the monotonic clock reading of the epoch).
+func (w *World) now() int64 { return int64(time.Since(w.epoch)) }
+
+// alloc reserves nWords zeroed words.
+func (w *World) alloc(nWords int) int {
+	if w.next+nWords > len(w.mem) {
+		panic(fmt.Sprintf("native: out of memory (%d words allocated, %d requested, %d capacity)",
+			w.next, nWords, len(w.mem)))
+	}
+	a := w.next
+	w.next += nWords
+	return a
+}
+
+// Run implements backend.World: setup runs alone on a setup context,
+// then threads goroutines run body concurrently from a common start
+// signal; Run returns after all of them finished.
+func (w *World) Run(threads int, setup func(backend.Ctx), body func(backend.Ctx)) {
+	w.threads = threads
+	setup(w.ctx(-1))
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		c := w.ctx(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			body(c)
+		}()
+	}
+	close(start)
+	wg.Wait()
+}
+
+// ctx builds the per-thread context for worker thread (or the setup
+// context for thread -1).
+func (w *World) ctx(thread int) *Thread {
+	// splitmix64-style seeding: distinct, well-mixed streams per
+	// (world seed, thread).
+	s := uint64(w.seed)*0x9e3779b97f4a7c15 + uint64(thread+1)*0xbf58476d1ce4e5b9
+	return &Thread{w: w, thread: thread, rng: s}
+}
+
+// Thread is the per-goroutine execution context; it implements
+// backend.Ctx and carries the goroutine's speculative transaction
+// state, so schemes need no thread-local lookup machinery.
+type Thread struct {
+	w      *World
+	thread int
+	rng    uint64
+	tx     txn
+	sink   uint64 // Work/spin accumulator, defeats dead-code elimination
+}
+
+// txn is one optimistic native-tle attempt in flight on this thread.
+type txn struct {
+	active bool
+	writer bool
+	start  uint64
+	seq    *atomic.Uint64
+}
+
+// abortSignal unwinds an optimistic attempt whose sequence validation
+// failed (the native mirror of htm.AbortSignal).
+type abortSignal struct{}
+
+// Thread implements backend.Ctx.
+
+// Thread returns the worker index (-1 for the setup context).
+func (c *Thread) Thread() int { return c.thread }
+
+// Socket returns the thread's group under fill-first striping.
+func (c *Thread) Socket() int {
+	if c.thread < 0 || c.w.threads <= 0 || c.w.sockets <= 1 {
+		return 0
+	}
+	g := c.thread * c.w.sockets / c.w.threads
+	if g >= c.w.sockets {
+		g = c.w.sockets - 1
+	}
+	return g
+}
+
+// Rand64 steps the thread's splitmix64 RNG.
+func (c *Thread) Rand64() uint64 {
+	c.rng += 0x9e3779b97f4a7c15
+	z := c.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a draw in [0, n).
+func (c *Thread) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(c.Rand64() % uint64(n))
+}
+
+// Now returns monotonic wall-clock nanoseconds since world
+// construction.
+func (c *Thread) Now() int64 { return c.w.now() }
+
+// Work burns n iterations of external work.
+func (c *Thread) Work(n int) {
+	for i := 0; i < n; i++ {
+		c.sink = c.sink*6364136223846793005 + 1442695040888963407
+	}
+}
+
+// Alloc reserves nWords zeroed shared words (setup context only; the
+// allocator is not synchronized).
+func (c *Thread) Alloc(nWords int) int { return c.w.alloc(nWords) }
+
+// Load reads shared word a. Inside an optimistic attempt it validates
+// the lock sequence after the read (seqlock discipline) and aborts
+// the attempt on interference.
+func (c *Thread) Load(a int) uint64 {
+	v := c.w.mem[a].Load()
+	if c.tx.active && !c.tx.writer && c.tx.seq.Load() != c.tx.start {
+		panic(abortSignal{})
+	}
+	return v
+}
+
+// Store writes shared word a. The first store of an optimistic
+// attempt upgrades it to writer by acquiring the sequence word with a
+// CAS; failure to upgrade aborts the attempt.
+func (c *Thread) Store(a int, v uint64) {
+	if c.tx.active && !c.tx.writer {
+		if !c.tx.seq.CompareAndSwap(c.tx.start, c.tx.start+1) {
+			panic(abortSignal{})
+		}
+		c.tx.writer = true
+	}
+	c.w.mem[a].Store(v)
+}
+
+// spinWait busy-waits for about ns wall-clock nanoseconds, yielding
+// the processor periodically so oversubscribed hosts (more workers
+// than cores) keep making progress.
+func (c *Thread) spinWait(ns int64) {
+	if ns <= 0 {
+		return
+	}
+	deadline := c.w.now() + ns
+	for c.w.now() < deadline {
+		c.sink++
+		if c.sink&255 == 0 {
+			runtime.Gosched()
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 
+	"natle/internal/backend"
 	"natle/internal/htm"
 	"natle/internal/machine"
 	"natle/internal/mem"
@@ -162,7 +163,7 @@ func newProgram(cfg Config, sys *htm.System, c *sim.Ctx) *program {
 	if name == "" {
 		name = "tle"
 	}
-	desc, err := scheme.Lookup(name)
+	desc, err := scheme.LookupFor(backend.Sim, name)
 	if err != nil {
 		panic(fmt.Sprintf("paraheap: %v", err))
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 
+	"natle/internal/backend"
 	"natle/internal/htm"
 	"natle/internal/machine"
 	"natle/internal/scheme"
@@ -117,7 +118,7 @@ func TestSchemesAreEquivalent(t *testing.T) {
 	if len(want) == 0 {
 		t.Fatal("degenerate schedule: expected contents are empty")
 	}
-	for _, desc := range scheme.All() {
+	for _, desc := range scheme.AllFor(backend.Sim) {
 		desc := desc
 		t.Run(desc.Name, func(t *testing.T) {
 			keys, hs, ss := eqTrial(t, desc)

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"natle/internal/backend"
 	"natle/internal/htm"
 	"natle/internal/lock"
 	"natle/internal/natle"
@@ -71,11 +72,23 @@ func (s Stats) Sub(t Stats) Stats {
 	return d
 }
 
-// Instance is a constructed scheme: a critical-section executor plus
-// the uniform stats facade. Snapshot/delta measurement is
-// inst.Stats() before the window and inst.Stats().Sub(before) after.
+// Instance is a constructed scheme on the simulated backend: a
+// critical-section executor plus the uniform stats facade.
+// Snapshot/delta measurement is inst.Stats() before the window and
+// inst.Stats().Sub(before) after.
 type Instance interface {
 	lock.CS
+	// Stats returns the cumulative counters since construction.
+	Stats() Stats
+}
+
+// BackendInstance is a constructed scheme on an arbitrary execution
+// backend: the backend-agnostic critical-section executor plus the
+// same uniform stats facade. Sim instances are adapted to this shape
+// by the sim world (internal/workload); native schemes implement it
+// directly.
+type BackendInstance interface {
+	backend.CS
 	// Stats returns the cumulative counters since construction.
 	Stats() Stats
 }
@@ -105,14 +118,61 @@ type Descriptor struct {
 	// scheme without a capacity fallback may never complete one); false
 	// for the unsynchronized baseline and raw HTM.
 	Batch bool
-	// Make builds an instance whose lock word (if any) is homed on the
-	// given socket.
+	// Make builds the scheme's simulated-backend instance, its lock
+	// word (if any) homed on the given socket. Nil for native-only
+	// schemes; at least one of Make and Native must be set.
 	Make func(sys *htm.System, c *sim.Ctx, socket int, opt Options) Instance
+
+	// Native builds the scheme's native-backend instance through the
+	// backend-agnostic world/context pair (real goroutines, real
+	// memory, wall-clock time; see internal/native). Nil for sim-only
+	// schemes such as htm-raw, whose semantics exist only on the
+	// simulated HTM.
+	Native func(w backend.World, c backend.Ctx, opt Options) BackendInstance
 }
 
-// New builds an instance with the descriptor's options.
+// New builds a simulated instance with the descriptor's options. It
+// panics when the scheme has no sim factory (callers gate on
+// Supports(backend.Sim), normally via LookupFor).
 func (d *Descriptor) New(sys *htm.System, c *sim.Ctx, socket int) Instance {
+	if d.Make == nil {
+		panic("scheme: " + d.Name + " is not available on the sim backend")
+	}
 	return d.Make(sys, c, socket, d.Opt)
+}
+
+// NewNative builds a native instance with the descriptor's options.
+// It panics when the scheme has no native factory.
+func (d *Descriptor) NewNative(w backend.World, c backend.Ctx) BackendInstance {
+	if d.Native == nil {
+		panic("scheme: " + d.Name + " is not available on the native backend")
+	}
+	return d.Native(w, c, d.Opt)
+}
+
+// Backends returns the execution backends the descriptor can
+// construct on, in backend.Kinds() order — the registry's capability
+// axis for "which world does this scheme run in".
+func (d *Descriptor) Backends() []backend.Kind {
+	var ks []backend.Kind
+	for _, k := range backend.Kinds() {
+		if d.Supports(k) {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// Supports reports whether the descriptor has a factory for backend k.
+func (d *Descriptor) Supports(k backend.Kind) bool {
+	switch k {
+	case backend.Sim:
+		return d.Make != nil
+	case backend.Native:
+		return d.Native != nil
+	default:
+		return false
+	}
 }
 
 // Configure returns a copy of the descriptor with the non-zero fields
@@ -136,13 +196,14 @@ func (d *Descriptor) Configure(opt Options) *Descriptor {
 var registry = map[string]*Descriptor{}
 
 // Register adds a descriptor. It panics on a duplicate or empty name
-// (registration is programmer-controlled, at init time).
+// or when no backend factory is set (registration is
+// programmer-controlled, at init time).
 func Register(d *Descriptor) {
 	if d.Name == "" {
 		panic("scheme: Register with empty name")
 	}
-	if d.Make == nil {
-		panic("scheme: Register " + d.Name + " with nil factory")
+	if d.Make == nil && d.Native == nil {
+		panic("scheme: Register " + d.Name + " with no backend factory")
 	}
 	if _, dup := registry[d.Name]; dup {
 		panic("scheme: duplicate registration of " + d.Name)
@@ -150,8 +211,10 @@ func Register(d *Descriptor) {
 	registry[d.Name] = d
 }
 
-// Lookup returns the descriptor for name. The error lists the valid
-// names, so flag parsing can surface it directly.
+// Lookup returns the descriptor for name regardless of backend. The
+// error lists the valid names, so flag parsing can surface it
+// directly. Construction sites that know their backend use LookupFor,
+// which also rejects schemes the backend cannot build.
 func Lookup(name string) (*Descriptor, error) {
 	if d, ok := registry[name]; ok {
 		return d, nil
@@ -160,13 +223,39 @@ func Lookup(name string) (*Descriptor, error) {
 		name, strings.Join(Names(), ", "))
 }
 
-// Names returns the registered scheme names, sorted.
+// LookupFor returns the descriptor for name, requiring that it can be
+// constructed on backend k. The error lists only that backend's
+// names, so a native tool never advertises sim-only schemes and vice
+// versa.
+func LookupFor(k backend.Kind, name string) (*Descriptor, error) {
+	d, ok := registry[name]
+	if !ok || !d.Supports(k) {
+		return nil, fmt.Errorf("scheme: unknown %s-backend scheme %q (have %s)",
+			k, name, strings.Join(NamesFor(k), ", "))
+	}
+	return d, nil
+}
+
+// Names returns the registered scheme names across all backends,
+// sorted.
 func Names() []string {
 	n := make([]string, 0, len(registry))
 	for name := range registry {
 		n = append(n, name)
 	}
 	sort.Strings(n)
+	return n
+}
+
+// NamesFor returns the names of the schemes constructible on backend
+// k, sorted.
+func NamesFor(k backend.Kind) []string {
+	var n []string
+	for _, name := range Names() {
+		if registry[name].Supports(k) {
+			n = append(n, name)
+		}
+	}
 	return n
 }
 
@@ -179,15 +268,33 @@ func All() []*Descriptor {
 	return ds
 }
 
-// FlagHelp renders the accepted -lock values for flag usage strings.
+// AllFor returns the descriptors constructible on backend k, in
+// NamesFor(k) order.
+func AllFor(k backend.Kind) []*Descriptor {
+	var ds []*Descriptor
+	for _, n := range NamesFor(k) {
+		ds = append(ds, registry[n])
+	}
+	return ds
+}
+
+// FlagHelp renders every registered -lock value, all backends
+// (tools serving a single backend use FlagHelpFor).
 func FlagHelp() string { return strings.Join(Names(), " | ") }
 
-// BatchNames returns the names of the schemes with the Batch
-// capability, sorted (the schemes the service workload may drive with
-// per-shard request batches larger than one).
+// FlagHelpFor renders the -lock values accepted on backend k for flag
+// usage strings, so per-backend help stays generated from the
+// registry.
+func FlagHelpFor(k backend.Kind) string { return strings.Join(NamesFor(k), " | ") }
+
+// BatchNames returns the names of the simulated schemes with the
+// Batch capability, sorted (the schemes the service workload may drive
+// with per-shard request batches larger than one; the service runs on
+// the sim backend only, so native-only schemes are excluded even when
+// internal/native is linked in).
 func BatchNames() []string {
 	var n []string
-	for _, d := range All() {
+	for _, d := range AllFor(backend.Sim) {
 		if d.Batch {
 			n = append(n, d.Name)
 		}

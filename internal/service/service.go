@@ -34,6 +34,7 @@ package service
 import (
 	"fmt"
 
+	"natle/internal/backend"
 	"natle/internal/cache"
 	"natle/internal/fault"
 	"natle/internal/htm"
@@ -286,7 +287,7 @@ const serverPoll = 500 * vtime.Nanosecond
 // Run executes one service trial and returns its measurements.
 func Run(cfg Config) *Result {
 	cfg.defaults()
-	desc, err := scheme.Lookup(cfg.Scheme)
+	desc, err := scheme.LookupFor(backend.Sim, cfg.Scheme)
 	if err != nil {
 		panic(fmt.Sprintf("service: %v", err))
 	}

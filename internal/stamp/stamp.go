@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"natle/internal/backend"
 	"natle/internal/htm"
 	"natle/internal/lock"
 	"natle/internal/machine"
@@ -178,7 +179,7 @@ func Run(b Benchmark, cfg Config) *Result {
 	if cfg.Lock == "" {
 		cfg.Lock = "tle"
 	}
-	desc, err := scheme.Lookup(cfg.Lock)
+	desc, err := scheme.LookupFor(backend.Sim, cfg.Lock)
 	if err != nil {
 		panic(fmt.Sprintf("stamp: %v", err))
 	}

@@ -1,0 +1,295 @@
+package workload
+
+import (
+	"fmt"
+
+	"natle/internal/backend"
+	"natle/internal/scheme"
+	"natle/internal/tle"
+)
+
+// The backend-agnostic workloads. Unlike the virtual-time sweeps above
+// (duration-bounded, meaningful only on the simulator), these trials
+// are *operation-count*-bounded and express every shared access
+// through backend.Ctx, so one driver runs bit-identically on the
+// simulator and natively. Their operation schedules are pure hashes of
+// (seed, thread, op index) — independent of interleaving — and their
+// mutations either commute (counter increments) or touch thread-owned
+// key partitions (twotrees updates), so the final shared-memory
+// contents are a function of the config alone. That property is what
+// the cross-backend conformance suite checks.
+
+// Backend workload names.
+const (
+	BackendCounter  = "counter"  // all threads increment one shared counter
+	BackendTwoTrees = "twotrees" // Fig 16 shape: update-only set + search-only set, a lock each
+)
+
+// BackendWorkloads lists the backend-agnostic workload names (flag
+// help, sweeps).
+func BackendWorkloads() []string { return []string{BackendCounter, BackendTwoTrees} }
+
+// BackendConfig describes one backend-agnostic trial.
+type BackendConfig struct {
+	// Lock names a scheme; it must be registered for the world's
+	// backend (see scheme.LookupFor).
+	Lock string
+	// Workload is one of BackendWorkloads() (default counter).
+	Workload string
+	// Threads is the worker count (default 1).
+	Threads int
+	// Ops is the per-thread operation count (default 1<<14).
+	Ops int
+	// Seed feeds the operation-schedule hash.
+	Seed int64
+	// KeyRange is the twotrees key-space size per tree (default 1024;
+	// must be >= the updater count).
+	KeyRange int
+	// ExternalWork is the exclusive upper bound on the random
+	// external-work iterations between operations (0 disables).
+	ExternalWork int
+	// TLE overrides the scheme's retry policy (zero keeps the
+	// descriptor default).
+	TLE tle.Policy
+}
+
+func (cfg *BackendConfig) defaults() {
+	if cfg.Workload == "" {
+		cfg.Workload = BackendCounter
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 1 << 14
+	}
+	if cfg.KeyRange <= 0 {
+		cfg.KeyRange = 1024
+	}
+}
+
+// BackendResult reports one backend-agnostic trial.
+type BackendResult struct {
+	Backend  backend.Kind
+	Lock     string
+	Workload string
+	Threads  int
+
+	// Ops is the total completed operations (threads * per-thread ops;
+	// op-count-bounded trials always finish their schedule).
+	Ops uint64
+	// ElapsedNs is first-op-start to last-op-end: virtual nanoseconds
+	// on sim, wall-clock nanoseconds natively.
+	ElapsedNs int64
+	// Sync holds each of the workload's locks' counters (one entry for
+	// counter; update then search lock for twotrees).
+	Sync []scheme.Stats
+	// Check is the workload-defined checksum of the final shared
+	// contents; for a fixed config it is backend- and
+	// interleaving-independent.
+	Check uint64
+}
+
+// Throughput returns operations per (virtual or wall) second.
+func (r *BackendResult) Throughput() float64 {
+	if r.ElapsedNs <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / (float64(r.ElapsedNs) / 1e9)
+}
+
+// RunBackend executes one backend-agnostic trial on w.
+func RunBackend(w backend.World, cfg BackendConfig) *BackendResult {
+	cfg.defaults()
+	desc, err := scheme.LookupFor(w.Kind(), cfg.Lock)
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	desc = desc.Configure(scheme.Options{TLE: cfg.TLE})
+	wl, err := newBackendWorkload(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+
+	finish := make([]int64, cfg.Threads)
+	var startNs int64
+	w.Run(cfg.Threads, func(c backend.Ctx) {
+		wl.Setup(w, c, desc)
+		startNs = c.Now()
+	}, func(c backend.Ctx) {
+		t := c.Thread()
+		for j := 0; j < cfg.Ops; j++ {
+			wl.Op(c, t, j)
+			if cfg.ExternalWork > 0 {
+				c.Work(c.Intn(cfg.ExternalWork))
+			}
+		}
+		finish[t] = c.Now()
+	})
+
+	var end int64
+	for _, f := range finish {
+		if f > end {
+			end = f
+		}
+	}
+	elapsed := end - startNs
+	if elapsed <= 0 {
+		elapsed = 1
+	}
+	return &BackendResult{
+		Backend:   w.Kind(),
+		Lock:      cfg.Lock,
+		Workload:  cfg.Workload,
+		Threads:   cfg.Threads,
+		Ops:       uint64(cfg.Threads) * uint64(cfg.Ops),
+		ElapsedNs: elapsed,
+		Sync:      wl.Sync(),
+		Check:     wl.Check(w),
+	}
+}
+
+// backendWorkload is one backend-agnostic benchmark: shared-state
+// setup, the per-thread operation, and the final-contents checksum.
+type backendWorkload interface {
+	Setup(w backend.World, c backend.Ctx, desc *scheme.Descriptor)
+	Op(c backend.Ctx, thread, j int)
+	Sync() []scheme.Stats
+	Check(w backend.World) uint64
+}
+
+func newBackendWorkload(cfg BackendConfig) (backendWorkload, error) {
+	switch cfg.Workload {
+	case BackendCounter:
+		return &bkCounter{}, nil
+	case BackendTwoTrees:
+		updaters := (cfg.Threads + 1) / 2
+		if cfg.KeyRange < updaters {
+			return nil, fmt.Errorf("twotrees: key range %d < %d updaters", cfg.KeyRange, updaters)
+		}
+		return &bkTwoTrees{cfg: cfg, updaters: updaters}, nil
+	default:
+		return nil, fmt.Errorf("unknown backend workload %q (have %v)", cfg.Workload, BackendWorkloads())
+	}
+}
+
+// opHash is the deterministic, interleaving-independent operation
+// schedule: a splitmix64-style mix of (seed, thread, op index).
+func opHash(seed int64, thread, j int) uint64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 +
+		uint64(thread+1)*0xbf58476d1ce4e5b9 +
+		uint64(j)*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// bkCounter: every operation increments one shared word inside the
+// critical section. Maximum conflict; increments commute, so the final
+// value must equal threads*ops on any backend under any mutual
+// exclusion — the sharpest conservation check available.
+type bkCounter struct {
+	addr int
+	cs   scheme.BackendInstance
+}
+
+func (b *bkCounter) Setup(w backend.World, c backend.Ctx, desc *scheme.Descriptor) {
+	b.addr = c.Alloc(1)
+	b.cs = NewInstance(w, c, desc)
+}
+
+func (b *bkCounter) Op(c backend.Ctx, thread, j int) {
+	b.cs.Critical(c, func() {
+		c.Store(b.addr, c.Load(b.addr)+1)
+	})
+}
+
+func (b *bkCounter) Sync() []scheme.Stats { return []scheme.Stats{b.cs.Stats()} }
+
+func (b *bkCounter) Check(w backend.World) uint64 { return w.Peek(b.addr) }
+
+// bkTwoTrees is the backend-agnostic shape of the paper's Figure 16
+// two-trees experiment: two sets, each under its own lock; even
+// threads run 100% updates against set U, odd threads run 100%
+// searches against set S. The sets are direct-mapped (one membership
+// word per key, plus a size word every update touches, playing the
+// role of the root), and each updater owns the key residues equal to
+// its updater index — so the final membership is a pure function of
+// each updater's own schedule.
+type bkTwoTrees struct {
+	cfg      BackendConfig
+	updaters int
+
+	updMemb, updSize int
+	schMemb, schSize int
+	updLock, schLock scheme.BackendInstance
+}
+
+func (b *bkTwoTrees) Setup(w backend.World, c backend.Ctx, desc *scheme.Descriptor) {
+	kr := b.cfg.KeyRange
+	b.updMemb = c.Alloc(kr)
+	b.updSize = c.Alloc(1)
+	b.schMemb = c.Alloc(kr)
+	b.schSize = c.Alloc(1)
+	// Prefill both sets to half full (even keys), as the sim workloads
+	// prefill to half the key range.
+	var n uint64
+	for k := 0; k < kr; k += 2 {
+		c.Store(b.updMemb+k, 1)
+		c.Store(b.schMemb+k, 1)
+		n++
+	}
+	c.Store(b.updSize, n)
+	c.Store(b.schSize, n)
+	// Per-lock independence is the point of the experiment: each set
+	// gets its own instance of the same scheme.
+	b.updLock = NewInstance(w, c, desc)
+	b.schLock = NewInstance(w, c, desc)
+}
+
+func (b *bkTwoTrees) Op(c backend.Ctx, thread, j int) {
+	x := opHash(b.cfg.Seed, thread, j)
+	kr := b.cfg.KeyRange
+	if thread%2 == 0 {
+		// Updater: insert or delete within this updater's partition.
+		u := thread / 2
+		key := int((x>>1)%uint64(kr/b.updaters))*b.updaters + u
+		if x&1 == 0 {
+			b.updLock.Critical(c, func() {
+				if c.Load(b.updMemb+key) == 0 {
+					c.Store(b.updMemb+key, 1)
+					c.Store(b.updSize, c.Load(b.updSize)+1)
+				}
+			})
+		} else {
+			b.updLock.Critical(c, func() {
+				if c.Load(b.updMemb+key) != 0 {
+					c.Store(b.updMemb+key, 0)
+					c.Store(b.updSize, c.Load(b.updSize)-1)
+				}
+			})
+		}
+	} else {
+		// Searcher: a read-only contains on the search set.
+		key := int(x % uint64(kr))
+		b.schLock.Critical(c, func() {
+			_ = c.Load(b.schMemb + key)
+		})
+	}
+}
+
+func (b *bkTwoTrees) Sync() []scheme.Stats {
+	return []scheme.Stats{b.updLock.Stats(), b.schLock.Stats()}
+}
+
+func (b *bkTwoTrees) Check(w backend.World) uint64 {
+	var h uint64
+	for k := 0; k < b.cfg.KeyRange; k++ {
+		h = h*31 + w.Peek(b.updMemb+k)
+		h = h*31 + w.Peek(b.schMemb+k)
+	}
+	h = h*31 + w.Peek(b.updSize)
+	return h*31 + w.Peek(b.schSize)
+}

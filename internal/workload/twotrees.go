@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 
+	"natle/internal/backend"
 	"natle/internal/scheme"
 	"natle/internal/sets"
 	"natle/internal/sim"
@@ -60,7 +61,7 @@ func RunTwoTrees(cfg TwoTreesConfig) *TwoTreesResult {
 	sys := newSystem(e, base)
 	res := &TwoTreesResult{Duration: base.Duration}
 
-	desc, err := scheme.Lookup(string(base.Lock))
+	desc, err := scheme.LookupFor(backend.Sim, string(base.Lock))
 	if err != nil {
 		panic(fmt.Sprintf("workload: %v", err))
 	}

@@ -10,6 +10,7 @@ package workload
 import (
 	"fmt"
 
+	"natle/internal/backend"
 	"natle/internal/cache"
 	"natle/internal/fault"
 	"natle/internal/htm"
@@ -170,7 +171,7 @@ func newSystem(e *sim.Engine, cfg Config) *htm.System {
 // Run executes one trial and returns its measurements.
 func Run(cfg Config) *Result {
 	cfg.defaults()
-	desc, err := scheme.Lookup(string(cfg.Lock))
+	desc, err := scheme.LookupFor(backend.Sim, string(cfg.Lock))
 	if err != nil {
 		panic(fmt.Sprintf("workload: %v", err))
 	}

@@ -39,6 +39,7 @@
 package natle
 
 import (
+	"natle/internal/backend"
 	"natle/internal/cctsa"
 	"natle/internal/cohort"
 	"natle/internal/fault"
@@ -282,13 +283,13 @@ func (s *Simulation) NewNATLELock(c *Thread, cfg NATLEConfig) *NATLELock {
 	return natle.New(s.HTM, c, tle.New(s.HTM, c, 0, tle.TLE20()), cfg)
 }
 
-// SchemeNames lists every registered synchronization scheme, sorted.
+// SchemeNames lists every simulated synchronization scheme, sorted.
 // All of them are accepted by WorkloadConfig.Lock and the application
 // workloads' Lock fields.
-func SchemeNames() []string { return scheme.Names() }
+func SchemeNames() []string { return scheme.NamesFor(backend.Sim) }
 
 // LookupScheme finds a registered scheme descriptor by name.
-func LookupScheme(name string) (*Scheme, error) { return scheme.Lookup(name) }
+func LookupScheme(name string) (*Scheme, error) { return scheme.LookupFor(backend.Sim, name) }
 
 // NewScheme constructs an instance of the named scheme (with opt
 // overriding its defaults), homed on socket 0. It is the registry-
@@ -296,7 +297,7 @@ func LookupScheme(name string) (*Scheme, error) { return scheme.Lookup(name) }
 // scheme name from SchemeNames works here without a dedicated
 // constructor.
 func (s *Simulation) NewScheme(c *Thread, name string, opt SchemeOptions) (SchemeInstance, error) {
-	d, err := scheme.Lookup(name)
+	d, err := scheme.LookupFor(backend.Sim, name)
 	if err != nil {
 		return nil, err
 	}
