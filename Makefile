@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race race-executor native-check check bench figures figures-quick chaos bench-snapshot service-check clean
+.PHONY: all build test vet lint race race-executor native-check check bench figures figures-quick chaos chaos-native bench-snapshot bench-check service-check clean
 
 all: build
 
@@ -56,11 +56,19 @@ check:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-# chaos runs the fault-injection matrix: every named fault schedule
-# against every robust synchronization scheme, asserting the
-# conservation invariants and fault-free final contents.
+# chaos runs the fault-injection matrix on both backends: every named
+# fault schedule against every robust synchronization scheme, on the
+# simulator and then on real goroutines, asserting the conservation
+# invariants and fault-free final contents/checksums.
 chaos:
 	$(GO) run ./cmd/htmbench -faults
+
+# chaos-native runs the cross-backend chaos suite under the race
+# detector: the native fault adapter drives real goroutines, which is
+# exactly what -race exists to check.
+chaos-native:
+	$(GO) test -race -timeout 15m -run 'TestNativeChaos|TestCrossBackendChaos|TestNativeSweepFault' ./internal/harness
+	$(GO) run ./cmd/htmbench -backend=native -faults
 
 # bench-snapshot regenerates the committed benchmark snapshots. The
 # service half is deterministic — a diff in BENCH_service.json after
@@ -73,12 +81,21 @@ bench-snapshot:
 	$(GO) run ./cmd/htmbench -service -slo 1000 -slojson BENCH_service.json
 	$(GO) run ./cmd/htmbench -backend=native -threads 1,2,4,8,16 -benchjson BENCH_native.json
 
+# bench-check is the structural gate on the committed snapshots: both
+# BENCH_*.json files must parse into their Go shapes with no unknown
+# fields and carry the registry's scheme grids — catching a registry
+# change that forgot `make bench-snapshot` without comparing any
+# host-dependent value.
+bench-check:
+	$(GO) test -run 'TestCommittedServiceBenchShape' -count=1 ./cmd/htmbench
+	$(GO) test -run 'TestCommittedNativeBenchParses' -count=1 ./internal/harness
+
 # service-check regenerates the service figure family at -j 1 and
 # -j 4 and fails on any byte difference, then runs the natlevet
 # analyzers over the service package (CI runs this as its own job).
 service-check:
-	$(GO) run ./cmd/figures -fig service-latency,service-slo,service-arrivals,service-chaos -j 1 > /tmp/service_j1.txt
-	$(GO) run ./cmd/figures -fig service-latency,service-slo,service-arrivals,service-chaos -j 4 > /tmp/service_j4.txt
+	$(GO) run ./cmd/figures -fig service-latency,service-slo,service-arrivals,service-chaos,service-overload -j 1 > /tmp/service_j1.txt
+	$(GO) run ./cmd/figures -fig service-latency,service-slo,service-arrivals,service-chaos,service-overload -j 4 > /tmp/service_j4.txt
 	cmp /tmp/service_j1.txt /tmp/service_j4.txt
 	$(GO) run ./cmd/natlevet ./internal/service/...
 

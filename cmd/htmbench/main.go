@@ -17,9 +17,15 @@
 // versa.
 //
 // Fault injection: -fault <schedule> runs the sweep with a named fault
-// schedule injected; -faults runs the full chaos matrix (every fault
-// schedule against every robust scheme) and exits nonzero if any cell
-// violates its invariants.
+// schedule injected (on either backend); -faults runs the chaos matrix
+// (every fault schedule against every robust scheme, on the simulator
+// and then on the native backend) and exits nonzero if any cell
+// violates its invariants. -backend=native -faults runs the native
+// matrix alone.
+//
+// Service overload control (-service): -deadline arms per-request
+// deadlines with queue-wait shedding, -brownout arms the p99-driven
+// brownout ladder, -retrybudget arms the per-shard abort budget.
 package main
 
 import (
@@ -96,6 +102,10 @@ func main() {
 		sloUs   = flag.Float64("slo", 0, "service SLO search: target p99 in microseconds, searched over every batch-capable scheme (0: rate sweep of -lock instead)")
 		sloJSON = flag.String("slojson", "", "write the service SLO search results as JSON to this file")
 
+		deadlineUs  = flag.Float64("deadline", 0, "service per-request deadline in microseconds (0: none); servers shed queued requests that cannot finish in time")
+		brownoutUs  = flag.Float64("brownout", 0, "service brownout p99 target in microseconds (0: off); breaching shards shrink batches, then degrade to the mutex, and probe for recovery")
+		retryBudget = flag.Int("retrybudget", 0, "service per-shard abort budget per brownout window (0: off); exhaustion degrades the window to the mutex")
+
 		nativeOps = flag.Int("ops", 1<<14, "native backend: per-thread operation count")
 		nativeWl  = flag.String("workload", workload.BackendCounter,
 			"native backend: workload: "+strings.Join(workload.BackendWorkloads(), " | "))
@@ -109,10 +119,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	if bk == backend.Native {
-		if *faultName != "" || *chaos || *svc {
-			fmt.Fprintln(os.Stderr, "fault injection, chaos, and the service workload are sim-only (deterministic virtual time)")
+	var faultProf *fault.Profile
+	if *faultName != "" {
+		sched, err := fault.LookupSchedule(*faultName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
+		}
+		faultProf = &sched.Profile
+	}
+
+	if bk == backend.Native {
+		if *svc {
+			fmt.Fprintln(os.Stderr, "the service workload is sim-only (deterministic virtual time)")
+			os.Exit(2)
+		}
+		if *chaos {
+			if !runNativeChaos(*seed, *faultName) {
+				os.Exit(1)
+			}
+			return
 		}
 		if _, err := scheme.LookupFor(backend.Native, *lockKind); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -136,12 +162,17 @@ func main() {
 			keys:       int(*keys),
 			work:       *extWork,
 			pol:        pol,
+			fault:      faultProf,
+			faultName:  *faultName,
 			benchJSON:  *benchJSON,
 		})
 		return
 	}
 
 	if *chaos {
+		// Cross-backend chaos: the simulated matrix first, then the
+		// same schedules against the native schemes on real goroutines.
+		// Both must hold their invariants for a zero exit.
 		cfg := harness.ChaosConfig{Seed: *seed, Parallel: *jobs}
 		if *faultName != "" {
 			cfg.Schedules = []string{*faultName}
@@ -152,23 +183,16 @@ func main() {
 			os.Exit(2)
 		}
 		report, ok := harness.ChaosReport(cells)
+		fmt.Println("# chaos matrix, backend=sim")
 		fmt.Print(report)
-		if !ok {
+		fmt.Println("# chaos matrix, backend=native")
+		if !runNativeChaos(*seed, *faultName) || !ok {
 			fmt.Fprintln(os.Stderr, "chaos: invariant violations detected")
 			os.Exit(1)
 		}
 		return
 	}
 
-	var faultProf *fault.Profile
-	if *faultName != "" {
-		sched, err := fault.LookupSchedule(*faultName)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		faultProf = &sched.Profile
-	}
 	if _, err := scheme.LookupFor(backend.Sim, *lockKind); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -181,20 +205,23 @@ func main() {
 
 	if *svc {
 		runService(serviceArgs{
-			prof:    p,
-			scheme:  *lockKind,
-			arrival: *arrival,
-			rates:   *rates,
-			shards:  *shards,
-			servers: *servers,
-			batch:   *batch,
-			qcap:    *qcap,
-			window:  vtime.Duration(*durMs * float64(vtime.Millisecond)),
-			seed:    *seed,
-			fault:   faultProf,
-			sloUs:   *sloUs,
-			sloJSON: *sloJSON,
-			jobs:    *jobs,
+			prof:        p,
+			scheme:      *lockKind,
+			arrival:     *arrival,
+			rates:       *rates,
+			shards:      *shards,
+			servers:     *servers,
+			batch:       *batch,
+			qcap:        *qcap,
+			window:      vtime.Duration(*durMs * float64(vtime.Millisecond)),
+			seed:        *seed,
+			fault:       faultProf,
+			deadline:    vtime.Duration(*deadlineUs * float64(vtime.Microsecond)),
+			brownoutSLO: vtime.Duration(*brownoutUs * float64(vtime.Microsecond)),
+			retryBudget: *retryBudget,
+			sloUs:       *sloUs,
+			sloJSON:     *sloJSON,
+			jobs:        *jobs,
 		})
 		return
 	}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"natle/internal/harness"
+	"natle/internal/scheme"
+)
+
+// errAfter is an io.Writer that accepts n bytes and then fails — the
+// shape of a disk filling up mid-snapshot.
+type errAfter struct{ n int }
+
+var errSinkFull = errors.New("sink full")
+
+func (w *errAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errSinkFull
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errSinkFull
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// sampleServiceBench is a minimal but fully-populated SLO snapshot.
+func sampleServiceBench() benchFile {
+	return benchFile{
+		Workload: "open-loop KV service",
+		Machine:  "test",
+		Arrival:  "poisson",
+		Seed:     1,
+		Schemes:  []benchEntry{{Scheme: "tle", Sustained: 1e6, LatencyUs: 2, Probes: 3}},
+	}
+}
+
+// sampleNativeBench is a minimal native snapshot.
+func sampleNativeBench() *harness.NativeBench {
+	return &harness.NativeBench{
+		Backend:      "native",
+		OpsPerThread: 8,
+		Seed:         1,
+		Sockets:      2,
+		Threads:      []int{1},
+		Host:         harness.Fingerprint(),
+		Workloads: []harness.NativeBenchWorkload{{
+			Workload: "counter",
+			Schemes: []harness.NativeBenchScheme{{
+				Scheme: "native-tle",
+				Points: []harness.NativeBenchPoint{{Threads: 1, Ops: 8, OpsPerSec: 1}},
+			}},
+		}},
+	}
+}
+
+// TestWriteServiceBenchPropagatesWriteErrors: a writer that fails —
+// immediately or mid-stream — must surface the error; a healthy writer
+// must receive valid, newline-terminated JSON.
+func TestWriteServiceBenchPropagatesWriteErrors(t *testing.T) {
+	out := sampleServiceBench()
+	if err := writeServiceBench(&errAfter{n: 0}, out); !errors.Is(err, errSinkFull) {
+		t.Errorf("immediate failure not propagated: %v", err)
+	}
+	if err := writeServiceBench(&errAfter{n: 10}, out); !errors.Is(err, errSinkFull) {
+		t.Errorf("mid-stream failure not propagated: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := writeServiceBench(&buf, out); err != nil {
+		t.Fatalf("healthy writer failed: %v", err)
+	}
+	if !bytes.HasSuffix(buf.Bytes(), []byte("\n")) {
+		t.Error("snapshot missing trailing newline")
+	}
+	var back benchFile
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if !reflect.DeepEqual(back, out) {
+		t.Errorf("round trip diverged:\n%+v\n%+v", back, out)
+	}
+}
+
+// TestWriteNativeBenchPropagatesWriteErrors mirrors the service test
+// for the native snapshot path.
+func TestWriteNativeBenchPropagatesWriteErrors(t *testing.T) {
+	snap := sampleNativeBench()
+	if err := writeNativeBench(&errAfter{n: 0}, snap); !errors.Is(err, errSinkFull) {
+		t.Errorf("immediate failure not propagated: %v", err)
+	}
+	if err := writeNativeBench(&errAfter{n: 25}, snap); !errors.Is(err, errSinkFull) {
+		t.Errorf("mid-stream failure not propagated: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := writeNativeBench(&buf, snap); err != nil {
+		t.Fatalf("healthy writer failed: %v", err)
+	}
+	var back harness.NativeBench
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+}
+
+// TestCommittedServiceBenchShape is the bench-check structural gate on
+// the committed BENCH_service.json: it must parse into benchFile with
+// no unknown fields, and its scheme grid must be exactly the
+// batch-capable registry schemes in registry order — so a registry
+// change without `make bench-snapshot` fails fast.
+func TestCommittedServiceBenchShape(t *testing.T) {
+	buf, err := os.ReadFile("../../BENCH_service.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	var b benchFile
+	if err := dec.Decode(&b); err != nil {
+		t.Fatalf("BENCH_service.json does not match the benchFile shape: %v", err)
+	}
+	want := scheme.BatchNames()
+	var got []string
+	for _, e := range b.Schemes {
+		got = append(got, e.Scheme)
+		if e.Sustained < 0 || e.Probes <= 0 {
+			t.Errorf("scheme %s: implausible entry %+v", e.Scheme, e)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("snapshot scheme grid %v != batch-capable registry %v (run `make bench-snapshot`)", got, want)
+	}
+	if b.Quantile != 0.99 || b.Seed == 0 || b.WindowUs <= 0 {
+		t.Errorf("snapshot header fields implausible: %+v", b)
+	}
+	if !bytes.HasSuffix(buf, []byte("\n")) {
+		t.Error("BENCH_service.json missing trailing newline")
+	}
+}

@@ -9,10 +9,12 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"natle/internal/fault"
 	"natle/internal/harness"
 	"natle/internal/tle"
 	"natle/internal/workload"
@@ -27,6 +29,8 @@ type nativeArgs struct {
 	keys       int
 	work       int
 	pol        tle.Policy
+	fault      *fault.Profile
+	faultName  string
 	benchJSON  string
 }
 
@@ -60,10 +64,14 @@ func runNative(a nativeArgs) {
 		KeyRange:     a.keys,
 		ExternalWork: a.work,
 		TLE:          a.pol,
+		Fault:        a.fault,
 	}
 	host := harness.Fingerprint()
 	fmt.Printf("# backend=native lock=%s workload=%s ops/thread=%d seed=%d\n",
 		a.lock, a.workload, a.ops, a.seed)
+	if a.fault != nil {
+		fmt.Printf("# fault schedule: %s\n", a.faultName)
+	}
 	fmt.Printf("# wall-clock timing on %s/%s, %d CPUs, %s — host-dependent, not comparable to sim figures\n",
 		host.GOOS, host.GOARCH, host.CPUs, host.GoVersion)
 	fmt.Printf("%8s %14s %8s %12s %12s %12s\n",
@@ -82,19 +90,62 @@ func runNative(a nativeArgs) {
 		}
 		fmt.Printf("%8d %14.0f %8.2f %12d %12d %12d\n",
 			r.Threads, tput, tput/base, commits, aborts, fallbacks)
+		if a.fault != nil {
+			fmt.Println("    " + r.Fault.String())
+		}
 	}
 	if a.benchJSON != "" {
 		snap := harness.NativeBenchSnapshot(cfg)
-		buf, err := harness.MarshalNativeBench(snap)
+		f, err := os.Create(a.benchJSON)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(a.benchJSON, buf, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		werr := writeNativeBench(f, snap)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d schemes x %d workloads)\n", a.benchJSON,
 			len(snap.Workloads[0].Schemes), len(snap.Workloads))
 	}
+}
+
+// writeNativeBench streams the marshaled snapshot to w, propagating
+// both marshal and write failures (a full disk must not exit zero
+// with a truncated BENCH_native.json behind it).
+func writeNativeBench(w io.Writer, snap *harness.NativeBench) error {
+	buf, err := harness.MarshalNativeBench(snap)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("write native bench: %w", err)
+	}
+	return nil
+}
+
+// runNativeChaos runs the native half of the chaos matrix: every
+// requested fault schedule against the robust native schemes over the
+// backend-agnostic workloads, invariants checked per cell. Reports to
+// stdout and returns whether every cell held.
+func runNativeChaos(seed int64, only string) bool {
+	cfg := harness.NativeChaosConfig{Seed: seed}
+	if only != "" {
+		cfg.Schedules = []string{only}
+	}
+	cells, err := harness.RunNativeChaos(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	report, ok := harness.NativeChaosReport(cells)
+	fmt.Print(report)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "chaos(native): invariant violations detected")
+	}
+	return ok
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -27,20 +28,23 @@ import (
 //     JSON (the committed BENCH_service.json snapshot).
 
 type serviceArgs struct {
-	prof    *machine.Profile
-	scheme  string
-	arrival string
-	rates   string
-	shards  int
-	servers int
-	batch   int
-	qcap    int
-	window  vtime.Duration
-	seed    int64
-	fault   *fault.Profile
-	sloUs   float64
-	sloJSON string
-	jobs    int
+	prof        *machine.Profile
+	scheme      string
+	arrival     string
+	rates       string
+	shards      int
+	servers     int
+	batch       int
+	qcap        int
+	window      vtime.Duration
+	seed        int64
+	fault       *fault.Profile
+	deadline    vtime.Duration // per-request deadline (0: none)
+	brownoutSLO vtime.Duration // brownout p99 target (0: off)
+	retryBudget int            // per-shard abort budget per window (0: off)
+	sloUs       float64
+	sloJSON     string
+	jobs        int
 }
 
 // defaultServiceRates is the quick-scale offered-load sweep.
@@ -52,18 +56,24 @@ func (a serviceArgs) base() service.Config {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	return service.Config{
-		Prof:     a.prof,
-		Seed:     a.seed,
-		Scheme:   a.scheme,
-		Arrival:  kind,
-		Window:   a.window,
-		Shards:   a.shards,
-		Servers:  a.servers,
-		Batch:    a.batch,
-		QueueCap: a.qcap,
-		Fault:    a.fault,
+	cfg := service.Config{
+		Prof:        a.prof,
+		Seed:        a.seed,
+		Scheme:      a.scheme,
+		Arrival:     kind,
+		Window:      a.window,
+		Shards:      a.shards,
+		Servers:     a.servers,
+		Batch:       a.batch,
+		QueueCap:    a.qcap,
+		Fault:       a.fault,
+		Deadline:    a.deadline,
+		RetryBudget: a.retryBudget,
 	}
+	if a.brownoutSLO > 0 {
+		cfg.Brownout = &service.BrownoutConfig{SLO: a.brownoutSLO}
+	}
+	return cfg
 }
 
 func runService(a serviceArgs) {
@@ -91,8 +101,12 @@ func runService(a serviceArgs) {
 	if a.fault != nil {
 		fmt.Printf("# fault schedule injected\n")
 	}
-	fmt.Printf("%12s %8s %7s %12s %12s %12s %9s %9s\n",
-		"rate(r/s)", "reqs", "shed%", "p50", "p99", "p999", "avgbatch", "fallback")
+	if a.deadline > 0 || a.brownoutSLO > 0 || a.retryBudget > 0 {
+		fmt.Printf("# overload control: deadline=%v brownout=%v retrybudget=%d\n",
+			a.deadline, a.brownoutSLO, a.retryBudget)
+	}
+	fmt.Printf("%12s %8s %7s %7s %7s %12s %12s %12s %9s %9s %4s\n",
+		"rate(r/s)", "reqs", "shed%", "dshed%", "miss%", "p50", "p99", "p999", "avgbatch", "fallback", "bo")
 
 	results := expt.Map(a.jobs, len(sweep), func(i int) *service.Result {
 		c := cfg
@@ -104,10 +118,11 @@ func runService(a serviceArgs) {
 		if r.Batches > 0 {
 			avgBatch = float64(r.Completed) / float64(r.Batches)
 		}
-		fmt.Printf("%12.4g %8d %6.2f%% %12v %12v %12v %9.2f %9d\n",
+		fmt.Printf("%12.4g %8d %6.2f%% %6.2f%% %6.2f%% %12v %12v %12v %9.2f %9d %4d\n",
 			sweep[i], r.Requests, 100*r.ShedFraction(),
+			100*r.DeadlineShedFraction(), 100*r.DeadlineMissFraction(),
 			r.E2E.Quantile(0.50), r.E2E.Quantile(0.99), r.E2E.Quantile(0.999),
-			avgBatch, r.Sync.TLE.Fallbacks)
+			avgBatch, r.Sync.TLE.Fallbacks, r.BrownoutPeak)
 		if r.BatchClamped {
 			fmt.Printf("             # batch clamped to 1: scheme %q lacks the batch capability\n", a.scheme)
 		}
@@ -178,15 +193,33 @@ func runServiceSLO(a serviceArgs) {
 			Probes:    len(r.Probes),
 		})
 	}
-	buf, err := json.MarshalIndent(out, "", "  ")
+	f, err := os.Create(a.sloJSON)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(a.sloJSON, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	werr := writeServiceBench(f, out)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, werr)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", a.sloJSON)
+}
+
+// writeServiceBench streams the marshaled SLO snapshot to w,
+// propagating both marshal and write failures (a full disk must not
+// exit zero with a truncated BENCH_service.json behind it).
+func writeServiceBench(w io.Writer, out benchFile) error {
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal service bench: %w", err)
+	}
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("write service bench: %w", err)
+	}
+	return nil
 }

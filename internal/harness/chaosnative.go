@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"natle/internal/backend"
+	"natle/internal/fault"
+	"natle/internal/native"
+	"natle/internal/scheme"
+	"natle/internal/workload"
+)
+
+// The cross-backend chaos harness: every named fault schedule runs
+// against the *native* execution backend too, through the native
+// fault adapter (native.Fault), over the backend-agnostic workloads.
+// Native timing is not deterministic, so the invariants are the ones
+// wall-clock interleaving cannot excuse:
+//
+//   - operation conservation: the trial completes exactly
+//     threads x ops critical sections, and for eliding schemes every
+//     one of them either committed optimistically or took the
+//     fallback (ops = commits + fallbacks per lock);
+//   - correctness: the workload checksum equals the fault-free run of
+//     the same config — faults may slow the schedule down, never
+//     change what it computes.
+//
+// Together with the simulated matrix (RunChaos) this closes the loop
+// the backend split opened: one fault vocabulary, two worlds, the
+// same conservation laws.
+
+// NativeChaosConfig configures a native chaos run. The zero value
+// selects the defaults documented on each field.
+type NativeChaosConfig struct {
+	Threads int   // goroutines per trial (default 8)
+	Ops     int   // operations per goroutine (default 512)
+	Seed    int64 // operation-schedule and fault-decision seed (default 1)
+
+	// Schemes names the native-backend schemes to run (default: every
+	// native scheme with both Mutex and Robust set, mirroring the
+	// simulated matrix's selection rule).
+	Schemes []string
+
+	// Schedules names the fault schedules to run (default: all).
+	Schedules []string
+
+	// Workloads names the backend-agnostic workloads to run (default:
+	// all of workload.BackendWorkloads()).
+	Workloads []string
+}
+
+func (cfg NativeChaosConfig) withDefaults() NativeChaosConfig {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 8
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 512
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Schemes == nil {
+		for _, d := range scheme.AllFor(backend.Native) {
+			if d.Mutex && d.Robust {
+				cfg.Schemes = append(cfg.Schemes, d.Name)
+			}
+		}
+	}
+	if cfg.Schedules == nil {
+		cfg.Schedules = fault.ScheduleNames()
+	}
+	if cfg.Workloads == nil {
+		cfg.Workloads = workload.BackendWorkloads()
+	}
+	return cfg
+}
+
+// NativeChaosCell is the outcome of one (schedule, scheme, workload)
+// native cell.
+type NativeChaosCell struct {
+	Schedule string
+	Scheme   string
+	Workload string
+
+	Ok       bool
+	Failures []string // invariant violations (empty when Ok)
+
+	Ops       uint64 // critical sections completed across all locks
+	Commits   uint64
+	Aborts    uint64
+	Fallbacks uint64
+
+	Check     uint64      // workload checksum under faults
+	WantCheck uint64      // fault-free checksum of the same config
+	Fault     fault.Stats // what the adapter actually injected
+}
+
+func (c *NativeChaosCell) fail(format string, args ...any) {
+	c.Failures = append(c.Failures, fmt.Sprintf(format, args...))
+}
+
+// String renders one result line.
+func (c NativeChaosCell) String() string {
+	status := "ok"
+	if !c.Ok {
+		status = "FAIL: " + strings.Join(c.Failures, "; ")
+	}
+	return fmt.Sprintf("%-10s %-14s %-9s commits=%-6d aborts=%-6d fallbacks=%-5d [%s] %s",
+		c.Schedule, c.Scheme, c.Workload, c.Commits, c.Aborts, c.Fallbacks, c.Fault, status)
+}
+
+// nativeChaosTrial runs one native trial of the cell's config with
+// the given fault profile (nil = fault-free) and returns the result.
+func nativeChaosTrial(cfg NativeChaosConfig, sched *fault.Profile, schemeName, wl string) *workload.BackendResult {
+	w := native.NewWorld(native.Config{Seed: cfg.Seed, Fault: sched})
+	r := workload.RunBackend(w, workload.BackendConfig{
+		Lock:     schemeName,
+		Workload: wl,
+		Threads:  cfg.Threads,
+		Ops:      cfg.Ops,
+		Seed:     cfg.Seed,
+	})
+	r.Fault = w.FaultStats()
+	return r
+}
+
+// RunNativeChaosCell runs one (schedule, scheme, workload) cell: a
+// fault-free reference trial, then the fault-armed trial, then the
+// invariant checks.
+func RunNativeChaosCell(cfg NativeChaosConfig, sched fault.Schedule, schemeName, wl string) NativeChaosCell {
+	cfg = cfg.withDefaults()
+	cell := NativeChaosCell{Schedule: sched.Name, Scheme: schemeName, Workload: wl}
+
+	clean := nativeChaosTrial(cfg, nil, schemeName, wl)
+	cell.WantCheck = clean.Check
+
+	r := nativeChaosTrial(cfg, &sched.Profile, schemeName, wl)
+	cell.Check = r.Check
+	cell.Fault = r.Fault
+	for _, s := range r.Sync {
+		cell.Commits += s.TLE.Commits
+		cell.Aborts += s.TLE.TotalAborts()
+		cell.Fallbacks += s.TLE.Fallbacks
+		cell.Ops += s.TLE.Ops
+	}
+
+	want := uint64(cfg.Threads) * uint64(cfg.Ops)
+	if r.Ops != want {
+		cell.fail("op conservation broken: completed %d ops, want %d", r.Ops, want)
+	}
+	// Per-lock critical-section conservation for eliding schemes (lock
+	// baselines report zero TLE ops; their activity rides in Extra).
+	for i, s := range r.Sync {
+		if s.TLE.Ops > 0 && s.TLE.Ops != s.TLE.Commits+s.TLE.Fallbacks {
+			cell.fail("CS conservation broken on lock %d: %d ops != %d commits + %d fallbacks",
+				i, s.TLE.Ops, s.TLE.Commits, s.TLE.Fallbacks)
+		}
+	}
+	if cell.Check != cell.WantCheck {
+		cell.fail("checksum diverges from fault-free run: got %#x, want %#x",
+			cell.Check, cell.WantCheck)
+	}
+	cell.Ok = len(cell.Failures) == 0
+	return cell
+}
+
+// RunNativeChaos runs the full (schedules x schemes x workloads)
+// matrix, schedules outermost. Trials run sequentially — native cells
+// measure real goroutines and must not contend with each other for
+// the host. Every name is resolved before any cell runs.
+func RunNativeChaos(cfg NativeChaosConfig) ([]NativeChaosCell, error) {
+	cfg = cfg.withDefaults()
+	var cells []NativeChaosCell
+	for _, sn := range cfg.Schedules {
+		sched, err := fault.LookupSchedule(sn)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range cfg.Schemes {
+			if _, err := scheme.LookupFor(backend.Native, name); err != nil {
+				return nil, err
+			}
+			for _, wl := range cfg.Workloads {
+				cells = append(cells, RunNativeChaosCell(cfg, sched, name, wl))
+			}
+		}
+	}
+	return cells, nil
+}
+
+// NativeChaosReport renders the matrix and reports whether every cell
+// held its invariants.
+func NativeChaosReport(cells []NativeChaosCell) (string, bool) {
+	var b strings.Builder
+	ok := true
+	for _, c := range cells {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+		if !c.Ok {
+			ok = false
+		}
+	}
+	return b.String(), ok
+}

@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"natle/internal/backend"
+	"natle/internal/expt"
+	"natle/internal/fault"
+	"natle/internal/scheme"
+	"natle/internal/telemetry"
+	"natle/internal/vtime"
+)
+
+// shortNativeChaos keeps the native matrix cheap enough for the
+// regular (and -race) test run while still firing every schedule's
+// faults against real goroutines.
+func shortNativeChaos() NativeChaosConfig {
+	return NativeChaosConfig{Threads: 4, Ops: 96, Seed: 1}
+}
+
+// TestNativeChaosMatrixHoldsInvariants is the cross-backend acceptance
+// gate: every named fault schedule, against every robust native
+// scheme, over every backend-agnostic workload, must conserve the
+// operation count and reproduce the fault-free checksum.
+func TestNativeChaosMatrixHoldsInvariants(t *testing.T) {
+	cfg := shortNativeChaos()
+	cells, err := RunNativeChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cfg.withDefaults()
+	want := len(fault.ScheduleNames()) * len(d.Schemes) * len(d.Workloads)
+	if len(cells) != want {
+		t.Fatalf("matrix has %d cells, want %d", len(cells), want)
+	}
+	injected := false
+	for _, c := range cells {
+		if !c.Ok {
+			t.Errorf("%s/%s/%s: %v", c.Schedule, c.Scheme, c.Workload, c.Failures)
+		}
+		if c.Fault != (fault.Stats{}) {
+			injected = true
+		}
+	}
+	if !injected {
+		t.Error("no cell recorded any injected fault; the native adapter is not wired through")
+	}
+}
+
+// TestNativeChaosRejectsUnknownNames: lookup failures surface as
+// errors, not as silently skipped cells.
+func TestNativeChaosRejectsUnknownNames(t *testing.T) {
+	if _, err := RunNativeChaos(NativeChaosConfig{Threads: 1, Ops: 1, Schedules: []string{"nonesuch"}}); err == nil {
+		t.Error("unknown schedule accepted")
+	}
+	if _, err := RunNativeChaos(NativeChaosConfig{Threads: 1, Ops: 1,
+		Schedules: []string{"spurious"}, Schemes: []string{"nonesuch"}}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+// TestCrossBackendChaosConformance runs every named schedule on both
+// backends side by side: the simulated cell must replay byte-identically
+// (telemetry stream and counters), and the native cell must conserve
+// its operations and checksum — one fault vocabulary, two worlds, the
+// same laws.
+func TestCrossBackendChaosConformance(t *testing.T) {
+	desc, err := scheme.LookupFor(backend.Sim, "tle-robust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sn := range fault.ScheduleNames() {
+		t.Run(sn, func(t *testing.T) {
+			sched, err := fault.LookupSchedule(sn)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Sim side: two runs of the same cell must agree byte for
+			// byte — the replayability contract chaos debugging rests on.
+			run := func() (ChaosCell, []byte) {
+				rec := telemetry.NewCollector(telemetry.Config{TraceCap: 1 << 14})
+				cell := RunChaosCell(shortChaos(), sched, desc, rec)
+				var buf bytes.Buffer
+				if err := rec.WriteChromeTrace(&buf); err != nil {
+					t.Fatalf("trace export: %v", err)
+				}
+				return cell, buf.Bytes()
+			}
+			c1, t1 := run()
+			c2, t2 := run()
+			if !c1.Ok || !c2.Ok {
+				t.Fatalf("sim cells failed: %v / %v", c1.Failures, c2.Failures)
+			}
+			if c1.Fault != c2.Fault || c1.Commits != c2.Commits || c1.Aborts != c2.Aborts {
+				t.Errorf("sim counters diverge across replays:\n%s\n%s", c1, c2)
+			}
+			if !bytes.Equal(t1, t2) {
+				t.Error("sim telemetry streams diverge across identical replays")
+			}
+
+			// Native side: same schedule, real goroutines, conserved ops
+			// and fault-free checksum (asserted inside the cell).
+			nc := RunNativeChaosCell(shortNativeChaos(), sched, "native-tle", "twotrees")
+			if !nc.Ok {
+				t.Errorf("native cell failed: %v", nc.Failures)
+			}
+		})
+	}
+}
+
+// TestServiceOverloadFigureClaim pins the service-overload figure's
+// headline: at 4x the sweep's mid rate, the overload-controlled
+// service holds p99 within twice the SLO while the baseline's tail
+// runs past it (or it sheds a large share of arrivals blindly).
+func TestServiceOverloadFigureClaim(t *testing.T) {
+	sc := QuickScale()
+	res := PlanServiceOverload(sc).Execute(expt.Options{Workers: 4})
+	at4 := map[string]float64{}
+	for _, pt := range res.Points {
+		if pt.X == 4 {
+			at4[pt.Series] = pt.Y
+		}
+	}
+	sloUs := sc.overloadSLO().Seconds() * 1e6
+	bound := 2 * sloUs
+	robust, ok := at4["brownout/p99"]
+	if !ok {
+		t.Fatalf("no brownout/p99 point at 4x (have %v)", at4)
+	}
+	if robust > bound {
+		t.Errorf("brownout p99 %.1fus at 4x exceeds 2x SLO (%.1fus)", robust, bound)
+	}
+	if at4["brownout/dshed%"] <= 0 {
+		t.Error("brownout mode shed nothing at 4x; control is not engaging")
+	}
+	if base := at4["baseline/p99"]; base <= bound && at4["baseline/shed%"] < 25 {
+		t.Errorf("baseline neither collapsed (p99 %.1fus <= %.1fus) nor shed heavily (%.1f%%) at 4x — the figure has no story",
+			base, bound, at4["baseline/shed%"])
+	}
+}
+
+// TestPlanServiceChaosConservation executes the armed chaos plan and
+// fails on any conservation note a cell emitted.
+func TestPlanServiceChaosConservation(t *testing.T) {
+	res := PlanServiceChaos(QuickScale()).Execute(expt.Options{Workers: 4})
+	for _, n := range res.Notes {
+		if bytes.Contains([]byte(n), []byte("CONSERVATION BROKEN")) {
+			t.Error(n)
+		}
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("chaos plan produced no points")
+	}
+}
+
+// TestNativeSweepFaultPlumbing: a fault-armed native sweep reports
+// injected-fault counters on its results; a fault-free sweep reports
+// none.
+func TestNativeSweepFaultPlumbing(t *testing.T) {
+	p := fault.Profile{StallProb: 1, StallLen: vtime.Microsecond}
+	rs := NativeSweep(NativeSweepConfig{
+		Lock: "native-mutex", Threads: []int{2}, Ops: 64, Seed: 1, Fault: &p,
+	})
+	if len(rs) != 1 {
+		t.Fatalf("got %d results, want 1", len(rs))
+	}
+	if rs[0].Fault.Stalls == 0 {
+		t.Error("certain stalls on every acquisition never fired")
+	}
+	clean := NativeSweep(NativeSweepConfig{
+		Lock: "native-mutex", Threads: []int{2}, Ops: 64, Seed: 1,
+	})
+	if clean[0].Fault != (fault.Stats{}) {
+		t.Errorf("fault-free sweep reported injected faults: %+v", clean[0].Fault)
+	}
+}

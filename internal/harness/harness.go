@@ -142,6 +142,10 @@ type Scale struct {
 	ServiceWindow vtime.Duration // arrival window per service trial
 	ServiceRates  []float64      // offered-load sweep, req/virtual second
 	ServiceSLO    service.SLO    // SLO-search target and rate bracket
+	// ServiceOverloadSLO is the overload plan's per-request deadline
+	// and brownout p99 target — deliberately tighter than ServiceSLO
+	// so overload control has something to defend at 4x offered load.
+	ServiceOverloadSLO vtime.Duration
 
 	Seed int64
 }
@@ -172,7 +176,8 @@ func QuickScale() Scale {
 			Hi:     4e7,
 			Iters:  4,
 		},
-		Seed: 1,
+		ServiceOverloadSLO: 200 * vtime.Microsecond,
+		Seed:               1,
 	}
 }
 
@@ -197,7 +202,8 @@ func FullScale() Scale {
 			Hi:     6.4e7,
 			Iters:  7,
 		},
-		Seed: 1,
+		ServiceOverloadSLO: 200 * vtime.Microsecond,
+		Seed:               1,
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"natle/internal/backend"
+	"natle/internal/fault"
 	"natle/internal/native"
 	"natle/internal/scheme"
 	"natle/internal/tle"
@@ -39,6 +40,10 @@ type NativeSweepConfig struct {
 	Sockets int
 	// TLE overrides the scheme's retry policy (zero keeps defaults).
 	TLE tle.Policy
+	// Fault, if non-nil and enabled, arms the native fault adapter on
+	// every trial's world (see native.Fault); the per-trial injected
+	// counters land in BackendResult.Fault.
+	Fault *fault.Profile
 }
 
 func (cfg *NativeSweepConfig) defaults() {
@@ -60,8 +65,8 @@ func NativeSweep(cfg NativeSweepConfig) []*workload.BackendResult {
 	cfg.defaults()
 	out := make([]*workload.BackendResult, 0, len(cfg.Threads))
 	for _, n := range cfg.Threads {
-		w := native.NewWorld(native.Config{Seed: cfg.Seed, Sockets: cfg.Sockets})
-		out = append(out, workload.RunBackend(w, workload.BackendConfig{
+		w := native.NewWorld(native.Config{Seed: cfg.Seed, Sockets: cfg.Sockets, Fault: cfg.Fault})
+		r := workload.RunBackend(w, workload.BackendConfig{
 			Lock:         cfg.Lock,
 			Workload:     cfg.Workload,
 			Threads:      n,
@@ -70,7 +75,9 @@ func NativeSweep(cfg NativeSweepConfig) []*workload.BackendResult {
 			KeyRange:     cfg.KeyRange,
 			ExternalWork: cfg.ExternalWork,
 			TLE:          cfg.TLE,
-		}))
+		})
+		r.Fault = w.FaultStats()
+		out = append(out, r)
 	}
 	return out
 }

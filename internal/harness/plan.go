@@ -119,6 +119,7 @@ func Plans() []PlanEntry {
 		{"service-slo", PlanServiceSLO},
 		{"service-arrivals", PlanServiceArrivals},
 		{"service-chaos", PlanServiceChaos},
+		{"service-overload", PlanServiceOverload},
 		{"ablation-remote-latency", PlanAblationRemoteLatency},
 		{"ablation-profiling-len", PlanAblationProfilingLen},
 		{"ablation-warmup-threshold", PlanAblationWarmupThreshold},

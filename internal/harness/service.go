@@ -68,6 +68,11 @@ func PlanServiceLatency(sc Scale) *expt.Plan {
 						{Series: schm + "/p50", X: rate, Y: usF(r.E2E.Quantile(0.50))},
 						{Series: schm + "/p99", X: rate, Y: usF(r.E2E.Quantile(0.99))},
 						{Series: schm + "/shed%", X: rate, Y: 100 * r.ShedFraction()},
+						// Deadline shedding stays zero here (no deadlines
+						// armed); the column documents the invariant and
+						// keeps the CSV shape aligned with the overload and
+						// chaos families.
+						{Series: schm + "/dshed%", X: rate, Y: 100 * r.DeadlineShedFraction()},
 					}}
 				},
 			})
@@ -146,6 +151,7 @@ func PlanServiceArrivals(sc Scale) *expt.Plan {
 					return expt.Outcome{Points: []expt.Point{
 						{Series: string(a.Kind) + "/p99", X: rate, Y: usF(r.E2E.Quantile(0.99))},
 						{Series: string(a.Kind) + "/shed%", X: rate, Y: 100 * r.ShedFraction()},
+						{Series: string(a.Kind) + "/dshed%", X: rate, Y: 100 * r.DeadlineShedFraction()},
 					}}
 				},
 			})
@@ -156,22 +162,25 @@ func PlanServiceArrivals(sc Scale) *expt.Plan {
 
 // PlanServiceChaos drives the hardened schemes (tle-robust's breaker,
 // natle's throttle) through every named fault schedule under bursty
-// arrivals at the sweep's middle rate: non-stationary load on top of
-// injected HTM adversity. The conservation invariant (arrivals =
-// completed + shed) must hold in every cell; a violation surfaces as a
-// deterministic note and the test suite fails on it.
+// arrivals at the sweep's middle rate, with the full overload-control
+// stack armed (per-request deadlines, brownout, retry budget):
+// non-stationary load on top of injected HTM adversity. The
+// conservation invariant (arrivals = admitted + shed, admitted =
+// completed + deadline-shed) must hold in every cell; a violation
+// surfaces as a deterministic note and the test suite fails on it.
 func PlanServiceChaos(sc Scale) *expt.Plan {
 	scheds := fault.ScheduleNames()
 	p := &expt.Plan{
 		ID:     "service-chaos",
 		Title:  "KV service, bursty arrivals: hardened schemes under fault schedules",
 		XLabel: "schedule#",
-		YLabel: "p99 [us] / shed [%]",
+		YLabel: "p99 [us] / shed [%] / brownout level",
 		Notes: []string{
 			"x axis indexes fault schedules in order: " + strings.Join(scheds, ", "),
 		},
 	}
 	rate := sc.serviceMidRate()
+	slo := sc.overloadSLO()
 	for _, schm := range []string{"tle-robust", "natle"} {
 		for i, sn := range scheds {
 			p.Add(expt.TrialSpec{
@@ -186,17 +195,85 @@ func PlanServiceChaos(sc Scale) *expt.Plan {
 					cfg.Arrival = service.ArrivalBursty
 					cfg.Rate = rate
 					cfg.Fault = &sched.Profile
+					cfg.Deadline = slo
+					cfg.Brownout = &service.BrownoutConfig{SLO: slo}
+					cfg.RetryBudget = overloadRetryBudget
 					r := service.Run(cfg)
 					o := expt.Outcome{Points: []expt.Point{
 						{Series: schm + "/p99", X: float64(i), Y: usF(r.E2E.Quantile(0.99))},
 						{Series: schm + "/shed%", X: float64(i), Y: 100 * r.ShedFraction()},
+						{Series: schm + "/dshed%", X: float64(i), Y: 100 * r.DeadlineShedFraction()},
+						{Series: schm + "/miss%", X: float64(i), Y: 100 * r.DeadlineMissFraction()},
+						{Series: schm + "/bo-peak", X: float64(i), Y: float64(r.BrownoutPeak)},
 					}}
-					if r.Arrivals != r.Admitted+r.Shed || r.Admitted != r.Completed {
+					if r.Arrivals != r.Admitted+r.Shed || r.Admitted != r.Completed+r.DeadlineShed {
 						o.Notes = append(o.Notes, fmt.Sprintf(
-							"%s/%s: CONSERVATION BROKEN: arrivals=%d admitted=%d shed=%d completed=%d",
-							schm, sn, r.Arrivals, r.Admitted, r.Shed, r.Completed))
+							"%s/%s: CONSERVATION BROKEN: arrivals=%d admitted=%d shed=%d completed=%d dshed=%d",
+							schm, sn, r.Arrivals, r.Admitted, r.Shed, r.Completed, r.DeadlineShed))
 					}
 					return o
+				},
+			})
+		}
+	}
+	return p
+}
+
+// overloadSLO resolves the scale's overload deadline (zero keeps a
+// 200us default so ad-hoc Scale literals still get a sane target).
+func (sc Scale) overloadSLO() vtime.Duration {
+	if sc.ServiceOverloadSLO > 0 {
+		return sc.ServiceOverloadSLO
+	}
+	return 200 * vtime.Microsecond
+}
+
+// overloadRetryBudget is the per-shard abort allowance per brownout
+// window armed by the overload and chaos plans: generous enough to
+// never bite at sane load, small enough that an abort storm under
+// overload forces the mutual-exclusion downgrade.
+const overloadRetryBudget = 4096
+
+// PlanServiceOverload sweeps offered load from half to four times the
+// sweep's middle rate with a deliberately deep admission queue
+// (bufferbloat) and compares the baseline service against the full
+// overload-control stack — per-request deadlines with queue-wait
+// shedding, the brownout ladder, and the shared retry budget. The
+// figure's claim: under 4x overload the controlled service holds p99
+// near the SLO by shedding visibly, where the baseline's tail grows
+// with the queue depth.
+func PlanServiceOverload(sc Scale) *expt.Plan {
+	slo := sc.overloadSLO()
+	base := sc.serviceMidRate()
+	muls := []float64{0.5, 1, 2, 3, 4}
+	p := &expt.Plan{
+		ID:     "service-overload",
+		Title:  fmt.Sprintf("KV service, tle-robust shards: overload control vs baseline (SLO %v)", slo),
+		XLabel: "offered load [x mid rate]",
+		YLabel: "p99 [us] / shed [%] / brownout level",
+	}
+	for _, mode := range []string{"baseline", "brownout"} {
+		for _, mul := range muls {
+			p.Add(expt.TrialSpec{
+				Key: fmt.Sprintf("%s/%.2gx", mode, mul),
+				Run: func() expt.Outcome {
+					cfg := sc.serviceBase()
+					cfg.Scheme = "tle-robust"
+					cfg.Rate = base * mul
+					cfg.QueueCap = 1024
+					if mode == "brownout" {
+						cfg.Deadline = slo
+						cfg.Brownout = &service.BrownoutConfig{SLO: slo}
+						cfg.RetryBudget = overloadRetryBudget
+					}
+					r := service.Run(cfg)
+					return expt.Outcome{Points: []expt.Point{
+						{Series: mode + "/p99", X: mul, Y: usF(r.E2E.Quantile(0.99))},
+						{Series: mode + "/shed%", X: mul, Y: 100 * r.ShedFraction()},
+						{Series: mode + "/dshed%", X: mul, Y: 100 * r.DeadlineShedFraction()},
+						{Series: mode + "/miss%", X: mul, Y: 100 * r.DeadlineMissFraction()},
+						{Series: mode + "/bo-peak", X: mul, Y: float64(r.BrownoutPeak)},
+					}}
 				},
 			})
 		}

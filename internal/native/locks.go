@@ -19,8 +19,12 @@ type Mutex struct {
 func NewMutex() *Mutex { return &Mutex{} }
 
 // Critical implements backend.CS.
-func (m *Mutex) Critical(_ backend.Ctx, body func()) {
+func (m *Mutex) Critical(bc backend.Ctx, body func()) {
+	c := bc.(*Thread)
 	m.mu.Lock()
+	if inj := c.w.inj; inj != nil {
+		inj.csStall(c)
+	}
 	body()
 	m.mu.Unlock()
 	m.acquires.Add(1)
@@ -55,6 +59,9 @@ func (s *Spin) Critical(bc backend.Ctx, body func()) {
 		// Test-and-test-and-set: spin on the read path, with a short
 		// pause so the owner's release is not drowned in CAS traffic.
 		c.spinWait(int64(40 + c.Intn(40)))
+	}
+	if inj := c.w.inj; inj != nil {
+		inj.csStall(c)
 	}
 	body()
 	s.word.Store(0)

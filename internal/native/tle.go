@@ -118,6 +118,9 @@ func (t *TLE) Critical(bc backend.Ctx, body func()) {
 	// pessimistically.
 	t.st.fallbacks.Add(1)
 	s := t.lockAcquire(c)
+	if inj := c.w.inj; inj != nil {
+		inj.csStall(c)
+	}
 	body()
 	t.seq.Store(s + 2)
 }
@@ -127,6 +130,9 @@ func (t *TLE) Critical(bc backend.Ctx, body func()) {
 // on validation or upgrade failure.
 func (t *TLE) try(c *Thread, start uint64, body func()) (ok bool) {
 	c.tx = txn{active: true, start: start, seq: &t.seq}
+	if inj := c.w.inj; inj != nil {
+		c.tx.spurious, c.tx.budget = inj.txStart(c)
+	}
 	defer func() {
 		writer := c.tx.writer
 		c.tx = txn{}
@@ -134,7 +140,13 @@ func (t *TLE) try(c *Thread, start uint64, body func()) (ok bool) {
 		case r == nil:
 			if writer {
 				// Writer commit: release the sequence lock, advancing
-				// past every snapshot taken before our upgrade.
+				// past every snapshot taken before our upgrade. An
+				// injected commit delay stretches the held window first
+				// (concurrent readers keep failing validation), the
+				// native face of a delayed cross-socket invalidation.
+				if inj := c.w.inj; inj != nil {
+					inj.commitDelay(c)
+				}
 				t.seq.Store(start + 2)
 				ok = true
 			} else {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"natle/internal/backend"
+	"natle/internal/fault"
 )
 
 // Config sizes a native world.
@@ -26,6 +27,10 @@ type Config struct {
 	// n is in group i*Sockets/n, mirroring the simulator's
 	// fill-socket-first pinning.
 	Sockets int
+	// Fault, if non-nil and enabled, installs the native fault
+	// adapter (see Fault): the chaos schedules stress real goroutines
+	// exactly as they stress the simulator.
+	Fault *fault.Profile
 }
 
 // World is the native execution backend: real goroutines over a real
@@ -37,6 +42,7 @@ type World struct {
 	sockets int
 	threads int // workers of the current Run (socket striping)
 	epoch   time.Time
+	inj     *Fault // nil unless Config.Fault armed one
 }
 
 // NewWorld builds a native world.
@@ -47,13 +53,21 @@ func NewWorld(cfg Config) *World {
 	if cfg.Sockets <= 0 {
 		cfg.Sockets = 2
 	}
-	return &World{
+	w := &World{
 		mem:     make([]atomic.Uint64, cfg.Words),
 		seed:    cfg.Seed,
 		sockets: cfg.Sockets,
 		epoch:   time.Now(),
 	}
+	if cfg.Fault != nil && cfg.Fault.Enabled() {
+		w.inj = NewFault(*cfg.Fault)
+	}
+	return w
 }
+
+// FaultStats reports the counters of the installed fault adapter
+// (zero when no faults are armed).
+func (w *World) FaultStats() fault.Stats { return w.inj.Stats() }
 
 // Kind implements backend.World.
 func (w *World) Kind() backend.Kind { return backend.Native }
@@ -123,10 +137,12 @@ type Thread struct {
 
 // txn is one optimistic native-tle attempt in flight on this thread.
 type txn struct {
-	active bool
-	writer bool
-	start  uint64
-	seq    *atomic.Uint64
+	active   bool
+	writer   bool
+	start    uint64
+	seq      *atomic.Uint64
+	spurious int // injected spurious-abort countdown (0 = unarmed)
+	budget   int // injected access budget (0 = unlimited)
 }
 
 // abortSignal unwinds an optimistic attempt whose sequence validation
@@ -187,8 +203,13 @@ func (c *Thread) Alloc(nWords int) int { return c.w.alloc(nWords) }
 // the attempt on interference.
 func (c *Thread) Load(a int) uint64 {
 	v := c.w.mem[a].Load()
-	if c.tx.active && !c.tx.writer && c.tx.seq.Load() != c.tx.start {
-		panic(abortSignal{})
+	if c.tx.active && !c.tx.writer {
+		if c.tx.seq.Load() != c.tx.start {
+			panic(abortSignal{})
+		}
+		if c.tx.spurious > 0 || c.tx.budget > 0 {
+			c.txAccess()
+		}
 	}
 	return v
 }
@@ -198,6 +219,9 @@ func (c *Thread) Load(a int) uint64 {
 // CAS; failure to upgrade aborts the attempt.
 func (c *Thread) Store(a int, v uint64) {
 	if c.tx.active && !c.tx.writer {
+		if c.tx.spurious > 0 || c.tx.budget > 0 {
+			c.txAccess()
+		}
 		if !c.tx.seq.CompareAndSwap(c.tx.start, c.tx.start+1) {
 			panic(abortSignal{})
 		}

@@ -306,6 +306,22 @@ func BatchNames() []string {
 // strings, so help text stays generated from the registry.
 func BatchHelp() string { return strings.Join(BatchNames(), ", ") }
 
+// MutexFor returns the canonical pure-mutual-exclusion scheme on
+// backend k ("lock" on the simulator, "native-mutex" natively) — the
+// degradation target shared by the tle-robust circuit breaker and the
+// service brownout controller, both of which trade elision for the
+// guaranteed progress of a plain lock when the substrate misbehaves.
+func MutexFor(k backend.Kind) (*Descriptor, error) {
+	switch k {
+	case backend.Sim:
+		return LookupFor(k, "lock")
+	case backend.Native:
+		return LookupFor(k, "native-mutex")
+	default:
+		return nil, fmt.Errorf("scheme: no mutual-exclusion baseline for backend %v", k)
+	}
+}
+
 // Help renders one "name: summary" line per scheme (for docs and
 // extended help output).
 func Help() string {

@@ -97,6 +97,29 @@ type Config struct {
 	KeyRange  uint64 // keys drawn uniformly from [0, KeyRange) (default 4096)
 	UpdatePct int    // 0..100; updates split evenly between puts and deletes (default 50)
 
+	// Deadline, when positive, attaches a completion budget to every
+	// scheduled request, drawn uniformly in [Deadline/2, 3·Deadline/2)
+	// by the schedule generator. Servers shed queued requests whose
+	// remaining budget can no longer cover the observed per-request
+	// service time (CoDel-style queue-wait shedding), counted as
+	// DeadlineShed separately from capacity sheds; completions past
+	// their budget count as DeadlineMiss. Zero disables deadlines and
+	// leaves the schedule bytes untouched (see overload.go).
+	Deadline vtime.Duration
+
+	// Brownout, when non-nil, arms the per-shard brownout controller:
+	// batch-size degradation and finally a scheme downgrade to the
+	// mutual-exclusion baseline when the rolling e2e p99 breaches the
+	// SLO, with recovery probing (see BrownoutConfig).
+	Brownout *BrownoutConfig
+
+	// RetryBudget, when positive, bounds transactional retries per
+	// shard per decision window: aborted attempts spend tokens shared
+	// by the shard's servers, and a dry bucket degrades the shard to
+	// the mutual-exclusion baseline until the window rolls (see
+	// tle.RetryBudget).
+	RetryBudget int
+
 	LogBuckets int // per-shard hash buckets = 1<<LogBuckets (default 8)
 
 	// Fault, if non-nil and enabled, installs a deterministic fault
@@ -189,13 +212,21 @@ type ShardStats struct {
 	Completed uint64 // executed to completion
 	Batches   uint64 // critical sections executed
 	MaxQueue  int    // admission-queue high-water mark
+
+	DeadlineShed    uint64 // admitted, then dropped in-queue on deadline budget
+	DeadlineMiss    uint64 // completed past their deadline budget
+	DegradedBatches uint64 // batches run under the mutual-exclusion downgrade
+	Brownouts       uint64 // brownout level transitions
+	RetryExhausted  uint64 // retry-budget windows that ran dry
+	BrownoutPeak    int    // highest brownout level reached
 }
 
 // Result reports one service trial. Counters cover the whole run
 // (arrival window plus drain); the conservation invariants
-// Arrivals == Admitted + Shed and Admitted == Completed hold for
-// every scheme under every fault schedule — shedding is the only
-// sanctioned loss.
+// Arrivals == Admitted + Shed and Admitted == Completed + DeadlineShed
+// hold for every scheme under every fault schedule — admission
+// shedding and in-queue deadline shedding are the only sanctioned
+// losses (DeadlineShed is zero unless Config.Deadline is set).
 type Result struct {
 	Config   Config
 	Requests int // schedule length (== Arrivals)
@@ -205,6 +236,13 @@ type Result struct {
 	Shed      uint64
 	Completed uint64
 	Batches   uint64
+
+	DeadlineShed    uint64
+	DeadlineMiss    uint64
+	DegradedBatches uint64
+	Brownouts       uint64
+	RetryExhausted  uint64
+	BrownoutPeak    int
 
 	PerShard []ShardStats
 
@@ -264,6 +302,25 @@ func (r *Result) ShedFraction() float64 {
 	return float64(r.Shed) / float64(r.Arrivals)
 }
 
+// DeadlineShedFraction returns the deadline-shed share of all
+// arrivals (commensurable with ShedFraction: the two together are the
+// total loss rate).
+func (r *Result) DeadlineShedFraction() float64 {
+	if r.Arrivals == 0 {
+		return 0
+	}
+	return float64(r.DeadlineShed) / float64(r.Arrivals)
+}
+
+// DeadlineMissFraction returns the share of completed requests that
+// finished past their deadline budget.
+func (r *Result) DeadlineMissFraction() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.DeadlineMiss) / float64(r.Completed)
+}
+
 // pending is one admitted request waiting in a shard queue.
 type pending struct {
 	req Request
@@ -277,6 +334,14 @@ type shardState struct {
 	cs    scheme.Instance
 	queue []pending
 	stats ShardStats
+
+	// Overload control (all nil/zero unless armed; see overload.go).
+	deg        scheme.Instance  // mutual-exclusion downgrade instance
+	bo         *brownout        // brownout controller
+	budget     *tle.RetryBudget // shared retry budget
+	e2e        telemetry.Histogram
+	svcEst     vtime.Duration // EWMA of per-request service time
+	lastAborts uint64         // scheme abort counter at last budget spend
 }
 
 // serverPoll is the idle-queue polling step of a shard server. It
@@ -297,6 +362,29 @@ func Run(cfg Config) *Result {
 		cfg.Batch = 1
 		res.Config.Batch = 1
 		res.BatchClamped = true
+	}
+
+	// Overload control (see overload.go): the brownout controller and
+	// the retry budget both degrade to the backend's mutual-exclusion
+	// baseline, constructed per shard only when armed so default
+	// trials stay byte-identical with their pre-overload-control
+	// selves.
+	overload := cfg.Brownout != nil || cfg.RetryBudget > 0
+	var degDesc *scheme.Descriptor
+	if overload {
+		degDesc, err = scheme.MutexFor(backend.Sim)
+		if err != nil {
+			panic(fmt.Sprintf("service: %v", err))
+		}
+	}
+	boCfg := BrownoutConfig{}
+	if cfg.Brownout != nil {
+		boCfg = *cfg.Brownout
+	}
+	boCfg = boCfg.withDefaults()
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = telemetry.Nop()
 	}
 
 	sched := cfg.Schedule()
@@ -334,6 +422,15 @@ func Run(cfg Config) *Result {
 				m:  simmap.New(sys, c, cfg.LogBuckets, socket),
 				cs: desc.New(sys, c, socket),
 			}
+			if overload {
+				shards[i].deg = degDesc.New(sys, c, socket)
+			}
+			if cfg.Brownout != nil {
+				shards[i].bo = newBrownout(boCfg, i, socket, cfg.Batch, rec)
+			}
+			if cfg.RetryBudget > 0 {
+				shards[i].budget = tle.NewRetryBudget(cfg.RetryBudget, boCfg.Window)
+			}
 		}
 
 		// Shared trial state (host-side; safe because execution is
@@ -356,15 +453,45 @@ func Run(cfg Config) *Result {
 
 		serve := func(w *sim.Ctx, s *shardState) {
 			for {
+				if cfg.Deadline > 0 {
+					// CoDel-style queue-wait shedding: drop queued
+					// requests whose remaining budget can no longer
+					// cover the observed per-request service time —
+					// they are already dead, and executing them would
+					// only delay requests that can still make it.
+					now := w.Now()
+					for len(s.queue) > 0 {
+						p := s.queue[0]
+						if now.Add(s.svcEst) <= p.at.Add(p.req.Deadline) {
+							break
+						}
+						s.queue = s.queue[1:]
+						s.stats.DeadlineShed++
+					}
+				}
 				if len(s.queue) == 0 {
 					if closed {
 						return
 					}
 					w.AdvanceIdle(serverPoll)
 					w.Checkpoint()
+					if s.bo != nil {
+						// Idle ticks let a drained shard probe recovery.
+						s.bo.tick(w.Now(), &s.e2e, &s.stats)
+					}
 					continue
 				}
 				n := cfg.Batch
+				cs := s.cs
+				if s.bo != nil {
+					n = s.bo.batch(cfg.Batch)
+					if s.bo.degraded() {
+						cs = s.deg
+					}
+				}
+				if s.budget != nil && !s.budget.Allow(w.Now()) {
+					cs = s.deg
+				}
 				if n > len(s.queue) {
 					n = len(s.queue)
 				}
@@ -380,7 +507,7 @@ func Run(cfg Config) *Result {
 				// handler compute each request runs under the shard's
 				// synchronization; aborted attempts re-pay it, exactly
 				// as an elided section re-executes its body.
-				s.cs.Critical(w, func() {
+				cs.Critical(w, func() {
 					for _, p := range batch {
 						w.Work(cfg.WorkPerReq)
 						apply(w, s, p.req)
@@ -389,10 +516,38 @@ func Run(cfg Config) *Result {
 				end := w.Now()
 				svcLat.Observe(end.Sub(start))
 				for _, p := range batch {
-					e2e.Observe(end.Sub(p.at))
+					d := end.Sub(p.at)
+					e2e.Observe(d)
+					if s.bo != nil {
+						s.e2e.Observe(d)
+					}
+					if p.req.Deadline > 0 && d > p.req.Deadline {
+						s.stats.DeadlineMiss++
+					}
 				}
 				s.stats.Completed += uint64(n)
 				s.stats.Batches++
+				if cs != s.cs {
+					s.stats.DegradedBatches++
+				}
+				if cfg.Deadline > 0 {
+					per := end.Sub(start) / vtime.Duration(n)
+					if s.svcEst == 0 {
+						s.svcEst = per
+					} else {
+						s.svcEst = (3*s.svcEst + per) / 4
+					}
+				}
+				if s.budget != nil {
+					st := s.cs.Stats().TLE
+					if a := st.TotalAborts(); a > s.lastAborts {
+						s.budget.Spend(end, a-s.lastAborts)
+						s.lastAborts = a
+					}
+				}
+				if s.bo != nil {
+					s.bo.tick(end, &s.e2e, &s.stats)
+				}
 				if end > lastDone {
 					lastDone = end
 				}
@@ -437,6 +592,7 @@ func Run(cfg Config) *Result {
 		c.WaitOthers(vtime.Microsecond)
 
 		for i, s := range shards {
+			s.stats.RetryExhausted = s.budget.Exhausted()
 			res.PerShard[i] = s.stats
 			res.SyncPerShard[i] = s.cs.Stats()
 		}
@@ -450,6 +606,14 @@ func Run(cfg Config) *Result {
 		res.Shed += st.Shed
 		res.Completed += st.Completed
 		res.Batches += st.Batches
+		res.DeadlineShed += st.DeadlineShed
+		res.DeadlineMiss += st.DeadlineMiss
+		res.DegradedBatches += st.DegradedBatches
+		res.Brownouts += st.Brownouts
+		res.RetryExhausted += st.RetryExhausted
+		if st.BrownoutPeak > res.BrownoutPeak {
+			res.BrownoutPeak = st.BrownoutPeak
+		}
 	}
 	for _, s := range res.SyncPerShard {
 		res.Sync.TLE = telemetry.Add(res.Sync.TLE, s.TLE)

@@ -79,6 +79,9 @@ func resultFingerprint(r *Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "reqs=%d arr=%d adm=%d shed=%d done=%d batches=%d clamped=%v\n",
 		r.Requests, r.Arrivals, r.Admitted, r.Shed, r.Completed, r.Batches, r.BatchClamped)
+	fmt.Fprintf(&b, "dshed=%d miss=%d deg=%d bo=%d peak=%d retry=%d\n",
+		r.DeadlineShed, r.DeadlineMiss, r.DegradedBatches, r.Brownouts,
+		r.BrownoutPeak, r.RetryExhausted)
 	fmt.Fprintf(&b, "e2e=%v/%v/%v queue=%v service=%v\n",
 		r.E2E.Quantile(0.5), r.E2E.Quantile(0.99), r.E2E.Quantile(0.999),
 		r.Queue.Quantile(0.99), r.Service.Quantile(0.99))

@@ -203,6 +203,14 @@ func (c *Collector) Breaker(at vtime.Time, slot, socket int, lock LockID, open b
 	c.trace(Event{Kind: k, At: at, Slot: int16(slot), Socket: int8(socket), Lock: lock})
 }
 
+// Brownout implements Recorder. Read/Write carry the from/to levels so
+// the trace records the direction of the transition.
+func (c *Collector) Brownout(at vtime.Time, slot, socket int, from, to int) {
+	c.kinds[KindBrownout].Add(slot, 1)
+	c.trace(Event{Kind: KindBrownout, At: at, Slot: int16(slot), Socket: int8(socket),
+		Read: int32(from), Write: int32(to)})
+}
+
 // CacheInval implements Recorder.
 func (c *Collector) CacheInval(at vtime.Time, socket int, remote bool) {
 	c.kinds[KindCacheInval].Add(socket, 1)

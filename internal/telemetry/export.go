@@ -47,6 +47,7 @@ type Summary struct {
 
 	BreakerOpens  uint64 `json:"breaker_opens,omitempty"`
 	BreakerCloses uint64 `json:"breaker_closes,omitempty"`
+	Brownouts     uint64 `json:"brownout_transitions,omitempty"`
 
 	CommitLatency HistStats `json:"commit_latency"`
 	AbortGap      HistStats `json:"abort_gap"`
@@ -76,6 +77,7 @@ func (c *Collector) Summary() Summary {
 
 		BreakerOpens:  c.Count(KindBreakerOpen),
 		BreakerCloses: c.Count(KindBreakerClose),
+		Brownouts:     c.Count(KindBrownout),
 
 		CommitLatency: histStats(c.CommitLatency()),
 		AbortGap:      histStats(c.AbortGap()),
@@ -190,6 +192,9 @@ func (s Summary) String() string {
 	if s.BreakerOpens > 0 || s.BreakerCloses > 0 {
 		fmt.Fprintf(&b, "\n  breaker: opens=%d closes=%d", s.BreakerOpens, s.BreakerCloses)
 	}
+	if s.Brownouts > 0 {
+		fmt.Fprintf(&b, "\n  brownout transitions: %d", s.Brownouts)
+	}
 	return b.String()
 }
 
@@ -295,6 +300,11 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 			ce.TsUs = us(vtime.Duration(e.At))
 		case KindBreakerOpen, KindBreakerClose:
 			ce.Name = e.Kind.String() + ":" + c.LockName(e.Lock)
+			ce.Phase = "i"
+			ce.Scope = "p"
+			ce.TsUs = us(vtime.Duration(e.At))
+		case KindBrownout:
+			ce.Name = fmt.Sprintf("brownout:%d→%d", e.Read, e.Write)
 			ce.Phase = "i"
 			ce.Scope = "p"
 			ce.TsUs = us(vtime.Duration(e.At))

@@ -86,6 +86,7 @@ const (
 	KindCacheInval
 	KindBreakerOpen
 	KindBreakerClose
+	KindBrownout
 	NumKinds
 )
 
@@ -110,6 +111,8 @@ func (k Kind) String() string {
 		return "breaker-open"
 	case KindBreakerClose:
 		return "breaker-close"
+	case KindBrownout:
+		return "brownout"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -177,6 +180,13 @@ type Recorder interface {
 	// mutual exclusion), open=false when a recovery probe committed and
 	// restored elision.
 	Breaker(at vtime.Time, slot, socket int, lock LockID, open bool)
+
+	// Brownout records an overload-controller level transition on a
+	// service shard (slot carries the shard index): from/to are
+	// brownout levels — 0 is normal operation, higher levels shrink the
+	// batch size and the highest downgrades the scheme to pure mutual
+	// exclusion (see internal/service).
+	Brownout(at vtime.Time, slot, socket int, from, to int)
 }
 
 // NopRecorder discards all events. Its methods are empty and
@@ -215,3 +225,6 @@ func (NopRecorder) CacheInval(vtime.Time, int, bool) {}
 
 // Breaker implements Recorder.
 func (NopRecorder) Breaker(vtime.Time, int, int, LockID, bool) {}
+
+// Brownout implements Recorder.
+func (NopRecorder) Brownout(vtime.Time, int, int, int, int) {}

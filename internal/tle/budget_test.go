@@ -1,0 +1,81 @@
+package tle
+
+import (
+	"testing"
+
+	"natle/internal/vtime"
+)
+
+func TestRetryBudgetSpendAndDeny(t *testing.T) {
+	w := 10 * vtime.Microsecond
+	b := NewRetryBudget(4, w)
+	now := vtime.Time(0)
+
+	if !b.Allow(now) {
+		t.Fatal("fresh budget denied")
+	}
+	b.Spend(now, 3)
+	if !b.Allow(now) {
+		t.Fatal("denied with tokens remaining")
+	}
+	b.Spend(now, 5) // over-spend clamps at zero and counts one exhaustion
+	if b.Allow(now) {
+		t.Fatal("granted with an empty bucket")
+	}
+	if b.Exhausted() != 1 {
+		t.Fatalf("exhausted = %d, want 1", b.Exhausted())
+	}
+	if b.Denied() != 1 {
+		t.Fatalf("denied = %d, want 1", b.Denied())
+	}
+	// Spending from an already-empty bucket must not double-count the
+	// exhaustion.
+	b.Spend(now, 1)
+	if b.Exhausted() != 1 {
+		t.Fatalf("empty-bucket spend re-counted exhaustion: %d", b.Exhausted())
+	}
+}
+
+func TestRetryBudgetRefills(t *testing.T) {
+	w := 10 * vtime.Microsecond
+	b := NewRetryBudget(2, w)
+	now := vtime.Time(0)
+	b.Spend(now, 2)
+	if b.Allow(now) {
+		t.Fatal("granted after exhausting the window")
+	}
+	// The next window restores the full budget; several elapsed windows
+	// roll forward without accumulating tokens.
+	now = now.Add(vtime.Duration(3 * w))
+	if !b.Allow(now) {
+		t.Fatal("denied after refill")
+	}
+	b.Spend(now, 1)
+	if !b.Allow(now) {
+		t.Fatal("refill restored fewer tokens than the budget")
+	}
+}
+
+func TestRetryBudgetDisabled(t *testing.T) {
+	now := vtime.Time(0)
+	var nilB *RetryBudget
+	if !nilB.Allow(now) {
+		t.Fatal("nil budget denied")
+	}
+	nilB.Spend(now, 10)
+	if nilB.Exhausted() != 0 || nilB.Denied() != 0 {
+		t.Fatal("nil budget counted activity")
+	}
+	for _, b := range []*RetryBudget{
+		NewRetryBudget(0, 10*vtime.Microsecond),
+		NewRetryBudget(4, 0),
+	} {
+		b.Spend(now, 100)
+		if !b.Allow(now) {
+			t.Fatal("disabled budget denied")
+		}
+		if b.Exhausted() != 0 {
+			t.Fatal("disabled budget counted exhaustion")
+		}
+	}
+}

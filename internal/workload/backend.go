@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"natle/internal/backend"
+	"natle/internal/fault"
 	"natle/internal/scheme"
 	"natle/internal/tle"
 )
@@ -88,6 +89,9 @@ type BackendResult struct {
 	// contents; for a fixed config it is backend- and
 	// interleaving-independent.
 	Check uint64
+	// Fault holds the injected-fault counters of the trial's world
+	// (zero when no injector was armed).
+	Fault fault.Stats
 }
 
 // Throughput returns operations per (virtual or wall) second.

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"natle/internal/backend"
+	"natle/internal/fault"
 	"natle/internal/htm"
 	"natle/internal/machine"
 	"natle/internal/mem"
@@ -35,6 +36,20 @@ func NewSimWorld(prof *machine.Profile, pin machine.PinPolicy, threads int, seed
 	}
 	e := sim.New(prof, pin, threads, seed)
 	return &SimWorld{Eng: e, Sys: htm.NewSystem(e, memWords)}
+}
+
+// InjectFaults installs a deterministic fault injector (seeded from
+// seed) on the world's HTM system and returns it for stats queries —
+// the sim half of the cross-backend chaos matrix (the native half is
+// native.Config.Fault). Call before Run; a disabled profile installs
+// nothing and returns nil.
+func (w *SimWorld) InjectFaults(p fault.Profile, seed int64) *fault.Fault {
+	if !p.Enabled() {
+		return nil
+	}
+	inj := fault.New(p, seed)
+	w.Sys.SetInjector(inj)
+	return inj
 }
 
 // Kind implements backend.World.
