@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race race-executor native-check check bench figures figures-quick chaos chaos-native bench-snapshot bench-check service-check clean
+.PHONY: all build test vet lint natlevet-check race race-executor native-check check bench figures figures-quick chaos chaos-native bench-snapshot bench-check service-check clean
 
 all: build
 
@@ -14,14 +14,28 @@ vet:
 	$(GO) vet ./...
 
 # lint fails on unformatted files (gofmt -l output is non-empty), on
-# vet findings, and on natlevet findings — the repo's own analyzers
-# guarding determinism, transaction safety, zero-cost hooks, and enum
-# exhaustiveness (see README "Static analysis").
+# vet findings, and on natlevet findings — the repo's own eight
+# analyzers guarding determinism, transaction safety, zero-cost hooks,
+# enum exhaustiveness, atomic access discipline, cache-line layout,
+# lock ordering, and hot-path allocation freedom (see README "Static
+# analysis"). The ./... pattern covers internal/..., cmd/..., and the
+# examples; a package the go tool cannot load fails the run loudly
+# instead of silently vanishing from it.
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/natlevet ./...
+
+# natlevet-check exercises the analyzer suite itself: the analysistest
+# fixture suites for all eight analyzers, the offline loader's
+# export-data regression tests (including the generics canary), and a
+# full multichecker run over the tree writing the findings artifact CI
+# uploads — an empty JSON array on a clean tree, so the artifact diffs
+# cleanly between runs.
+natlevet-check:
+	$(GO) test -count=1 ./internal/analysis/...
+	$(GO) run ./cmd/natlevet -json ./... > natlevet.json
 
 race:
 	$(GO) test -race -timeout 30m ./...

@@ -6,16 +6,20 @@
 //
 // Usage:
 //
-//	natlevet [-list] [-<analyzer>=false ...] [packages]
+//	natlevet [-list] [-json] [-<analyzer>=false ...] [packages]
 //
 // Each analyzer guards an invariant the compiler cannot see; run
 // `natlevet -list` for the roster, and see README "Static analysis"
 // for which paper phenomenon breaks when each invariant is violated.
 // Findings are suppressed per line with
-// //natlevet:allow <analyzer>(reason).
+// //natlevet:allow <analyzer>(reason). With -json the findings are
+// written to stdout as a JSON array of {file,line,col,analyzer,
+// message} records (CI uploads them as a diffable artifact); the exit
+// status is unchanged.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,23 +28,32 @@ import (
 	"strings"
 
 	"natle/internal/analysis"
+	"natle/internal/analysis/atomicsafe"
 	"natle/internal/analysis/determinism"
 	"natle/internal/analysis/exhaustive"
+	"natle/internal/analysis/falseshare"
 	"natle/internal/analysis/hookcost"
+	"natle/internal/analysis/hotalloc"
 	"natle/internal/analysis/load"
+	"natle/internal/analysis/lockorder"
 	"natle/internal/analysis/txnsafe"
 )
 
 // analyzers is the natlevet roster, alphabetical.
 var analyzers = []*analysis.Analyzer{
+	atomicsafe.Analyzer,
 	determinism.Analyzer,
 	exhaustive.Analyzer,
+	falseshare.Analyzer,
 	hookcost.Analyzer,
+	hotalloc.Analyzer,
+	lockorder.Analyzer,
 	txnsafe.Analyzer,
 }
 
 func main() {
 	listOnly := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "write findings to stdout as a JSON array")
 	enabled := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
 		enabled[a.Name] = flag.Bool(a.Name, true,
@@ -102,8 +115,24 @@ func main() {
 		}
 		return a.col < b.col
 	})
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", d.file, d.line, d.col, d.message, d.analyzer)
+	if *jsonOut {
+		records := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			records = append(records, jsonDiag{
+				File: d.file, Line: d.line, Col: d.col,
+				Analyzer: d.analyzer, Message: d.message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintf(os.Stderr, "natlevet: writing json: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", d.file, d.line, d.col, d.message, d.analyzer)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "natlevet: %d finding(s)\n", len(diags))
@@ -116,6 +145,16 @@ type diag struct {
 	line, col int
 	analyzer  string
 	message   string
+}
+
+// jsonDiag is the -json record shape: one finding, sorted by position,
+// stable across runs so CI artifacts diff cleanly between PRs.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func firstLine(s string) string {

@@ -123,8 +123,34 @@ const MirrorDirective = "//natlevet:mirror"
 //	//natlevet:backend native
 //
 // once at package level, and those two analyzers skip it wholesale.
-// The remaining analyzers (hookcost, exhaustive) apply everywhere.
+// The remaining analyzers (hookcost, exhaustive, atomicsafe,
+// falseshare, hotalloc) apply everywhere; lockorder applies only to
+// declared-native packages.
 const BackendDirective = "//natlevet:backend"
+
+// PercpuDirective marks a struct type whose instances are hammered
+// concurrently by distinct threads or thread groups (per-CPU counter
+// blocks, per-group decision words). The falseshare analyzer checks
+// the annotated struct's field layout against 64-byte cache lines. The
+// directive takes no arguments and sits in the type's doc comment.
+const PercpuDirective = "//natlevet:percpu"
+
+// HotpathDirective marks a function (declaration or literal) on a
+// measured fast path — the native seqlock attempt path, telemetry
+// record hooks, the service dequeue loop. The hotalloc analyzer
+// forbids heap-allocating constructs inside it. The directive takes no
+// arguments and sits in the function's doc comment (or on the line
+// directly above a func literal).
+const HotpathDirective = "//natlevet:hotpath"
+
+// SeqlockDirective marks a function whose dynamic extent is an
+// optimistic seqlock read section (internal/native's TLE.try): blocking
+// lock acquisition inside it can wedge forever, because the section
+// unwinds via panic with the lock still held and is re-executed an
+// arbitrary number of times. The lockorder analyzer forbids
+// acquisitions within it; the directive is only meaningful in
+// //natlevet:backend native packages.
+const SeqlockDirective = "//natlevet:seqlock"
 
 // PackageBackend returns the backend declared by a BackendDirective in
 // any of the package's files ("" when none is declared, i.e. the
@@ -275,8 +301,20 @@ func LintDirectives(fset *token.FileSet, files []*ast.File, known map[string]boo
 					if body != "native" {
 						bad(c.Pos(), "natlevet:backend declares unknown backend %q (only %q exempts a package; the simulated default needs no directive)", body, "native")
 					}
+				case strings.HasPrefix(c.Text, PercpuDirective):
+					if rest := strings.TrimSpace(strings.TrimPrefix(c.Text, PercpuDirective)); rest != "" {
+						bad(c.Pos(), "natlevet:percpu takes no arguments (got %q); it marks the annotated struct as concurrently written", rest)
+					}
+				case strings.HasPrefix(c.Text, HotpathDirective):
+					if rest := strings.TrimSpace(strings.TrimPrefix(c.Text, HotpathDirective)); rest != "" {
+						bad(c.Pos(), "natlevet:hotpath takes no arguments (got %q); it marks the annotated function as allocation-free", rest)
+					}
+				case strings.HasPrefix(c.Text, SeqlockDirective):
+					if rest := strings.TrimSpace(strings.TrimPrefix(c.Text, SeqlockDirective)); rest != "" {
+						bad(c.Pos(), "natlevet:seqlock takes no arguments (got %q); it marks the annotated function as an optimistic read section", rest)
+					}
 				case strings.HasPrefix(c.Text, "//natlevet:"):
-					bad(c.Pos(), "unknown natlevet directive %q (known: allow, mirror, backend)", c.Text)
+					bad(c.Pos(), "unknown natlevet directive %q (known: allow, mirror, backend, percpu, hotpath, seqlock)", c.Text)
 				}
 			}
 		}
@@ -287,3 +325,156 @@ func LintDirectives(fset *token.FileSet, files []*ast.File, known map[string]boo
 // diagnostics (a thin indirection over types.ExprString so analyzers
 // share one normalization).
 func ExprString(e ast.Expr) string { return types.ExprString(e) }
+
+// MarkedFuncs collects the functions marked by a function directive
+// (HotpathDirective, SeqlockDirective): a directive in a FuncDecl's
+// doc comment marks the declaration; a directive on the line of — or
+// the line directly above — a func literal's opening `func` marks the
+// literal. Directive comments that attach to neither are returned as
+// strays for the analyzer to flag.
+func MarkedFuncs(fset *token.FileSet, files []*ast.File, directive string) (marked map[ast.Node]bool, strays []token.Pos) {
+	marked = make(map[ast.Node]bool)
+	used := make(map[*ast.Comment]bool)
+	type key struct {
+		file string
+		line int
+	}
+	byLine := make(map[key][]*ast.Comment)
+	var all []*ast.Comment
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directive) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine[key{pos.Filename, pos.Line}] = append(byLine[key{pos.Filename, pos.Line}], c)
+				all = append(all, c)
+			}
+		}
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, directive) {
+					marked[fd] = true
+					used[c] = true
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			pos := fset.Position(lit.Pos())
+			for _, line := range []int{pos.Line, pos.Line - 1} {
+				for _, c := range byLine[key{pos.Filename, line}] {
+					if !used[c] {
+						marked[lit] = true
+						used[c] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, c := range all {
+		if !used[c] {
+			strays = append(strays, c.Pos())
+		}
+	}
+	return marked, strays
+}
+
+// AtomicFields returns the variables — struct fields, package-level
+// vars, and locals — whose address is passed to a sync/atomic function
+// somewhere in the files: the words the package treats as atomic.
+// atomicsafe uses it to catch plain accesses racing with those
+// atomics; falseshare uses it to classify plain-typed fields
+// (uint64 counters updated via atomic.AddUint64) as concurrently
+// written.
+func AtomicFields(info *types.Info, files []*ast.File) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if v := AddrTarget(info, u.X); v != nil {
+					out[v] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// AddrTarget resolves the variable an addressable expression is rooted
+// in: the field of a selector chain (peeling index expressions), the
+// package-level var of a qualified identifier, or a plain local. It
+// returns nil for unrooted expressions (function results, literals).
+func AddrTarget(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if s, ok := info.Selections[x]; ok && s.Kind() == types.FieldVal {
+				v, _ := s.Obj().(*types.Var)
+				return v
+			}
+			v, _ := info.Uses[x.Sel].(*types.Var)
+			return v
+		case *ast.Ident:
+			v, _ := info.ObjectOf(x).(*types.Var)
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+// ContainsAtomic reports whether t is, or holds by value, a named type
+// from sync/atomic. Pointers, slices, maps, and channels share their
+// referent rather than embedding the word, so only named types,
+// structs, and arrays propagate.
+func ContainsAtomic(t types.Type) bool {
+	switch u := types.Unalias(t).(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			return true
+		}
+		return ContainsAtomic(u.Underlying())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if ContainsAtomic(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return ContainsAtomic(u.Elem())
+	}
+	return false
+}

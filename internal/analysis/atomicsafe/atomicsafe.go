@@ -1,0 +1,373 @@
+// Package atomicsafe defines the natlevet analyzer guarding the
+// atomic-access discipline of the native backend and the telemetry
+// counters. Three failure modes motivate it, none visible to the
+// compiler and only probabilistically visible to -race:
+//
+//   - mixed access: a word updated through sync/atomic in one place
+//     and read or written plainly in another races — the plain access
+//     can tear, be cached in a register across the atomic update, or
+//     be reordered past it. Every access to such a word must go
+//     through the atomic API.
+//   - copies: a value of (or containing) an atomic.* type that is
+//     copied by value forks its state — the copy starts from a
+//     snapshot and silently diverges; subsequent "atomic" updates hit
+//     the wrong word. go vet's copylocks catches some of these via
+//     noCopy; this check also covers structs that embed atomics
+//     indirectly and parameters/results declared by value.
+//   - alignment: sync/atomic's 64-bit functions fault on 32-bit
+//     targets when the word is not 8-aligned. Go only guarantees
+//     8-alignment for the first word of an allocation, so a plain
+//     uint64/int64 struct field used with atomic.AddUint64 must sit at
+//     an 8-aligned offset under 32-bit struct layout (or become an
+//     atomic.Uint64, whose align64 marker the compiler honors
+//     everywhere).
+package atomicsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"natle/internal/analysis"
+)
+
+// Analyzer flags plain accesses, copies, and misaligned layouts of
+// atomically-accessed words.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicsafe",
+	Doc: `forbid plain access to atomic words, atomic-value copies, and 64-bit misalignment
+
+A field or variable whose address is passed to a sync/atomic function
+must be accessed through sync/atomic everywhere; values containing
+atomic.* types must not be copied; plain 64-bit fields accessed
+atomically must be 8-aligned under 32-bit struct layout. Sites with a
+proven happens-before (single-threaded construction) carry
+//natlevet:allow atomicsafe(reason).`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	av := analysis.AtomicFields(pass.TypesInfo, pass.Files)
+	checkMixedAccess(pass, av)
+	checkCopies(pass)
+	checkAlignment(pass, av)
+	return nil
+}
+
+// --- mixed plain/atomic access ---
+
+// checkMixedAccess flags uses of atomically-accessed variables outside
+// the sanctioned forms: the &x argument of a sync/atomic call, len/cap
+// (which read only the constant-length header), and index-only range.
+func checkMixedAccess(pass *analysis.Pass, av map[*types.Var]bool) {
+	if len(av) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		// Pre-pass: collect expression nodes whose interior uses of an
+		// atomic variable are sanctioned, so the main walk can skip
+		// them wholesale.
+		skip := make(map[ast.Node]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					// Taking the address is not a data access; the
+					// resulting pointer feeds the atomic API (that is
+					// why the word is in the atomic set at all).
+					skip[n.X] = true
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok {
+					if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+						for _, arg := range n.Args {
+							skip[arg] = true
+						}
+					}
+				}
+			case *ast.KeyValueExpr:
+				// A struct-literal key names the field; it does not
+				// read it.
+				if id, ok := n.Key.(*ast.Ident); ok {
+					skip[id] = true
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					skip[n.X] = true // index-only range reads just the length
+				}
+			}
+			return true
+		})
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			if n != nil && skip[n] {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if v := atomicTarget(pass, av, lhs); v != nil {
+						pass.Reportf(lhs.Pos(),
+							"plain write to %s, which is accessed via sync/atomic elsewhere in this package: it races with (and can be reordered past) the atomic updates",
+							v.Name())
+						skip[lhs] = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if v := atomicTarget(pass, av, n.X); v != nil {
+					pass.Reportf(n.Pos(),
+						"plain %s of %s, which is accessed via sync/atomic elsewhere in this package: use atomic.Add instead",
+						n.Tok, v.Name())
+					skip[n.X] = true
+				}
+			case *ast.Ident, *ast.SelectorExpr:
+				if v := atomicTarget(pass, av, n.(ast.Expr)); v != nil {
+					pass.Reportf(n.Pos(),
+						"plain read of %s, which is accessed via sync/atomic elsewhere in this package: use the matching atomic.Load",
+						v.Name())
+					return false
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+}
+
+// atomicTarget reports whether e directly denotes an atomically-
+// accessed variable (not merely an expression rooted in one: indexing
+// h.counts[i] denotes an element, and the element is the atomic word,
+// so indexed roots count; a selector hopping *through* such a field
+// does not occur for basic-typed words).
+func atomicTarget(pass *analysis.Pass, av map[*types.Var]bool, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		// Uses only: the ident in a declaration (Defs) is the
+		// declaration itself, not an access.
+		if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok && av[v] {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[x]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok && av[v] {
+				return v
+			}
+		}
+		if v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok && av[v] {
+			return v
+		}
+	case *ast.IndexExpr:
+		return atomicTarget(pass, av, x.X)
+	}
+	return nil
+}
+
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// --- copies of atomic-bearing values ---
+
+// containsAtomic is analysis.ContainsAtomic, shared with falseshare.
+func containsAtomic(t types.Type) bool { return analysis.ContainsAtomic(t) }
+
+// checkCopies flags value copies of atomic-bearing types: assignments
+// and initializations from non-literal sources, call arguments, and
+// returns. Composite literals construct in place and are not copies.
+func checkCopies(pass *analysis.Pass) {
+	if pass.Pkg.Path() == "sync/atomic" {
+		return
+	}
+	copied := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		switch e.(type) {
+		case *ast.CompositeLit, *ast.CallExpr:
+			// Construction in place; a call returning an atomic-bearing
+			// value is the callee's declared-result problem.
+			return false
+		}
+		t := pass.TypesInfo.TypeOf(e)
+		return t != nil && containsAtomic(t)
+	}
+	report := func(e ast.Expr, how string) {
+		pass.Reportf(e.Pos(),
+			"%s copies %s, which contains sync/atomic state: the copy forks the atomic word (share a pointer instead)",
+			how, types.TypeString(pass.TypesInfo.TypeOf(ast.Unparen(e)), types.RelativeTo(pass.Pkg)))
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// _ = x discards the value; no copy outlives it.
+					if len(n.Lhs) == len(n.Rhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					if copied(rhs) {
+						report(rhs, "assignment")
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if copied(v) {
+						report(v, "initialization")
+					}
+				}
+			case *ast.CallExpr:
+				if isAtomicCall(pass, n) {
+					return true // methods/functions of the atomic API itself
+				}
+				for _, arg := range n.Args {
+					if copied(arg) {
+						report(arg, "call argument")
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if copied(r) {
+						report(r, "return")
+					}
+				}
+			case *ast.FuncType:
+				for _, fl := range []*ast.FieldList{n.Params, n.Results} {
+					if fl == nil {
+						continue
+					}
+					for _, field := range fl.List {
+						if t := pass.TypesInfo.TypeOf(field.Type); t != nil && containsAtomic(t) {
+							pass.Reportf(field.Pos(),
+								"parameter or result declared by value with type %s, which contains sync/atomic state: every call copies it (pass a pointer)",
+								types.TypeString(t, types.RelativeTo(pass.Pkg)))
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := pass.TypesInfo.TypeOf(n.Value); t != nil && containsAtomic(t) {
+						report(n.Value, "range value")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// --- 64-bit alignment on 32-bit targets ---
+
+// sizes32 is the 32-bit struct layout (gc/386): words and max
+// alignment are 4 bytes, so a 64-bit field can land 4-aligned.
+var sizes32 = types.SizesFor("gc", "386")
+
+// checkAlignment verifies that every plain 64-bit word accessed via
+// sync/atomic sits 8-aligned under 32-bit layout, transitively: a
+// struct containing such words must itself be placed 8-aligned when
+// embedded by value in another struct.
+func checkAlignment(pass *analysis.Pass, av map[*types.Var]bool) {
+	if len(av) == 0 || sizes32 == nil {
+		return
+	}
+	// needs64 reports whether t holds, by value, a 64-bit word that
+	// this package accesses atomically.
+	var needs64 func(t types.Type, seen map[types.Type]bool) bool
+	needs64 = func(t types.Type, seen map[types.Type]bool) bool {
+		t = types.Unalias(t)
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				f := u.Field(i)
+				if av[f] && is64(f.Type()) {
+					return true
+				}
+				if needs64(f.Type(), seen) {
+					return true
+				}
+			}
+		case *types.Array:
+			return needs64(u.Elem(), seen)
+		}
+		return false
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			u, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			fields := make([]*types.Var, u.NumFields())
+			for i := range fields {
+				fields[i] = u.Field(i)
+			}
+			offsets := sizes32.Offsetsof(fields)
+			for i, fv := range fields {
+				direct := av[fv] && is64(fv.Type())
+				nested := !direct && needs64(fv.Type(), map[types.Type]bool{})
+				if !direct && !nested {
+					continue
+				}
+				if offsets[i]%8 == 0 {
+					continue
+				}
+				what := "is accessed via sync/atomic's 64-bit functions"
+				if nested {
+					what = "contains 64-bit words accessed via sync/atomic"
+				}
+				pass.Reportf(fieldPos(st, fv.Name(), ts.Pos()),
+					"field %s %s but sits at 32-bit offset %d (not 8-aligned): atomic access faults on 386/arm; move it to the front of the struct or use atomic.Uint64/Int64",
+					fv.Name(), what, offsets[i])
+			}
+			return true
+		})
+	}
+}
+
+func is64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if ok {
+		switch b.Kind() {
+		case types.Int64, types.Uint64:
+			return true
+		}
+		return false
+	}
+	if a, ok := t.Underlying().(*types.Array); ok {
+		return is64(a.Elem())
+	}
+	return false
+}
+
+// fieldPos locates the declaration of a named field in the struct's
+// syntax (falling back to the type position).
+func fieldPos(st *ast.StructType, name string, fallback token.Pos) token.Pos {
+	for _, f := range st.Fields.List {
+		for _, id := range f.Names {
+			if id.Name == name {
+				return id.Pos()
+			}
+		}
+	}
+	return fallback
+}

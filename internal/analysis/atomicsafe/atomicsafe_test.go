@@ -1,0 +1,12 @@
+package atomicsafe_test
+
+import (
+	"testing"
+
+	"natle/internal/analysis/analysistest"
+	"natle/internal/analysis/atomicsafe"
+)
+
+func TestAtomicsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicsafe.Analyzer, "atomics")
+}

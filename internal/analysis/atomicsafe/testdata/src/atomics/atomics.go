@@ -1,0 +1,100 @@
+// Package atomics is the atomicsafe analyzer fixture: words accessed
+// via sync/atomic must never be touched plainly, atomic-bearing values
+// must not be copied, and 64-bit words must be 8-aligned under 32-bit
+// struct layout.
+package atomics
+
+import "sync/atomic"
+
+// counters keeps hits first so the 64-bit word is 8-aligned even under
+// 32-bit layout; the mixed-access checks below all concern hits.
+type counters struct {
+	hits  uint64
+	ready uint32
+}
+
+func atomicUse(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.StoreUint32(&c.ready, 1)
+}
+
+func plainRead(c *counters) uint64 {
+	return c.hits // want `plain read of hits`
+}
+
+func plainWrite(c *counters) {
+	c.hits = 0 // want `plain write to hits`
+	c.hits++   // want `plain \+\+ of hits`
+}
+
+func sanctionedAtomics(c *counters) uint64 {
+	return atomic.LoadUint64(&c.hits) // the atomic API itself is the point
+}
+
+func allowedPlain(c *counters) uint64 {
+	return c.hits //natlevet:allow atomicsafe(fixture: single-threaded teardown with a proven happens-before)
+}
+
+// words is atomically indexed, so the whole array joins the atomic set;
+// len and index-only range read just the constant-length header.
+type ring struct {
+	words [8]uint64
+}
+
+func ringOps(r *ring) uint64 {
+	var sum uint64
+	for i := range r.words {
+		sum += atomic.LoadUint64(&r.words[i])
+	}
+	_ = len(r.words)
+	return sum + r.words[0] // want `plain read of words`
+}
+
+// --- copies of atomic-bearing values ---
+
+type gauge struct {
+	val atomic.Int64
+}
+
+func copyAssign(g *gauge) {
+	snapshot := *g // want `copies`
+	_ = snapshot
+}
+
+func sink(g gauge) {} // want `parameter or result declared by value`
+
+func passByValue(g *gauge) {
+	sink(*g) // want `call argument copies`
+}
+
+func construct() *gauge {
+	g := gauge{} // composite literals construct in place: not a copy
+	return &g
+}
+
+func rangeCopy(arr *[4]gauge) {
+	for _, g := range arr { // want `range value copies`
+		_ = g
+	}
+}
+
+// --- 64-bit alignment under 32-bit layout ---
+
+type misaligned struct {
+	flag bool
+	n    uint64 // want `not 8-aligned`
+}
+
+func bump(m *misaligned) { atomic.AddUint64(&m.n, 1) }
+
+type holder struct {
+	pad uint32
+	c   counters // want `contains 64-bit words`
+}
+
+type aligned64 struct {
+	flag bool
+	n    atomic.Uint64 // align64: the compiler 8-aligns this everywhere
+}
+
+func bump64(a *aligned64) { a.n.Add(1) }

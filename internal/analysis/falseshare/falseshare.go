@@ -1,0 +1,282 @@
+// Package falseshare defines the natlevet analyzer guarding the cache
+// line layout of per-thread and per-group hot structures. The paper's
+// central finding is that cross-socket cache-line traffic dominates
+// HTM performance on multi-socket machines, so a refactor that lands
+// two independently-written counters on one 64-byte line silently
+// changes what the native backend measures: every writer invalidates
+// the other's line and the "per-group" counters start costing a
+// coherence round-trip per update. The compiler reorders nothing and
+// warns about nothing; only the declared layout decides.
+//
+// Structs whose instances are written concurrently by distinct threads
+// carry //natlevet:percpu on their type declaration. For each such
+// struct the analyzer computes field offsets under the gc/amd64 layout
+// (the layout the native backend benchmarks on) and requires:
+//
+//   - no two hot fields share a 64-byte line (hot = holds sync/atomic
+//     state, or is a plain word this package accesses atomically);
+//   - no hot field shares a line with a non-pad cold field (a reader
+//     of the cold field would take the writers' invalidations);
+//   - nested padded units (size a multiple of 64) start 64-aligned,
+//     so arrays of them stay line-disjoint;
+//   - the struct's total size is a multiple of 64, so adjacent
+//     instances in an array do not share the trailing line.
+//
+// Blank "_" fields are padding and may share lines with anything.
+package falseshare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"natle/internal/analysis"
+)
+
+// Analyzer checks //natlevet:percpu struct layouts for false sharing.
+var Analyzer = &analysis.Analyzer{
+	Name: "falseshare",
+	Doc: `require //natlevet:percpu structs to keep concurrently-written fields on distinct cache lines
+
+Field offsets are computed under gc/amd64 layout with a 64-byte line.
+Hot fields (atomic state) must not share a line with each other or
+with cold fields; padded sub-units must be 64-aligned; total size must
+be a multiple of 64. Deliberate sharing carries
+//natlevet:allow falseshare(reason).`,
+	Run: run,
+}
+
+// lineSize is the coherence granule the paper's machines share: 64
+// bytes on every x86 these experiments model.
+const lineSize = 64
+
+// sizesAMD64 is the layout the native backend runs and benchmarks on.
+var sizesAMD64 = types.SizesFor("gc", "amd64")
+
+func run(pass *analysis.Pass) error {
+	av := analysis.AtomicFields(pass.TypesInfo, pass.Files)
+	consumed := make(map[*ast.Comment]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gd, ok := n.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				groups := []*ast.CommentGroup{ts.Doc, ts.Comment}
+				if len(gd.Specs) == 1 {
+					groups = append(groups, gd.Doc)
+				}
+				if !takeDirective(groups, consumed) {
+					continue
+				}
+				checkStruct(pass, av, ts)
+			}
+			return false
+		})
+	}
+	// A percpu directive attached to anything but a type declaration
+	// marks nothing and would silently check nothing. Report misfiled
+	// ones at the declaration they attach to (so the finding lands on
+	// code, not on the comment), floating ones at the comment itself.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				if d.Tok == token.TYPE {
+					continue
+				}
+				doc = d.Doc
+			}
+			if doc == nil {
+				continue
+			}
+			for _, c := range doc.List {
+				if strings.TrimSpace(c.Text) == analysis.PercpuDirective && !consumed[c] {
+					consumed[c] = true
+					pass.Reportf(decl.Pos(), "%s here marks nothing: it must mark a struct type declaration", analysis.PercpuDirective)
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == analysis.PercpuDirective && !consumed[c] {
+					pass.Reportf(c.Pos(), "%s must be in the doc comment of a struct type declaration", analysis.PercpuDirective)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func takeDirective(groups []*ast.CommentGroup, consumed map[*ast.Comment]bool) bool {
+	found := false
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if strings.TrimSpace(c.Text) == analysis.PercpuDirective {
+				consumed[c] = true
+				found = true
+			}
+		}
+	}
+	return found
+}
+
+type fieldInfo struct {
+	v      *types.Var
+	pos    token.Pos
+	offset int64
+	size   int64
+	hot    bool
+	pad    bool // blank "_" spacer
+}
+
+func checkStruct(pass *analysis.Pass, av map[*types.Var]bool, ts *ast.TypeSpec) {
+	if sizesAMD64 == nil {
+		return
+	}
+	tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(ts.Name.Pos(), "%s on %s, which is not a struct type", analysis.PercpuDirective, ts.Name.Name)
+		return
+	}
+	syntax, _ := ts.Type.(*ast.StructType)
+
+	vars := make([]*types.Var, st.NumFields())
+	for i := range vars {
+		vars[i] = st.Field(i)
+	}
+	offsets := sizesAMD64.Offsetsof(vars)
+
+	fields := make([]fieldInfo, 0, len(vars))
+	for i, v := range vars {
+		hot := analysis.ContainsAtomic(v.Type()) || holdsAtomicWord(v, av)
+		fields = append(fields, fieldInfo{
+			v:      v,
+			pos:    declPos(syntax, v.Name(), ts.Pos()),
+			offset: offsets[i],
+			size:   sizesAMD64.Sizeof(v.Type()),
+			hot:    hot,
+			pad:    v.Name() == "_" && !hot,
+		})
+	}
+
+	// Misaligned padded units: a field sized to whole lines is meant to
+	// own them outright; starting mid-line defeats its own padding (and
+	// that of every later element if it is an array). Such fields are
+	// excluded from the overlap checks below — realigning them is the
+	// fix, and reporting their overlaps too would be noise.
+	misplaced := make([]bool, len(fields))
+	for i, f := range fields {
+		if f.size > 0 && f.size%lineSize == 0 && f.offset%lineSize != 0 {
+			misplaced[i] = true
+			if f.hot || !f.pad {
+				pass.Reportf(f.pos,
+					"field %s of percpu struct %s is a %d-byte padded unit but starts at offset %d, not 64-byte aligned: its elements straddle cache lines",
+					f.v.Name(), ts.Name.Name, f.size, f.offset)
+			}
+		}
+	}
+
+	lineRange := func(f fieldInfo) (int64, int64) {
+		if f.size == 0 {
+			return f.offset / lineSize, f.offset/lineSize - 1 // empty
+		}
+		return f.offset / lineSize, (f.offset + f.size - 1) / lineSize
+	}
+	overlaps := func(a, b fieldInfo) (int64, bool) {
+		alo, ahi := lineRange(a)
+		blo, bhi := lineRange(b)
+		lo, hi := max(alo, blo), min(ahi, bhi)
+		if lo > hi {
+			return 0, false
+		}
+		return lo, true
+	}
+
+	for i, f := range fields {
+		if !f.hot || misplaced[i] {
+			continue
+		}
+		for j, g := range fields {
+			if j == i || misplaced[j] || g.pad {
+				continue
+			}
+			line, shared := overlaps(f, g)
+			if !shared {
+				continue
+			}
+			if g.hot {
+				// Report each hot pair once, at the later field.
+				if j < i {
+					continue
+				}
+				pass.Reportf(g.pos,
+					"hot fields %s and %s of percpu struct %s share cache line %d: concurrent writers will false-share; separate them with pad fields",
+					f.v.Name(), g.v.Name(), ts.Name.Name, line)
+			} else {
+				pass.Reportf(f.pos,
+					"hot field %s of percpu struct %s shares cache line %d with field %s: writes invalidate the line under its readers; pad or segregate",
+					f.v.Name(), ts.Name.Name, line, g.v.Name())
+			}
+		}
+	}
+
+	if total := sizesAMD64.Sizeof(tn.Type()); total%lineSize != 0 {
+		pass.Reportf(ts.Name.Pos(),
+			"percpu struct %s is %d bytes, not a multiple of 64: adjacent instances share its trailing cache line; add tail padding",
+			ts.Name.Name, total)
+	}
+}
+
+// holdsAtomicWord reports whether field v is (or contains, for arrays)
+// a plain word this package accesses through sync/atomic.
+func holdsAtomicWord(v *types.Var, av map[*types.Var]bool) bool {
+	if av[v] {
+		return true
+	}
+	u, ok := v.Type().Underlying().(*types.Struct)
+	if !ok {
+		if a, ok := v.Type().Underlying().(*types.Array); ok {
+			if s, ok := a.Elem().Underlying().(*types.Struct); ok {
+				u = s
+			} else {
+				return false
+			}
+		} else {
+			return false
+		}
+	}
+	for i := 0; i < u.NumFields(); i++ {
+		if holdsAtomicWord(u.Field(i), av) {
+			return true
+		}
+	}
+	return false
+}
+
+func declPos(st *ast.StructType, name string, fallback token.Pos) token.Pos {
+	if st == nil {
+		return fallback
+	}
+	for _, f := range st.Fields.List {
+		for _, id := range f.Names {
+			if id.Name == name {
+				return id.Pos()
+			}
+		}
+	}
+	return fallback
+}

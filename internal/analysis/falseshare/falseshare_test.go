@@ -1,0 +1,12 @@
+package falseshare_test
+
+import (
+	"testing"
+
+	"natle/internal/analysis/analysistest"
+	"natle/internal/analysis/falseshare"
+)
+
+func TestFalseshare(t *testing.T) {
+	analysistest.Run(t, "testdata", falseshare.Analyzer, "fshare")
+}

@@ -1,0 +1,73 @@
+// Package fshare is the falseshare analyzer fixture: //natlevet:percpu
+// structs must keep concurrently-written fields on distinct 64-byte
+// cache lines under gc/amd64 layout.
+package fshare
+
+import "sync/atomic"
+
+// good is the sanctioned idiom: each hot word owns a full line.
+//
+//natlevet:percpu
+type good struct {
+	hits atomic.Uint64
+	_    [56]byte
+	miss atomic.Uint64
+	_    [56]byte
+}
+
+//natlevet:percpu
+type shared struct { // want `not a multiple of 64`
+	a atomic.Uint64
+	b atomic.Uint64 // want `share cache line 0`
+}
+
+//natlevet:percpu
+type coldmix struct {
+	cfg int64
+	hot atomic.Uint64 // want `shares cache line 0 with field cfg`
+	_   [48]byte
+}
+
+// padded owns its lines outright when 64-aligned.
+type padded struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+//natlevet:percpu
+type bank struct {
+	seq   atomic.Uint64
+	cells [2]padded // want `starts at offset 8, not 64-byte aligned`
+	_     [56]byte
+}
+
+// plainhot's words are hot because this package updates them via
+// sync/atomic, even though their declared type is a bare uint64.
+//
+//natlevet:percpu
+type plainhot struct {
+	n uint64
+	m uint64 // want `share cache line 0`
+	_ [48]byte
+}
+
+func bump(p *plainhot) {
+	atomic.AddUint64(&p.n, 1)
+	atomic.AddUint64(&p.m, 1)
+}
+
+// allowed documents deliberate sharing: both words are written by the
+// same thread, so the line never bounces.
+//
+//natlevet:percpu
+type allowed struct {
+	a atomic.Uint64
+	b atomic.Uint64 //natlevet:allow falseshare(fixture: both words written by one owner thread)
+	_ [48]byte
+}
+
+//natlevet:percpu
+func strayDirective() {} // want `must mark a struct type declaration`
+
+//natlevet:percpu
+type notStruct int64 // want `not a struct type`

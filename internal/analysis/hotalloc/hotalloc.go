@@ -1,0 +1,318 @@
+// Package hotalloc defines the natlevet analyzer keeping marked hot
+// paths allocation-free. The native backend's elided fast path, the
+// telemetry record hooks, and the service dequeue loop run millions of
+// times per benchmark window; a single heap allocation on one of them
+// does not just cost the allocation — it drags the garbage collector
+// into the measurement, adds write-barrier traffic to exactly the
+// cache lines the experiment is counting, and turns a nanosecond-scale
+// seqlock attempt into a malloc benchmark. Escape analysis is silent
+// about all of this, so the discipline is declared: functions marked
+// //natlevet:hotpath must contain no heap-allocating construct.
+//
+// Flagged constructs: make/new/append, fmt calls, non-constant string
+// concatenation, string<->[]byte/[]rune conversions, slice and map
+// literals, &composite literals, closures (function literals), go
+// statements, implicit variadic argument slices, and interface
+// conversions of non-pointer-shaped, non-zero-size, non-constant
+// values. Two shapes are exempt because the compiler provably keeps
+// them off the heap: the closure of an immediately-deferred call
+// (open-coded defers live on the stack) and interface conversions of
+// zero-size or pointer-shaped values (no convT box is materialized).
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"natle/internal/analysis"
+)
+
+// Analyzer flags heap-allocating constructs in //natlevet:hotpath
+// functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: `forbid heap-allocating constructs in //natlevet:hotpath functions
+
+Hot paths (the native seqlock attempt path, telemetry record hooks,
+the service dequeue loop) must not allocate: no make/new/append, fmt,
+string building, slice/map/&composite literals, closures, go
+statements, or boxing interface conversions. One-time setup that must
+stay in a marked function carries //natlevet:allow hotalloc(reason).`,
+	Run: run,
+}
+
+var sizes = types.SizesFor("gc", "amd64")
+
+func run(pass *analysis.Pass) error {
+	marked, strays := analysis.MarkedFuncs(pass.Fset, pass.Files, analysis.HotpathDirective)
+	for _, pos := range strays {
+		pass.Reportf(pos, "%s is not attached to a function declaration or literal", analysis.HotpathDirective)
+	}
+	for n := range marked {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				continue
+			}
+			sig, _ := pass.TypesInfo.ObjectOf(fn.Name).Type().(*types.Signature)
+			check(pass, fn.Name.Name, sig, fn.Body)
+		case *ast.FuncLit:
+			sig, _ := pass.TypesInfo.TypeOf(fn).(*types.Signature)
+			check(pass, "hot function literal", sig, fn.Body)
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, name string, sig *types.Signature, body *ast.BlockStmt) {
+	c := &checker{pass: pass, name: name, sig: sig,
+		exemptLit: make(map[*ast.FuncLit]bool),
+		handled:   make(map[ast.Node]bool),
+	}
+	ast.Inspect(body, c.inspect)
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	name      string
+	sig       *types.Signature
+	exemptLit map[*ast.FuncLit]bool // immediately-deferred closures: open-coded, stack-allocated
+	handled   map[ast.Node]bool     // nodes a parent already reported or sanctioned
+}
+
+func (c *checker) report(n ast.Node, what string) {
+	c.pass.Reportf(n.Pos(), "hot path %s: %s", c.name, what)
+}
+
+func (c *checker) inspect(n ast.Node) bool {
+	if n == nil || c.handled[n] {
+		return !c.handled[n]
+	}
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			// Open-coded defer: the closure lives on the stack. Its
+			// body still runs before the hot path returns, so it is
+			// checked — against its own signature.
+			c.exemptLit[lit] = true
+			saved := c.sig
+			c.sig, _ = c.pass.TypesInfo.TypeOf(lit).(*types.Signature)
+			ast.Inspect(lit.Body, c.inspect)
+			c.sig = saved
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, c.inspect)
+			}
+			return false
+		}
+		return true
+
+	case *ast.GoStmt:
+		c.report(n, "go statement allocates a goroutine and its closure")
+		return false
+
+	case *ast.FuncLit:
+		if c.exemptLit[n] {
+			return false // body already walked by the defer carve-out
+		}
+		c.report(n, "function literal allocates a closure; hoist it out of the hot path")
+		return false
+
+	case *ast.CallExpr:
+		return c.call(n)
+
+	case *ast.UnaryExpr:
+		if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && n.Op == token.AND {
+			c.report(n, "&composite literal escapes to the heap")
+			c.handled[lit] = true // don't re-flag a slice/map literal under the &
+		}
+		return true
+
+	case *ast.CompositeLit:
+		switch c.typeOf(n).Underlying().(type) {
+		case *types.Slice:
+			c.report(n, "slice literal allocates its backing array")
+		case *types.Map:
+			c.report(n, "map literal allocates")
+		}
+		return true
+
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && !c.isConst(n) {
+			if b, ok := c.typeOf(n).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				c.report(n, "non-constant string concatenation allocates")
+				return false // one finding per concat chain
+			}
+		}
+		return true
+
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, rhs := range n.Rhs {
+				c.ifaceConv(rhs, c.typeOf(n.Lhs[i]))
+			}
+		}
+		return true
+
+	case *ast.ValueSpec:
+		if n.Type != nil {
+			for _, v := range n.Values {
+				c.ifaceConv(v, c.typeOf(n.Type))
+			}
+		}
+		return true
+
+	case *ast.ReturnStmt:
+		if c.sig != nil && c.sig.Results().Len() == len(n.Results) {
+			for i, r := range n.Results {
+				c.ifaceConv(r, c.sig.Results().At(i).Type())
+			}
+		}
+		return true
+
+	case *ast.SendStmt:
+		if t := chanElem(c.typeOf(n.Chan)); t != nil {
+			c.ifaceConv(n.Value, t)
+		}
+		return true
+	}
+	return true
+}
+
+// call classifies one call expression: builtins, conversions, fmt,
+// variadic slices, and boxing argument conversions.
+func (c *checker) call(call *ast.CallExpr) bool {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.report(call, "make allocates; preallocate outside the hot path")
+			case "new":
+				c.report(call, "new allocates; preallocate outside the hot path")
+			case "append":
+				c.report(call, "append may grow and reallocate; preallocate capacity outside the hot path")
+			case "panic":
+				if len(call.Args) == 1 {
+					c.ifaceConv(call.Args[0], nil)
+				}
+			}
+			return true
+		}
+	}
+
+	// Conversions: string <-> []byte/[]rune copy their contents.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type.Underlying(), c.typeOf(call.Args[0]).Underlying()
+		if isString(dst) && isByteOrRuneSlice(src) || isByteOrRuneSlice(dst) && isString(src) {
+			c.report(call, "string/slice conversion copies and allocates")
+		}
+		return true
+	}
+
+	// fmt: every call formats through reflection and allocates.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			c.report(call, "fmt call allocates (and formats through reflection)")
+			return false
+		}
+	}
+
+	sig, ok := c.typeOf(call.Fun).Underlying().(*types.Signature)
+	if !ok {
+		return true
+	}
+	params := sig.Params()
+	if sig.Variadic() && call.Ellipsis == 0 {
+		fixed := params.Len() - 1
+		if len(call.Args) > fixed {
+			c.report(call, "call to a variadic function allocates the argument slice")
+			return true
+		}
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || !sig.Variadic():
+			if i < params.Len() {
+				pt = params.At(i).Type()
+			}
+		case call.Ellipsis == 0:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		default:
+			pt = params.At(params.Len() - 1).Type()
+		}
+		if pt != nil {
+			c.ifaceConv(arg, pt)
+		}
+	}
+	return true
+}
+
+// ifaceConv reports e when converting it to target (an interface, or
+// nil for panic's any) materializes a heap box: non-interface,
+// non-constant, non-zero-size, non-pointer-shaped operands do.
+func (c *checker) ifaceConv(e ast.Expr, target types.Type) {
+	if target != nil {
+		if _, ok := target.Underlying().(*types.Interface); !ok {
+			return
+		}
+	}
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil {
+		return // constants are materialized in read-only data
+	}
+	et := tv.Type
+	if et == nil {
+		return
+	}
+	switch u := et.Underlying().(type) {
+	case *types.Interface:
+		return // already boxed
+	case *types.Basic:
+		if u.Kind() == types.UntypedNil {
+			return
+		}
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: the word is the box
+	}
+	if sizes != nil && sizes.Sizeof(et) == 0 {
+		return // zero-size values share the runtime's zerobase
+	}
+	c.report(e, "interface conversion of "+types.TypeString(et, types.RelativeTo(c.pass.Pkg))+" allocates the box")
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if t := c.pass.TypesInfo.TypeOf(e); t != nil {
+		return t
+	}
+	return types.Typ[types.Invalid]
+}
+
+func (c *checker) isConst(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+func chanElem(t types.Type) types.Type {
+	if ch, ok := t.Underlying().(*types.Chan); ok {
+		return ch.Elem()
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+// Package halloc is the hotalloc analyzer fixture: functions marked
+// //natlevet:hotpath must be free of heap-allocating constructs;
+// unmarked functions may allocate freely.
+package halloc
+
+import (
+	"fmt"
+	"sync"
+
+	"natle/internal/telemetry"
+	"natle/internal/vtime"
+)
+
+type pair struct{ a, b uint64 }
+
+//natlevet:hotpath
+func makes(n int) []uint64 {
+	return make([]uint64, n) // want `make allocates`
+}
+
+//natlevet:hotpath
+func news() *uint64 {
+	return new(uint64) // want `new allocates`
+}
+
+//natlevet:hotpath
+func appends(dst []uint64, v uint64) []uint64 {
+	return append(dst, v) // want `append may grow`
+}
+
+//natlevet:hotpath
+func formats(v uint64) {
+	fmt.Println(v) // want `fmt call allocates`
+}
+
+//natlevet:hotpath
+func closes(base uint64) func() uint64 {
+	return func() uint64 { return base } // want `function literal allocates a closure`
+}
+
+//natlevet:hotpath
+func spawns(f func()) {
+	go f() // want `go statement allocates`
+}
+
+//natlevet:hotpath
+func concats(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//natlevet:hotpath
+func escapes() *pair {
+	return &pair{1, 2} // want `&composite literal escapes`
+}
+
+//natlevet:hotpath
+func slices() []uint64 {
+	return []uint64{1, 2} // want `slice literal allocates`
+}
+
+//natlevet:hotpath
+func stringifies(b []byte) string {
+	return string(b) // want `conversion copies and allocates`
+}
+
+//natlevet:hotpath
+func boxes(v uint64) any {
+	return v // want `interface conversion of uint64 allocates`
+}
+
+//natlevet:hotpath
+func boxarg(v pair) {
+	eat(v) // want `interface conversion of pair allocates`
+}
+
+//natlevet:hotpath
+func boxptr(p *pair) any {
+	return p // pointer-shaped: the word is the box, no allocation
+}
+
+type signal struct{}
+
+//natlevet:hotpath
+func aborts() {
+	panic(signal{}) // zero-size: shares the runtime's zerobase
+}
+
+// deferred closures are open-coded onto the stack; the body is still
+// hot-path code, so the fmt call inside is flagged.
+//
+//natlevet:hotpath
+func deferred(mu *sync.Mutex, v uint64) {
+	mu.Lock()
+	defer func() {
+		mu.Unlock()
+		fmt.Println(v) // want `fmt call allocates`
+	}()
+}
+
+// observe leans on a real internal hot hook: recording into a
+// telemetry histogram must not allocate, and does not.
+//
+//natlevet:hotpath
+func observe(h *telemetry.Histogram, d vtime.Duration) {
+	h.Observe(d)
+}
+
+//natlevet:hotpath
+func allowed(n int) []uint64 {
+	return make([]uint64, n) //natlevet:allow hotalloc(fixture: one-time warmup before the steady-state loop)
+}
+
+// hot function literals are marked by the directive on the line above
+// their binding.
+//
+//natlevet:hotpath
+var hotLit = func(n int) []uint64 {
+	return make([]uint64, n) // want `make allocates`
+}
+
+// coldPath is unmarked: allocations are fine here.
+func coldPath(n int) []uint64 {
+	return append(make([]uint64, 0, n), 1)
+}
+
+func eat(any) {}

@@ -23,6 +23,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // A Package is one type-checked target package.
@@ -47,6 +48,12 @@ type listed struct {
 	Export     string
 	GoFiles    []string
 	DepOnly    bool
+	Error      *listError
+}
+
+// listError is go list's structured per-package error (-e mode).
+type listError struct {
+	Err string
 }
 
 // run executes one go command in dir and returns stdout, folding
@@ -66,9 +73,11 @@ func run(dir string, args ...string) ([]byte, error) {
 // list invokes `go list -export -deps -json` on the patterns and
 // decodes the stream.
 func list(dir string, patterns []string) ([]listed, error) {
+	// -e keeps go list from dying on the first broken package so every
+	// package's structured Error can be surfaced with its import path.
 	args := append([]string{
-		"list", "-export", "-deps",
-		"-json=ImportPath,Dir,Export,GoFiles,DepOnly",
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error",
 	}, patterns...)
 	out, err := run(dir, args...)
 	if err != nil {
@@ -141,11 +150,28 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A package the go tool cannot load or compile must fail the lint
+	// run, not silently vanish from it: a tree that does not build has
+	// no analyzable invariants, and a skipped package reads as clean.
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", p.ImportPath, strings.TrimSpace(p.Error.Err))
+		}
+	}
 	exports := make(map[string]string)
 	for _, p := range pkgs {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
+	}
+	matched := 0
+	for _, p := range pkgs {
+		if !p.DepOnly {
+			matched++
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("patterns %v matched no packages", patterns)
 	}
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))

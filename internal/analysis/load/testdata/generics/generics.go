@@ -1,0 +1,18 @@
+// Package generics exercises the loader's export-data path for
+// generic functions: telemetry.Sub and telemetry.Add are instantiated
+// here, so go/importer must reconstruct their type parameters from the
+// compiler's export data rather than from source. gc export data has
+// grown new layouts for generics across Go releases; this fixture
+// pins the loader against regressions when the toolchain moves.
+package generics
+
+import "natle/internal/telemetry"
+
+type snap struct {
+	Ops uint64
+	Lat telemetry.HistogramSnapshot
+}
+
+func delta(a, b snap) snap { return telemetry.Sub(a, b) }
+
+func merge(a, b snap) snap { return telemetry.Add(a, b) }

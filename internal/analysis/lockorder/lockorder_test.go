@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"natle/internal/analysis/analysistest"
+	"natle/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lorder", "lordersim")
+}

@@ -1,0 +1,97 @@
+//natlevet:backend native
+
+// Package lorder is the lockorder analyzer fixture: a native-backend
+// package whose lock acquisitions must be cycle-free, with seqlock
+// read sections acquiring nothing at all.
+package lorder
+
+import (
+	"sync"
+
+	"natle/internal/backend"
+)
+
+type server struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *server) ab() {
+	s.a.Lock()
+	s.b.Lock() // want `closes a lock-order cycle`
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *server) ba() {
+	s.b.Lock()
+	s.a.Lock() // want `closes a lock-order cycle`
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+func (s *server) twice() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.a.Lock() // want `re-acquiring field a`
+}
+
+func (s *server) lockB() {
+	s.b.Lock()
+	s.b.Unlock()
+}
+
+// aThenB takes the a-then-b order only through a callee, so the edge
+// is found by the transitive pass, not the direct one.
+func (s *server) aThenB() {
+	s.a.Lock()
+	s.lockB() // want `closes a lock-order cycle`
+	s.a.Unlock()
+}
+
+// Critical-style helpers are lock nodes too: their method body and
+// the closure passed to a call both run with the helper held.
+type elideA struct{}
+
+func (l *elideA) Critical(bc backend.Ctx, body func()) { body() }
+
+type elideB struct{}
+
+func (l *elideB) Critical(bc backend.Ctx, body func()) { body() }
+
+func nestAB(bc backend.Ctx, a *elideA, b *elideB) {
+	a.Critical(bc, func() {
+		b.Critical(bc, func() {}) // want `closes a lock-order cycle`
+	})
+}
+
+func nestBA(bc backend.Ctx, a *elideA, b *elideB) {
+	b.Critical(bc, func() {
+		a.Critical(bc, func() {}) // want `closes a lock-order cycle`
+	})
+}
+
+// --- seqlock read sections ---
+
+//natlevet:seqlock
+func (s *server) read() uint64 {
+	s.a.Lock() // want `seqlock read section read acquires field a`
+	s.a.Unlock()
+	return 0
+}
+
+//natlevet:seqlock
+func (s *server) readVia() { // want `calls lockB, which acquires field b`
+	s.lockB()
+}
+
+//natlevet:seqlock
+func (s *server) readClean() uint64 { return 0 }
+
+// allowedBA documents a sanctioned ordering violation.
+func (s *server) allowedBA() {
+	s.b.Lock()
+	s.a.Lock() //natlevet:allow lockorder(fixture: startup path, provably single-threaded)
+	s.a.Unlock()
+	s.b.Unlock()
+}

@@ -44,15 +44,36 @@ import (
 // interleaving is not. Counters are atomic; Stats reports them in the
 // shared fault.Stats shape.
 type Fault struct {
-	p            fault.Profile
-	squeezeNs    int64        // squeeze window length, wall ns
-	squeezeUntil atomic.Int64 // wall-clock deadline of the open window
+	hot faultHot
 
+	// Cold configuration, read-only after NewFault; faultHot is a
+	// multiple of 64 bytes, so these never share its lines.
+	p         fault.Profile
+	squeezeNs int64 // squeeze window length, wall ns
+}
+
+// faultCounters groups the injected-fault event counters. They are
+// bumped only when a (rare) fault draw fires, by whichever thread drew
+// it, so they may share lines with each other but with nothing hotter.
+type faultCounters struct {
 	spurious   atomic.Uint64
 	squeezes   atomic.Uint64
 	squeezedTx atomic.Uint64
 	delays     atomic.Uint64
 	stalls     atomic.Uint64
+}
+
+// faultHot is the concurrently-written core of Fault. squeezeUntil is
+// polled by every optimistic attempt in txStart, so it gets a cache
+// line to itself: a fault counter bump must not invalidate the line
+// the elision fast path reads on every transaction.
+//
+//natlevet:percpu
+type faultHot struct {
+	squeezeUntil atomic.Int64 // wall-clock deadline of the open window
+	_            [56]byte
+	counters     faultCounters
+	_            [24]byte
 }
 
 // txAccessBudget is the per-attempt access allowance outside squeeze
@@ -75,36 +96,40 @@ func (f *Fault) Stats() fault.Stats {
 		return fault.Stats{}
 	}
 	return fault.Stats{
-		SpuriousAborts: f.spurious.Load(),
-		Squeezes:       f.squeezes.Load(),
-		SqueezedTx:     f.squeezedTx.Load(),
-		InvalDelays:    f.delays.Load(),
-		Stalls:         f.stalls.Load(),
+		SpuriousAborts: f.hot.counters.spurious.Load(),
+		Squeezes:       f.hot.counters.squeezes.Load(),
+		SqueezedTx:     f.hot.counters.squeezedTx.Load(),
+		InvalDelays:    f.hot.counters.delays.Load(),
+		Stalls:         f.hot.counters.stalls.Load(),
 	}
 }
 
 // randFloat is the thread-RNG uniform draw in [0, 1) used by the
 // fault decision points.
+//
+//natlevet:hotpath
 func (c *Thread) randFloat() float64 { return float64(c.Rand64()>>11) / (1 << 53) }
 
 // txStart arms one optimistic attempt: it may open a squeeze window,
 // and returns the spurious-abort countdown (0 = none) and the access
 // budget (0 = unlimited) the attempt runs under.
+//
+//natlevet:hotpath
 func (f *Fault) txStart(c *Thread) (countdown, budget int) {
 	now := c.w.now()
 	if f.p.SqueezeProb > 0 {
-		until := f.squeezeUntil.Load()
+		until := f.hot.squeezeUntil.Load()
 		if now >= until && c.randFloat() < f.p.SqueezeProb {
-			if f.squeezeUntil.CompareAndSwap(until, now+f.squeezeNs) {
-				f.squeezes.Add(1)
+			if f.hot.squeezeUntil.CompareAndSwap(until, now+f.squeezeNs) {
+				f.hot.counters.squeezes.Add(1)
 			}
 		}
-		if now < f.squeezeUntil.Load() {
+		if now < f.hot.squeezeUntil.Load() {
 			budget = txAccessBudget / f.p.SqueezeFactor
 			if budget < 1 {
 				budget = 1
 			}
-			f.squeezedTx.Add(1)
+			f.hot.counters.squeezedTx.Add(1)
 		}
 	}
 	if f.p.SpuriousAbortRate > 0 {
@@ -126,21 +151,25 @@ func (f *Fault) txStart(c *Thread) (countdown, budget int) {
 // commitDelay spins the committing writer for the profile's
 // invalidation delay, stretching the locked window concurrent readers
 // must validate across.
+//
+//natlevet:hotpath
 func (f *Fault) commitDelay(c *Thread) {
 	if f.p.InvalDelayProb <= 0 || c.randFloat() >= f.p.InvalDelayProb {
 		return
 	}
-	f.delays.Add(1)
+	f.hot.counters.delays.Add(1)
 	c.spinWait(int64(f.p.InvalDelayLen / vtime.Nanosecond))
 }
 
 // csStall spins the thread immediately after a lock acquisition with
 // the profile's stall probability (preemption while holding the lock).
+//
+//natlevet:hotpath
 func (f *Fault) csStall(c *Thread) {
 	if f.p.StallProb <= 0 || c.randFloat() >= f.p.StallProb {
 		return
 	}
-	f.stalls.Add(1)
+	f.hot.counters.stalls.Add(1)
 	c.spinWait(int64(f.p.StallLen / vtime.Nanosecond))
 }
 
@@ -150,11 +179,13 @@ func (f *Fault) csStall(c *Thread) {
 // not yet upgraded to writer, so SpuriousAborts counts aborts that
 // actually fired (attempts short enough to outrun their countdown
 // are not charged).
+//
+//natlevet:hotpath
 func (c *Thread) txAccess() {
 	if c.tx.spurious > 0 {
 		c.tx.spurious--
 		if c.tx.spurious == 0 {
-			c.w.inj.spurious.Add(1)
+			c.w.inj.hot.counters.spurious.Add(1)
 			panic(abortSignal{})
 		}
 	}

@@ -10,15 +10,25 @@ import (
 
 // Mutex is the native plain-lock baseline: a sync.Mutex, never
 // elided.
+//
+//natlevet:percpu
 type Mutex struct {
-	mu       sync.Mutex
+	// The lock word all waiters spin in the kernel on and the
+	// release-side acquisition counter each own a line: the counter
+	// bump on unlock must not invalidate the word being acquired.
+	mu sync.Mutex
+	_  [56]byte
+
 	acquires atomic.Uint64
+	_        [56]byte
 }
 
 // NewMutex builds a native-mutex instance.
 func NewMutex() *Mutex { return &Mutex{} }
 
 // Critical implements backend.CS.
+//
+//natlevet:hotpath
 func (m *Mutex) Critical(bc backend.Ctx, body func()) {
 	c := bc.(*Thread)
 	m.mu.Lock()
@@ -41,15 +51,25 @@ func (m *Mutex) Stats() scheme.Stats {
 
 // Spin is a test-and-test-and-set spinlock over one atomic word, the
 // native mirror of the simulated "lock" scheme.
+//
+//natlevet:percpu
 type Spin struct {
-	word     atomic.Uint32
+	// Waiters poll word in the test-and-test-and-set read loop; the
+	// acquisition counter lives on its own line so a release-side bump
+	// does not kick every spinner's cached copy.
+	word atomic.Uint32
+	_    [60]byte
+
 	acquires atomic.Uint64
+	_        [56]byte
 }
 
 // NewSpin builds a native-spin instance.
 func NewSpin() *Spin { return &Spin{} }
 
 // Critical implements backend.CS.
+//
+//natlevet:hotpath
 func (s *Spin) Critical(bc backend.Ctx, body func()) {
 	c := bc.(*Thread)
 	for {

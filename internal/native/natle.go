@@ -54,6 +54,8 @@ func DefaultNATLEConfig() NATLEConfig {
 
 // padCounter is a cache-line-padded counter, so per-group commit
 // bumps from different goroutines do not false-share.
+//
+//natlevet:percpu
 type padCounter struct {
 	v atomic.Uint64
 	_ [56]byte
@@ -61,28 +63,49 @@ type padCounter struct {
 
 // NATLE is native-tle plus per-lock adaptive group throttling driven
 // by a wall-clock EWMA of per-group commit throughput.
+//
+//natlevet:percpu
 type NATLE struct {
+	// Cold header, read-only after NewNATLE: exactly one cache line
+	// (8 + 8 + 48 bytes), so no hot word below shares it.
 	inner  *TLE
 	groups int
 	cfg    NATLEConfig
 
-	windowStart atomic.Int64  // ns; 0 = not started
+	// windowStart and decision are read by every admitted() poll on
+	// every critical section; each owns a line so a window rollover CAS
+	// on one does not invalidate reads of the other.
+	windowStart atomic.Int64 // ns; 0 = not started
+	_           [56]byte
 	decision    atomic.Uint64 // pref<<32 | alt<<16 | permille
+	_           [56]byte
 
+	// Per-group commit counters, one line per group: the paper's
+	// per-socket acquisition profile, minus the false sharing.
 	commits [maxGroups]padCounter
-	ewma    [maxGroups]atomic.Uint64 // math.Float64bits of commits/sec
 
-	lastAttempts atomic.Uint64 // inner counter snapshot at last decision
-	lastAborts   atomic.Uint64
+	// Everything below windowStart's CAS winner touches once per
+	// window, grouped by writer.
+	ewma [maxGroups]atomic.Uint64 // math.Float64bits of commits/sec
 
-	decisions   atomic.Uint64
-	throttled   atomic.Uint64 // sections that waited at least once
-	starvations atomic.Uint64 // watchdog-forced proceeds
+	decider struct { // written only by the elected decider thread
+		lastAttempts atomic.Uint64 // inner counter snapshot at last decision
+		lastAborts   atomic.Uint64
+		decisions    atomic.Uint64
+	}
+	_ [40]byte
+
+	throttle struct { // written by threads that were shaped
+		throttled   atomic.Uint64 // sections that waited at least once
+		starvations atomic.Uint64 // watchdog-forced proceeds
+	}
+	_ [48]byte
 
 	tl struct {
 		sync.Mutex
 		samples []natle.ModeSample
 	}
+	_ [32]byte
 }
 
 // NewNATLE builds a native-natle lock over inner for the given group
@@ -136,9 +159,9 @@ func (n *NATLE) Stats() scheme.Stats {
 		TLE:      n.inner.st.tleStats(),
 		Timeline: timeline,
 		Extra: map[string]uint64{
-			"natle_decisions":      n.decisions.Load(),
-			"natle_throttled":      n.throttled.Load(),
-			"natle_starvations":    n.starvations.Load(),
+			"natle_decisions":      n.decider.decisions.Load(),
+			"natle_throttled":      n.throttle.throttled.Load(),
+			"natle_starvations":    n.throttle.starvations.Load(),
 			"natle_inner_fallback": n.inner.st.fallbacks.Load(),
 		},
 	}
@@ -147,6 +170,8 @@ func (n *NATLE) Stats() scheme.Stats {
 // Critical implements backend.CS: wait until the thread's group is
 // admitted by the current decision (bounded by the starvation
 // watchdog), then run under the inner native-tle lock.
+//
+//natlevet:hotpath
 func (n *NATLE) Critical(bc backend.Ctx, body func()) {
 	c := bc.(*Thread)
 	if c.tx.active {
@@ -158,7 +183,7 @@ func (n *NATLE) Critical(bc backend.Ctx, body func()) {
 	var waited int64
 	for !n.admitted(c, g) {
 		if waited >= n.cfg.MaxWait {
-			n.starvations.Add(1)
+			n.throttle.starvations.Add(1)
 			break
 		}
 		c.spinWait(n.cfg.Wait)
@@ -166,7 +191,7 @@ func (n *NATLE) Critical(bc backend.Ctx, body func()) {
 		n.maybeDecide(c)
 	}
 	if waited > 0 {
-		n.throttled.Add(1)
+		n.throttle.throttled.Add(1)
 	}
 	n.inner.Critical(c, body)
 	n.commits[g].v.Add(1)
@@ -176,6 +201,8 @@ func (n *NATLE) Critical(bc backend.Ctx, body func()) {
 // the preferred group owns the first permille share of each window
 // position, the alternate the rest (the paper's proportional quantum
 // split, on wall-clock windows).
+//
+//natlevet:hotpath
 func (n *NATLE) admitted(c *Thread, g int) bool {
 	d := n.decision.Load()
 	pref := int(d >> 32 & 0xffff)
@@ -195,7 +222,10 @@ func (n *NATLE) admitted(c *Thread, g int) bool {
 }
 
 // maybeDecide elects at most one thread per expired window (CAS on
-// the window start) to run the decision.
+// the window start) to run the decision. decide itself is not a hot
+// path: it runs once per window and is free to allocate.
+//
+//natlevet:hotpath
 func (n *NATLE) maybeDecide(c *Thread) {
 	now := c.w.now()
 	ws := n.windowStart.Load()
@@ -221,8 +251,8 @@ func (n *NATLE) decide(elapsed int64) {
 	}
 	att := n.inner.st.attempts.Load()
 	ab := n.inner.st.aborts.Load()
-	dAtt := att - n.lastAttempts.Swap(att)
-	dAb := ab - n.lastAborts.Swap(ab)
+	dAtt := att - n.decider.lastAttempts.Swap(att)
+	dAb := ab - n.decider.lastAborts.Swap(ab)
 	var abortFrac float64
 	if dAtt > 0 {
 		abortFrac = float64(dAb) / float64(dAtt)
@@ -259,7 +289,7 @@ func (n *NATLE) decide(elapsed int64) {
 		}
 	}
 	n.decision.Store(n.pack(pref, alt, permille))
-	cycle := int(n.decisions.Add(1)) - 1
+	cycle := int(n.decider.decisions.Add(1)) - 1
 
 	sample := natle.ModeSample{
 		Cycle:         cycle,

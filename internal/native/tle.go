@@ -27,11 +27,25 @@ const maxLockHeldWaits = 1 << 10
 // to writer on first store; the sequence only ever grows, so a reader
 // that observes an unchanged sequence across its reads saw a
 // consistent snapshot.
+//
+//natlevet:percpu
 type TLE struct {
-	seq      atomic.Uint64
+	// seq is polled on every transactional load by every optimistic
+	// reader, so it owns a cache line: a counter bump must not
+	// invalidate the word the whole read side validates against.
+	seq atomic.Uint64
+	_   [56]byte
+
+	// st's counters are bumped by every thread on every attempt — true
+	// sharing, which padding between them cannot fix; the block only
+	// has to stay off seq's line.
+	st stats
+	_  [8]byte
+
+	// Cold, read-only after NewTLE.
 	attempts int
 	backoff  tle.Backoff
-	st       stats
+	_        [40]byte
 }
 
 // stats is the native schemes' atomic counter block, snapshotted into
@@ -80,6 +94,8 @@ func (t *TLE) Stats() scheme.Stats { return scheme.Stats{TLE: t.st.tleStats()} }
 
 // Critical implements backend.CS: optimistic attempts with capped
 // full-jitter backoff, then the exclusive fallback.
+//
+//natlevet:hotpath
 func (t *TLE) Critical(bc backend.Ctx, body func()) {
 	c := bc.(*Thread)
 	if c.tx.active {
@@ -127,7 +143,12 @@ func (t *TLE) Critical(bc backend.Ctx, body func()) {
 
 // try runs one optimistic attempt against sequence snapshot start.
 // The attempt unwinds via an abortSignal panic from Thread.Load/Store
-// on validation or upgrade failure.
+// on validation or upgrade failure. It is the seqlock read section:
+// blocking on any lock between the snapshot and the validation would
+// deadlock against a writer waiting for readers to drain.
+//
+//natlevet:hotpath
+//natlevet:seqlock
 func (t *TLE) try(c *Thread, start uint64, body func()) (ok bool) {
 	c.tx = txn{active: true, start: start, seq: &t.seq}
 	if inj := c.w.inj; inj != nil {
@@ -176,6 +197,8 @@ func (t *TLE) try(c *Thread, start uint64, body func()) (ok bool) {
 
 // lockAcquire spins until it owns the sequence word (even -> odd) and
 // returns the even value it acquired from.
+//
+//natlevet:hotpath
 func (t *TLE) lockAcquire(c *Thread) uint64 {
 	for i := 0; ; i++ {
 		s := t.seq.Load()
@@ -194,6 +217,8 @@ func (t *TLE) lockAcquire(c *Thread) uint64 {
 // tle.Backoff works in virtual-time units (picoseconds); one virtual
 // nanosecond is re-interpreted as one wall-clock nanosecond here,
 // preserving the bounds (75ns base, 2.4us cap) and the jitter shape.
+//
+//natlevet:hotpath
 func (c *Thread) gap(attempt int, b tle.Backoff) {
 	c.spinWait(int64(b.Gap(c, attempt)) / int64(vtime.Nanosecond))
 }

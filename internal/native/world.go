@@ -167,6 +167,8 @@ func (c *Thread) Socket() int {
 }
 
 // Rand64 steps the thread's splitmix64 RNG.
+//
+//natlevet:hotpath
 func (c *Thread) Rand64() uint64 {
 	c.rng += 0x9e3779b97f4a7c15
 	z := c.rng
@@ -176,6 +178,8 @@ func (c *Thread) Rand64() uint64 {
 }
 
 // Intn returns a draw in [0, n).
+//
+//natlevet:hotpath
 func (c *Thread) Intn(n int) int {
 	if n <= 0 {
 		return 0
@@ -188,6 +192,8 @@ func (c *Thread) Intn(n int) int {
 func (c *Thread) Now() int64 { return c.w.now() }
 
 // Work burns n iterations of external work.
+//
+//natlevet:hotpath
 func (c *Thread) Work(n int) {
 	for i := 0; i < n; i++ {
 		c.sink = c.sink*6364136223846793005 + 1442695040888963407
@@ -201,6 +207,8 @@ func (c *Thread) Alloc(nWords int) int { return c.w.alloc(nWords) }
 // Load reads shared word a. Inside an optimistic attempt it validates
 // the lock sequence after the read (seqlock discipline) and aborts
 // the attempt on interference.
+//
+//natlevet:hotpath
 func (c *Thread) Load(a int) uint64 {
 	v := c.w.mem[a].Load()
 	if c.tx.active && !c.tx.writer {
@@ -217,6 +225,8 @@ func (c *Thread) Load(a int) uint64 {
 // Store writes shared word a. The first store of an optimistic
 // attempt upgrades it to writer by acquiring the sequence word with a
 // CAS; failure to upgrade aborts the attempt.
+//
+//natlevet:hotpath
 func (c *Thread) Store(a int, v uint64) {
 	if c.tx.active && !c.tx.writer {
 		if c.tx.spurious > 0 || c.tx.budget > 0 {
@@ -233,6 +243,8 @@ func (c *Thread) Store(a int, v uint64) {
 // spinWait busy-waits for about ns wall-clock nanoseconds, yielding
 // the processor periodically so oversubscribed hosts (more workers
 // than cores) keep making progress.
+//
+//natlevet:hotpath
 func (c *Thread) spinWait(ns int64) {
 	if ns <= 0 {
 		return

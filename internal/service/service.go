@@ -451,7 +451,19 @@ func Run(cfg Config) *Result {
 			}
 		}
 
+		//natlevet:hotpath
 		serve := func(w *sim.Ctx, s *shardState) {
+			// One critical-section body per server, re-bound to each
+			// batch through the captured slice: building the literal
+			// inside the loop would heap-allocate a fresh closure per
+			// batch served.
+			var batch []pending
+			body := func() { //natlevet:allow hotalloc(one closure per server lifetime, not per batch)
+				for _, p := range batch {
+					w.Work(cfg.WorkPerReq)
+					apply(w, s, p.req)
+				}
+			}
 			for {
 				if cfg.Deadline > 0 {
 					// CoDel-style queue-wait shedding: drop queued
@@ -495,7 +507,7 @@ func Run(cfg Config) *Result {
 				if n > len(s.queue) {
 					n = len(s.queue)
 				}
-				batch := s.queue[:n:n]
+				batch = s.queue[:n:n]
 				s.queue = s.queue[n:]
 				start := w.Now()
 				for _, p := range batch {
@@ -507,12 +519,7 @@ func Run(cfg Config) *Result {
 				// handler compute each request runs under the shard's
 				// synchronization; aborted attempts re-pay it, exactly
 				// as an elided section re-executes its body.
-				cs.Critical(w, func() {
-					for _, p := range batch {
-						w.Work(cfg.WorkPerReq)
-						apply(w, s, p.req)
-					}
-				})
+				cs.Critical(w, body)
 				end := w.Now()
 				svcLat.Observe(end.Sub(start))
 				for _, p := range batch {

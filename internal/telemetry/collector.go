@@ -28,15 +28,12 @@ type Config struct {
 // kind and abort cause, a per-lock × per-socket attribution matrix,
 // duration histograms, and an optional bounded event trace.
 type Collector struct {
-	cfg Config
-
-	kinds   [NumKinds]*ShardedCounter
-	aborts  [NumCodes]*ShardedCounter
-	hintSet *ShardedCounter // aborts with the retry hint set
-
-	remoteMiss  *ShardedCounter
-	remoteInval *ShardedCounter
-
+	// The 64-bit atomic aggregates lead the struct: Go guarantees
+	// 8-alignment only for the first word of an allocation, so on
+	// 32-bit targets anything placed after the int-sized config or the
+	// pointer fields lands 4-aligned and sync/atomic's 64-bit
+	// operations fault on it. Every Histogram is a multiple of 8
+	// bytes, so the whole prefix stays 8-aligned.
 	commitLat    Histogram // begin→commit latency
 	abortLat     Histogram // begin→abort latency
 	abortGap     Histogram // abort→next-attempt gap (per slot)
@@ -47,6 +44,15 @@ type Collector struct {
 	// so the zero value means "none"), to derive the abort-to-retry
 	// gap without a dedicated event.
 	lastAbort [1 << 10]int64
+
+	cfg Config
+
+	kinds   [NumKinds]*ShardedCounter
+	aborts  [NumCodes]*ShardedCounter
+	hintSet *ShardedCounter // aborts with the retry hint set
+
+	remoteMiss  *ShardedCounter
+	remoteInval *ShardedCounter
 
 	mu     sync.Mutex   // guards lock registration
 	blocks atomic.Value // []*lockBlock, index = LockID
@@ -64,9 +70,26 @@ const (
 	lockCellStride = cellAborts + int(NumCodes)
 )
 
+// socketCells is one socket's attribution cells, padded out to whole
+// cache lines: threads on different sockets bump their own block, so
+// adjacent sockets must not share a line (the stride is 9 words, which
+// would otherwise overlap neighbours and turn the attribution matrix
+// itself into a false-sharing hotspot the native backend measures).
+//
+//natlevet:percpu
+type socketCells struct {
+	cells [lockCellStride]uint64
+	_     [128 - 8*lockCellStride]byte
+}
+
+//natlevet:percpu
 type lockBlock struct {
-	name  string
-	cells [MaxSockets * lockCellStride]uint64
+	// name is read-only after registration; the pad keeps the hot
+	// per-socket cells off its line.
+	name string
+	_    [48]byte
+
+	socks [MaxSockets]socketCells
 }
 
 // NewCollector creates a collector with the given config.
@@ -110,6 +133,7 @@ func (c *Collector) RegisterLock(name string) LockID {
 	return id
 }
 
+//natlevet:hotpath
 func (c *Collector) lockCell(lock LockID, socket, cell int) *uint64 {
 	blocks := c.blocks.Load().([]*lockBlock)
 	if int(lock) >= len(blocks) || lock < 0 {
@@ -118,9 +142,10 @@ func (c *Collector) lockCell(lock LockID, socket, cell int) *uint64 {
 	if socket < 0 || socket >= MaxSockets {
 		socket = 0
 	}
-	return &blocks[lock].cells[socket*lockCellStride+cell]
+	return &blocks[lock].socks[socket].cells[cell]
 }
 
+//natlevet:hotpath
 func (c *Collector) trace(e Event) {
 	if c.ring != nil {
 		c.ring.Append(e)
@@ -128,6 +153,8 @@ func (c *Collector) trace(e Event) {
 }
 
 // TxStart implements Recorder.
+//
+//natlevet:hotpath
 func (c *Collector) TxStart(at vtime.Time, slot, socket int, lock LockID) {
 	c.kinds[KindTxStart].Add(slot, 1)
 	atomic.AddUint64(c.lockCell(lock, socket, cellStarts), 1)
@@ -138,6 +165,8 @@ func (c *Collector) TxStart(at vtime.Time, slot, socket int, lock LockID) {
 }
 
 // TxCommit implements Recorder.
+//
+//natlevet:hotpath
 func (c *Collector) TxCommit(at vtime.Time, slot, socket int, lock LockID, dur vtime.Duration, readSet, writeSet int) {
 	c.kinds[KindTxCommit].Add(slot, 1)
 	atomic.AddUint64(c.lockCell(lock, socket, cellCommits), 1)
@@ -147,6 +176,8 @@ func (c *Collector) TxCommit(at vtime.Time, slot, socket int, lock LockID, dur v
 }
 
 // TxAbort implements Recorder.
+//
+//natlevet:hotpath
 func (c *Collector) TxAbort(at vtime.Time, slot, socket int, lock LockID, code Code, hint bool, dur vtime.Duration) {
 	c.kinds[KindTxAbort].Add(slot, 1)
 	if code < NumCodes {
@@ -163,6 +194,8 @@ func (c *Collector) TxAbort(at vtime.Time, slot, socket int, lock LockID, code C
 }
 
 // Fallback implements Recorder.
+//
+//natlevet:hotpath
 func (c *Collector) Fallback(at vtime.Time, slot, socket int, lock LockID, hold vtime.Duration) {
 	c.kinds[KindFallback].Add(slot, 1)
 	atomic.AddUint64(c.lockCell(lock, socket, cellFallbacks), 1)
@@ -174,6 +207,8 @@ func (c *Collector) Fallback(at vtime.Time, slot, socket int, lock LockID, hold 
 }
 
 // Wait implements Recorder.
+//
+//natlevet:hotpath
 func (c *Collector) Wait(at vtime.Time, slot, socket int, lock LockID, dur vtime.Duration) {
 	c.kinds[KindWait].Add(slot, 1)
 	atomic.AddUint64(c.lockCell(lock, socket, cellWaits), 1)
@@ -183,6 +218,8 @@ func (c *Collector) Wait(at vtime.Time, slot, socket int, lock LockID, dur vtime
 }
 
 // CacheMiss implements Recorder.
+//
+//natlevet:hotpath
 func (c *Collector) CacheMiss(at vtime.Time, socket int, remote bool) {
 	c.kinds[KindCacheMiss].Add(socket, 1)
 	if remote {
@@ -194,6 +231,8 @@ func (c *Collector) CacheMiss(at vtime.Time, socket int, remote bool) {
 }
 
 // Breaker implements Recorder.
+//
+//natlevet:hotpath
 func (c *Collector) Breaker(at vtime.Time, slot, socket int, lock LockID, open bool) {
 	k := KindBreakerClose
 	if open {
@@ -205,6 +244,8 @@ func (c *Collector) Breaker(at vtime.Time, slot, socket int, lock LockID, open b
 
 // Brownout implements Recorder. Read/Write carry the from/to levels so
 // the trace records the direction of the transition.
+//
+//natlevet:hotpath
 func (c *Collector) Brownout(at vtime.Time, slot, socket int, from, to int) {
 	c.kinds[KindBrownout].Add(slot, 1)
 	c.trace(Event{Kind: KindBrownout, At: at, Slot: int16(slot), Socket: int8(socket),
@@ -212,6 +253,8 @@ func (c *Collector) Brownout(at vtime.Time, slot, socket int, from, to int) {
 }
 
 // CacheInval implements Recorder.
+//
+//natlevet:hotpath
 func (c *Collector) CacheInval(at vtime.Time, socket int, remote bool) {
 	c.kinds[KindCacheInval].Add(socket, 1)
 	if remote {
@@ -342,14 +385,14 @@ func (c *Collector) Locks() []LockSummary {
 	for id, b := range blocks {
 		s := LockSummary{ID: LockID(id), Name: b.name}
 		for sock := 0; sock < MaxSockets; sock++ {
-			base := sock * lockCellStride
+			sc := &b.socks[sock]
 			cell := &s.PerSocket[sock]
-			cell.Starts = atomic.LoadUint64(&b.cells[base+cellStarts])
-			cell.Commits = atomic.LoadUint64(&b.cells[base+cellCommits])
-			cell.Fallbacks = atomic.LoadUint64(&b.cells[base+cellFallbacks])
-			cell.Waits = atomic.LoadUint64(&b.cells[base+cellWaits])
+			cell.Starts = atomic.LoadUint64(&sc.cells[cellStarts])
+			cell.Commits = atomic.LoadUint64(&sc.cells[cellCommits])
+			cell.Fallbacks = atomic.LoadUint64(&sc.cells[cellFallbacks])
+			cell.Waits = atomic.LoadUint64(&sc.cells[cellWaits])
 			for code := 0; code < int(NumCodes); code++ {
-				cell.Aborts[code] = atomic.LoadUint64(&b.cells[base+cellAborts+code])
+				cell.Aborts[code] = atomic.LoadUint64(&sc.cells[cellAborts+code])
 			}
 		}
 		out[id] = s

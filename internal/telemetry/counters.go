@@ -32,6 +32,8 @@ func (c *ShardedCounter) Shards() int { return len(c.shards) / counterStride }
 
 // Add atomically adds delta to the shard'th shard (wrapped modulo the
 // shard count).
+//
+//natlevet:hotpath
 func (c *ShardedCounter) Add(shard int, delta uint64) {
 	n := len(c.shards) / counterStride
 	i := shard % n

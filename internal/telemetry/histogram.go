@@ -32,6 +32,8 @@ func bucketOf(d vtime.Duration) int {
 }
 
 // Observe adds one observation.
+//
+//natlevet:hotpath
 func (h *Histogram) Observe(d vtime.Duration) {
 	atomic.AddUint64(&h.counts[bucketOf(d)], 1)
 	if d > 0 {
