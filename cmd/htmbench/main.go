@@ -107,8 +107,7 @@ func main() {
 		retryBudget = flag.Int("retrybudget", 0, "service per-shard abort budget per brownout window (0: off); exhaustion degrades the window to the mutex")
 
 		nativeOps = flag.Int("ops", 1<<14, "native backend: per-thread operation count")
-		nativeWl  = flag.String("workload", workload.BackendCounter,
-			"native backend: workload: "+strings.Join(workload.BackendWorkloads(), " | "))
+		nativeWl  = flag.String("workload", workload.BackendCounter, nativeWorkloadHelp())
 		benchJSON = flag.String("benchjson", "", "native backend: write the BENCH_native.json snapshot (every native scheme x workload) to this file")
 	)
 	flag.Parse()
@@ -130,10 +129,6 @@ func main() {
 	}
 
 	if bk == backend.Native {
-		if *svc {
-			fmt.Fprintln(os.Stderr, "the service workload is sim-only (deterministic virtual time)")
-			os.Exit(2)
-		}
 		if *chaos {
 			if !runNativeChaos(*seed, *faultName) {
 				os.Exit(1)
@@ -143,6 +138,28 @@ func main() {
 		if _, err := scheme.LookupFor(backend.Native, *lockKind); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
+		}
+		if *svc {
+			// The KV service on real goroutines. The sim-only machinery
+			// (brownout, retry budgets, fault injection, SLO search) is
+			// refused here rather than silently ignored.
+			if *brownoutUs > 0 || *retryBudget > 0 || faultProf != nil || *sloUs > 0 {
+				fmt.Fprintln(os.Stderr, "-brownout, -retrybudget, -fault, and -slo are sim-only; the native service supports -deadline")
+				os.Exit(2)
+			}
+			runNativeService(nativeServiceArgs{
+				scheme:   *lockKind,
+				arrival:  *arrival,
+				rates:    *rates,
+				shards:   *shards,
+				servers:  *servers,
+				batch:    *batch,
+				qcap:     *qcap,
+				window:   vtime.Duration(*durMs * float64(vtime.Millisecond)),
+				seed:     *seed,
+				deadline: vtime.Duration(*deadlineUs * float64(vtime.Microsecond)),
+			})
+			return
 		}
 		// TLE knobs pass through only when set explicitly, so native
 		// schemes keep their own defaults (e.g. 8 attempts, not the
@@ -156,6 +173,7 @@ func main() {
 		runNative(nativeArgs{
 			lock:       *lockKind,
 			workload:   *nativeWl,
+			set:        sets.Kind(*setKind),
 			threadsCSV: *threads,
 			ops:        *nativeOps,
 			seed:       *seed,

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"os"
 	"reflect"
+	"strings"
 	"testing"
 
 	"natle/internal/harness"
 	"natle/internal/scheme"
+	"natle/internal/workload"
 )
 
 // errAfter is an io.Writer that accepts n bytes and then fails — the
@@ -105,6 +107,35 @@ func TestWriteNativeBenchPropagatesWriteErrors(t *testing.T) {
 	var back harness.NativeBench
 	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
 		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+}
+
+// TestNativeWorkloadFlagMatchesRegistry holds the -workload flag help
+// and the backend-workload registry in agreement: every registered
+// workload is named in the help text, and the help text names only
+// registered workloads — so adding a workload without updating either
+// side fails fast.
+func TestNativeWorkloadFlagMatchesRegistry(t *testing.T) {
+	help := nativeWorkloadHelp()
+	reg := workload.BackendWorkloads()
+	if len(reg) == 0 {
+		t.Fatal("workload.BackendWorkloads() is empty")
+	}
+	const prefix = "native backend: workload: "
+	if !strings.HasPrefix(help, prefix) {
+		t.Fatalf("flag help %q lacks prefix %q", help, prefix)
+	}
+	named := strings.Split(strings.TrimPrefix(help, prefix), " | ")
+	if !reflect.DeepEqual(named, reg) {
+		t.Fatalf("flag help names %v, registry has %v", named, reg)
+	}
+	for _, wl := range named {
+		if !workload.IsBackendWorkload(wl) {
+			t.Errorf("flag help names %q but IsBackendWorkload rejects it", wl)
+		}
+	}
+	if workload.IsBackendWorkload("no-such-workload") {
+		t.Error("IsBackendWorkload accepts an unregistered name")
 	}
 }
 

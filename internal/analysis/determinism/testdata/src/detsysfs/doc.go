@@ -1,0 +1,10 @@
+// Package detsysfs is the multi-file backend-gating fixture,
+// mirroring how internal/native is laid out: the //natlevet:backend
+// native directive lives here in doc.go while the wall-clock reads
+// live in sysfs.go. The exemption is package-level — the analyzer
+// scans every file of the package for the directive — so sysfs.go's
+// violations must produce no diagnostics even though this file
+// contains none of the offending code.
+//
+//natlevet:backend native
+package detsysfs

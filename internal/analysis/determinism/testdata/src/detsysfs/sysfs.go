@@ -1,0 +1,31 @@
+package detsysfs
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// readTopologyish mimics internal/native's sysfs topology reader: it
+// touches the host filesystem and stamps the scan with wall-clock
+// time. In a simulated package both would be determinism bugs; under
+// the package-level native directive (in doc.go, not this file) they
+// are the declared point. Deliberately no want comments anywhere in
+// this package.
+func readTopologyish(root string) (int, time.Duration) {
+	start := time.Now()
+	b, err := os.ReadFile(root + "/cpu0/topology/physical_package_id")
+	if err != nil {
+		return 0, time.Since(start)
+	}
+	pkg, _ := strconv.Atoi(strings.TrimSpace(string(b)))
+	return pkg, time.Since(start)
+}
+
+// jitteredRetry is the other class of native-only code: host
+// randomness for backoff jitter.
+func jitteredRetry() {
+	time.Sleep(time.Duration(rand.Intn(64)) * time.Microsecond)
+}

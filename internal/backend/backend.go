@@ -55,9 +55,12 @@ type Ctx interface {
 	// setup context that runs before workers start.
 	Thread() int
 	// Socket is the thread's placement domain: the simulated socket
-	// under the trial's pinning policy on sim; a thread-index stripe
-	// on native (real NUMA introspection is not portable from pure
-	// Go, see internal/native).
+	// under the trial's pinning policy on sim; on native, the physical
+	// package of CPU thread%ncpu as discovered from
+	// /sys/devices/system/cpu/cpu*/topology, falling back to a
+	// fill-first thread-index stripe when sysfs is absent or an
+	// explicit group count was configured (see internal/native's
+	// ReadTopology).
 	Socket() int
 	// Rand64 draws from the thread's deterministic seeded RNG.
 	Rand64() uint64

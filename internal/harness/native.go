@@ -9,6 +9,7 @@ import (
 	"natle/internal/fault"
 	"natle/internal/native"
 	"natle/internal/scheme"
+	"natle/internal/sets"
 	"natle/internal/tle"
 	"natle/internal/workload"
 )
@@ -32,8 +33,10 @@ type NativeSweepConfig struct {
 	Ops int
 	// Seed feeds the deterministic operation schedules.
 	Seed int64
-	// KeyRange sizes the twotrees key space (default 1024).
+	// KeyRange sizes the twotrees/sets key space (default 1024).
 	KeyRange int
+	// Set selects the sets workload's structure (default avl).
+	Set sets.Kind
 	// ExternalWork bounds the random between-op work (0 disables).
 	ExternalWork int
 	// Sockets is the native thread-group count (default 2).
@@ -65,17 +68,24 @@ func NativeSweep(cfg NativeSweepConfig) []*workload.BackendResult {
 	cfg.defaults()
 	out := make([]*workload.BackendResult, 0, len(cfg.Threads))
 	for _, n := range cfg.Threads {
-		w := native.NewWorld(native.Config{Seed: cfg.Seed, Sockets: cfg.Sockets, Fault: cfg.Fault})
-		r := workload.RunBackend(w, workload.BackendConfig{
+		bc := workload.BackendConfig{
 			Lock:         cfg.Lock,
 			Workload:     cfg.Workload,
 			Threads:      n,
 			Ops:          cfg.Ops,
 			Seed:         cfg.Seed,
 			KeyRange:     cfg.KeyRange,
+			Set:          cfg.Set,
 			ExternalWork: cfg.ExternalWork,
 			TLE:          cfg.TLE,
+		}
+		// The world is sized from the workload's own estimate: the sets
+		// trials allocate structure nodes from backend words, and the
+		// default capacity is not enough for long sweeps.
+		w := native.NewWorld(native.Config{
+			Seed: cfg.Seed, Sockets: cfg.Sockets, Fault: cfg.Fault, Words: bc.MemWords(),
 		})
+		r := workload.RunBackend(w, bc)
 		r.Fault = w.FaultStats()
 		out = append(out, r)
 	}

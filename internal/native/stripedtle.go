@@ -1,0 +1,366 @@
+package native
+
+import (
+	"sync/atomic"
+
+	"natle/internal/backend"
+	"natle/internal/mem"
+	"natle/internal/scheme"
+	"natle/internal/tle"
+)
+
+// NumStripes is the conflict-detection granularity of TLEStriped: the
+// address space is folded onto this many sequence words, line by line
+// (stripe = line index mod NumStripes). Eight stripes of one line each
+// keep the whole stripe block in two or three L1 sets while making
+// same-line false conflicts — the malloc-placement effect the TSX
+// literature measures — structurally impossible between addresses more
+// than a line apart.
+const NumStripes = 8
+
+// stripedUndoCap bounds the per-attempt undo log. An attempt that
+// overflows it aborts (and, once the retry budget is burned, runs on
+// the fallback path, which holds every stripe and needs no undo); the
+// repo's critical sections write a handful of words, so the cap exists
+// for robustness, not tuning.
+const stripedUndoCap = 128
+
+// seqStripe is one sequence word on its own cache line: every
+// optimistic reader of the stripe polls it, so a neighboring stripe's
+// writer must not invalidate it.
+type seqStripe struct {
+	seq atomic.Uint64
+	_   [56]byte
+}
+
+// stripeOf folds a word address onto its stripe, whole lines at a time
+// so words that share a cache line always share a stripe.
+func stripeOf(a int) int { return (a / mem.WordsPerLine) & (NumStripes - 1) }
+
+// TLEStriped is native-tle with the per-lock sequence word sharded per
+// word-range: NumStripes seqlock words, each covering the lines that
+// fold onto it. An optimistic attempt snapshots a stripe on first
+// touch, validates every touched stripe after each load, and
+// CAS-acquires a stripe (even -> odd) before its first store into it —
+// so two writers touching disjoint stripes commit in parallel, where
+// the single-seq TLE would serialize them on one word. Writes keep an
+// undo log, which is what makes writer aborts possible at all (the
+// single-seq design upgrades to an irrevocable writer instead).
+//
+// The retry loop, capped full-jitter backoff, anti-lemming deferral,
+// starvation watchdog, stats shape, and fault hooks are all shared
+// with TLE.
+//
+//natlevet:percpu
+type TLEStriped struct {
+	// stripes are polled on every transactional access by every
+	// optimistic attempt; one line each (see seqStripe).
+	stripes [NumStripes]seqStripe
+
+	// st's counters are bumped by every thread on every attempt — true
+	// sharing, which padding between them cannot fix; the block only
+	// has to stay off the stripes' lines.
+	st stats
+	_  [8]byte
+
+	// Cold, read-only after NewTLEStriped.
+	attempts int
+	backoff  tle.Backoff
+	_        [40]byte
+}
+
+// stripedTxn is one optimistic striped attempt in flight on a thread.
+// touched is the attempt's stripe footprint (0 untouched, 1 read,
+// 2 write-acquired); snap holds, per touched stripe, the sequence value
+// the attempt expects to observe — even as snapshotted for reads,
+// bumped to the odd held value after a write acquisition.
+type stripedTxn struct {
+	active   bool
+	lock     *TLEStriped
+	spurious int // injected spurious-abort countdown (0 = unarmed)
+	budget   int // injected access budget (0 = unlimited)
+	nUndo    int
+	touched  [NumStripes]uint8
+	snap     [NumStripes]uint64
+	undoA    [stripedUndoCap]int32
+	undoV    [stripedUndoCap]uint64
+}
+
+// busySignal unwinds a striped attempt that found a stripe held by a
+// writer (odd sequence): the anti-lemming outcome, deferred without
+// burning an optimistic attempt, exactly like the single-seq TLE's
+// pre-attempt lock-held check.
+type busySignal struct{}
+
+// stripedLoad is Thread.Load inside a striped attempt: snapshot the
+// stripe on first touch, read the word, then validate the attempt's
+// whole stripe footprint (a writer holds its stripes odd until commit,
+// so any dirty value it published forces a sequence mismatch here).
+//
+//natlevet:hotpath
+func (c *Thread) stripedLoad(a int) uint64 {
+	st := &c.stx
+	s := stripeOf(a)
+	if st.touched[s] == 0 {
+		q := st.lock.stripes[s].seq.Load()
+		if q&1 == 1 {
+			panic(busySignal{})
+		}
+		st.snap[s] = q
+		st.touched[s] = 1
+	}
+	v := c.w.mem[a].Load()
+	for i := range st.touched {
+		if st.touched[i] != 0 && st.lock.stripes[i].seq.Load() != st.snap[i] {
+			panic(abortSignal{})
+		}
+	}
+	if st.spurious > 0 || st.budget > 0 {
+		c.stxAccess()
+	}
+	return v
+}
+
+// stripedStore is Thread.Store inside a striped attempt: CAS-acquire
+// the stripe (even -> odd) on first write into it, log the old value,
+// then write in place. Unlike the single-seq upgrade, acquiring one
+// stripe does not make the attempt irrevocable — a later validation
+// failure rolls the log back and releases every held stripe.
+//
+//natlevet:hotpath
+func (c *Thread) stripedStore(a int, v uint64) {
+	st := &c.stx
+	if st.spurious > 0 || st.budget > 0 {
+		c.stxAccess()
+	}
+	s := stripeOf(a)
+	if st.touched[s] != 2 {
+		sp := &st.lock.stripes[s].seq
+		if st.touched[s] == 0 {
+			q := sp.Load()
+			if q&1 == 1 {
+				panic(busySignal{})
+			}
+			st.snap[s] = q
+		}
+		if !sp.CompareAndSwap(st.snap[s], st.snap[s]+1) {
+			panic(abortSignal{})
+		}
+		st.snap[s]++ // the held (odd) value is what we now expect to see
+		st.touched[s] = 2
+	}
+	if st.nUndo == stripedUndoCap {
+		panic(abortSignal{})
+	}
+	st.undoA[st.nUndo] = int32(a)
+	st.undoV[st.nUndo] = c.w.mem[a].Load()
+	st.nUndo++
+	c.w.mem[a].Store(v)
+}
+
+// stxAccess charges one transactional access against the striped
+// attempt's injected countdown and budget. Striped attempts stay
+// abortable for their whole lifetime (the undo log), so — unlike the
+// single-seq writer upgrade — a spurious abort can fire after stores.
+//
+//natlevet:hotpath
+func (c *Thread) stxAccess() {
+	if c.stx.spurious > 0 {
+		c.stx.spurious--
+		if c.stx.spurious == 0 {
+			c.w.inj.hot.counters.spurious.Add(1)
+			panic(abortSignal{})
+		}
+	}
+	if c.stx.budget > 0 {
+		c.stx.budget--
+		if c.stx.budget == 0 {
+			panic(abortSignal{})
+		}
+	}
+}
+
+// NewTLEStriped builds a striped native-tle lock. attempts <= 0
+// selects DefaultAttempts; the zero backoff selects the repo-wide
+// capped full-jitter defaults.
+func NewTLEStriped(attempts int, backoff tle.Backoff) *TLEStriped {
+	if attempts <= 0 {
+		attempts = DefaultAttempts
+	}
+	return &TLEStriped{attempts: attempts, backoff: backoff}
+}
+
+// Name implements backend.CS.
+func (t *TLEStriped) Name() string { return "native-tle-striped" }
+
+// Stats implements scheme.BackendInstance.
+func (t *TLEStriped) Stats() scheme.Stats { return scheme.Stats{TLE: t.st.tleStats()} }
+
+// Critical implements backend.CS: optimistic striped attempts with
+// capped full-jitter backoff, anti-lemming deferral while a stripe is
+// writer-held, the starvation watchdog, then the all-stripes fallback.
+//
+//natlevet:hotpath
+func (t *TLEStriped) Critical(bc backend.Ctx, body func()) {
+	c := bc.(*Thread)
+	if c.tx.active || c.stx.active {
+		// Flat nesting: the enclosing optimistic section is the
+		// atomicity domain.
+		body()
+		return
+	}
+	t.st.ops.Add(1)
+	waits := 0
+	for attempt := 0; attempt < t.attempts; {
+		ok, busy := t.try(c, body)
+		if busy {
+			// A writer held one of the stripes we touched. Defer
+			// without burning an attempt (anti-lemming), bounded by
+			// the watchdog. The single-seq TLE makes this check before
+			// starting an attempt; with stripes the footprint is only
+			// discovered by running, so the deferral happens on unwind.
+			t.st.lockHeldWaits.Add(1)
+			waits++
+			if waits > maxLockHeldWaits {
+				t.st.starvations.Add(1)
+				break
+			}
+			c.gap(attempt, t.backoff)
+			continue
+		}
+		t.st.attempts.Add(1)
+		if ok {
+			t.st.commits.Add(1)
+			return
+		}
+		t.st.aborts.Add(1)
+		attempt++
+		c.gap(attempt, t.backoff)
+	}
+	// Fallback: acquire every stripe in index order (deadlock-free
+	// against other fallbacks; optimists never spin while holding) and
+	// run pessimistically.
+	t.st.fallbacks.Add(1)
+	t.lockAll(c)
+	if inj := c.w.inj; inj != nil {
+		inj.csStall(c)
+	}
+	body()
+	t.unlockAll()
+}
+
+// try runs one optimistic striped attempt. The attempt unwinds via a
+// busySignal or abortSignal panic from Thread.stripedLoad/stripedStore;
+// commit validates the read footprint (written stripes are still held,
+// so only reads can have been invalidated) and releases every written
+// stripe two past its snapshot.
+//
+//natlevet:hotpath
+//natlevet:seqlock
+func (t *TLEStriped) try(c *Thread, body func()) (ok, busy bool) {
+	st := &c.stx
+	st.active = true
+	st.lock = t
+	st.nUndo = 0
+	st.touched = [NumStripes]uint8{}
+	st.spurious, st.budget = 0, 0
+	if inj := c.w.inj; inj != nil {
+		st.spurious, st.budget = inj.txStart(c)
+	}
+	defer func() {
+		r := recover()
+		switch r.(type) {
+		case nil:
+			ok = true
+			for i := range st.touched {
+				if st.touched[i] == 1 && t.stripes[i].seq.Load() != st.snap[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if st.nUndo > 0 {
+					// Writer commit. An injected commit delay stretches
+					// the held window first (concurrent readers keep
+					// failing validation), the native face of a delayed
+					// cross-socket invalidation.
+					if inj := c.w.inj; inj != nil {
+						inj.commitDelay(c)
+					}
+				}
+				t.release(st)
+			} else {
+				t.rollback(c, st)
+			}
+		case busySignal:
+			t.rollback(c, st)
+			busy = true
+		case abortSignal:
+			t.rollback(c, st)
+		default:
+			// A real panic (workload bug) must propagate, but not
+			// while wedging every other thread on odd stripes or
+			// leaving half-applied writes in quiesced memory.
+			t.rollback(c, st)
+			st.active = false
+			panic(r)
+		}
+		st.active = false
+	}()
+	body()
+	return
+}
+
+// release stores every written stripe's sequence two past the value it
+// was acquired from (snap holds the odd in-progress value, so +1),
+// publishing the attempt's writes — or, after a rollback, its absence.
+func (t *TLEStriped) release(st *stripedTxn) {
+	for i := range st.touched {
+		if st.touched[i] == 2 {
+			t.stripes[i].seq.Store(st.snap[i] + 1)
+		}
+	}
+}
+
+// rollback undoes the attempt's writes in reverse order while its
+// stripes are still held, then releases them. Concurrent readers never
+// trusted the dirty values (the stripes were odd throughout), and the
+// sequence still advances so their snapshots correctly invalidate.
+func (t *TLEStriped) rollback(c *Thread, st *stripedTxn) {
+	for i := st.nUndo - 1; i >= 0; i-- {
+		c.w.mem[st.undoA[i]].Store(st.undoV[i])
+	}
+	st.nUndo = 0
+	t.release(st)
+}
+
+// lockAll acquires every stripe in index order (even -> odd), spinning
+// with capped backoff per stripe. Fallbacks order consistently against
+// each other, and optimists holding a stripe always finish and release
+// without blocking, so the sweep cannot deadlock.
+//
+//natlevet:hotpath
+func (t *TLEStriped) lockAll(c *Thread) {
+	for i := range t.stripes {
+		sp := &t.stripes[i].seq
+		for n := 0; ; n++ {
+			s := sp.Load()
+			if s&1 == 0 && sp.CompareAndSwap(s, s+1) {
+				break
+			}
+			a := n
+			if a > 6 {
+				a = 6
+			}
+			c.gap(a, t.backoff)
+		}
+	}
+}
+
+// unlockAll releases every stripe (odd -> even, advanced past every
+// snapshot taken before the acquisition).
+func (t *TLEStriped) unlockAll() {
+	for i := range t.stripes {
+		t.stripes[i].seq.Add(1)
+	}
+}

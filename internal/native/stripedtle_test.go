@@ -1,0 +1,217 @@
+package native
+
+import (
+	"testing"
+
+	"natle/internal/backend"
+	"natle/internal/tle"
+)
+
+// Two addresses on different stripes (stripe = line index mod 8, lines
+// of 8 words): word 0 is on stripe 0, word 8 on stripe 1.
+const (
+	stripedAddrA = 0 // stripe 0
+	stripedAddrB = 8 // stripe 1
+)
+
+// TestStripedValidationAbort injects one deterministic cross-stripe
+// conflict: the body advances stripe 0's sequence between a load from
+// stripe 0 and a load from stripe 1. The full-footprint validation
+// after the second load must abort exactly the first attempt.
+func TestStripedValidationAbort(t *testing.T) {
+	w := NewWorld(Config{})
+	lk := NewTLEStriped(0, tle.Backoff{})
+	poisoned := false
+	w.Run(1, func(c backend.Ctx) { c.Alloc(16) }, func(c backend.Ctx) {
+		lk.Critical(c, func() {
+			c.Load(stripedAddrA)
+			if !poisoned {
+				poisoned = true
+				lk.stripes[stripeOf(stripedAddrA)].seq.Add(2) // a foreign commit
+			}
+			c.Load(stripedAddrB)
+		})
+	})
+	st := lk.st.tleStats()
+	if st.Ops != 1 || st.Commits != 1 || st.TotalAborts() != 1 || st.Fallbacks != 0 {
+		t.Fatalf("ops=%d commits=%d aborts=%d fallbacks=%d, want 1/1/1/0",
+			st.Ops, st.Commits, st.TotalAborts(), st.Fallbacks)
+	}
+}
+
+// TestStripedWriteRelease: a committed writer must leave only the
+// stripes it wrote advanced by two, everything else untouched.
+func TestStripedWriteRelease(t *testing.T) {
+	w := NewWorld(Config{})
+	lk := NewTLEStriped(0, tle.Backoff{})
+	w.Run(1, func(c backend.Ctx) { c.Alloc(16) }, func(c backend.Ctx) {
+		lk.Critical(c, func() { c.Store(stripedAddrB, 7) })
+	})
+	if got := lk.stripes[stripeOf(stripedAddrB)].seq.Load(); got != 2 {
+		t.Fatalf("written stripe sequence = %d, want 2", got)
+	}
+	if got := lk.stripes[stripeOf(stripedAddrA)].seq.Load(); got != 0 {
+		t.Fatalf("untouched stripe sequence = %d, want 0", got)
+	}
+	if got := w.Peek(stripedAddrB); got != 7 {
+		t.Fatalf("word = %d, want 7", got)
+	}
+}
+
+// TestStripedAbortRollsBack: an attempt that stored and then failed
+// validation must undo its store before retrying (or falling back) —
+// otherwise the increment below would be applied more than once.
+func TestStripedAbortRollsBack(t *testing.T) {
+	w := NewWorld(Config{})
+	lk := NewTLEStriped(2, tle.Backoff{})
+	var addr int
+	w.Run(1, func(c backend.Ctx) {
+		c.Alloc(16)
+		addr = stripedAddrA
+	}, func(c backend.Ctx) {
+		nc := c.(*Thread)
+		lk.Critical(c, func() {
+			c.Load(stripedAddrB) // read footprint on stripe 1
+			c.Store(addr, c.Load(addr)+1)
+			if nc.stx.active {
+				// Poison the read stripe; the next load's validation
+				// aborts the attempt. The fallback path (stx inactive)
+				// runs clean.
+				lk.stripes[stripeOf(stripedAddrB)].seq.Add(2)
+				c.Load(stripedAddrB)
+			}
+		})
+	})
+	if got := w.Peek(addr); got != 1 {
+		t.Fatalf("counter = %d after aborted attempts, want 1 (rollback broken?)", got)
+	}
+	st := lk.st.tleStats()
+	if st.Fallbacks != 1 || st.TotalAborts() != 2 || st.Commits != 0 {
+		t.Fatalf("fallbacks=%d aborts=%d commits=%d, want 1/2/0",
+			st.Fallbacks, st.TotalAborts(), st.Commits)
+	}
+	if st.Ops != st.Commits+st.Fallbacks {
+		t.Fatalf("conservation broken: ops=%d commits+fallbacks=%d", st.Ops, st.Commits+st.Fallbacks)
+	}
+}
+
+// TestStripedBodyPanicReleasesAndRollsBack: a non-abort panic must
+// propagate, but with every stripe released and the attempt's writes
+// rolled back, so quiesced memory is consistent and the lock reusable.
+func TestStripedBodyPanicReleasesAndRollsBack(t *testing.T) {
+	w := NewWorld(Config{})
+	lk := NewTLEStriped(0, tle.Backoff{})
+	var addr int
+	w.Run(1, func(c backend.Ctx) {
+		c.Alloc(16)
+		addr = stripedAddrA
+	}, func(c backend.Ctx) {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("workload panic swallowed")
+				}
+			}()
+			lk.Critical(c, func() {
+				c.Store(addr, 99)
+				panic("workload bug")
+			})
+		}()
+		// The lock must still be usable and the dirty write gone.
+		lk.Critical(c, func() { c.Store(addr, c.Load(addr)+1) })
+	})
+	for i := range lk.stripes {
+		if got := lk.stripes[i].seq.Load(); got%2 != 0 {
+			t.Fatalf("stripe %d left odd (%d) after panic", i, got)
+		}
+	}
+	if got := w.Peek(addr); got != 1 {
+		t.Fatalf("word = %d, want 1 (panicked attempt's write must roll back)", got)
+	}
+}
+
+// TestStripedUndoOverflowFallsBack: a body writing more words than the
+// undo log holds must abort every optimistic attempt and complete on
+// the all-stripes fallback, which needs no undo.
+func TestStripedUndoOverflowFallsBack(t *testing.T) {
+	w := NewWorld(Config{Words: 1 << 16})
+	lk := NewTLEStriped(0, tle.Backoff{})
+	var base int
+	n := stripedUndoCap + 1
+	w.Run(1, func(c backend.Ctx) { base = c.Alloc(n) }, func(c backend.Ctx) {
+		lk.Critical(c, func() {
+			for i := 0; i < n; i++ {
+				c.Store(base+i, uint64(i)+1)
+			}
+		})
+	})
+	st := lk.st.tleStats()
+	if st.Fallbacks != 1 || st.Commits != 0 {
+		t.Fatalf("fallbacks=%d commits=%d, want 1/0", st.Fallbacks, st.Commits)
+	}
+	for i := 0; i < n; i++ {
+		if got := w.Peek(base + i); got != uint64(i)+1 {
+			t.Fatalf("word %d = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+// TestStripedSoakContended: the maximal-conflict counter soak (every
+// operation hits one word, hence one stripe) — lost updates, torn
+// rollback, or a leaked stripe show up as a wrong count, a race
+// report, or a hang.
+func TestStripedSoakContended(t *testing.T) {
+	threads, ops := 8, 4000
+	if testing.Short() {
+		threads, ops = 4, 1000
+	}
+	w := NewWorld(Config{})
+	lk := NewTLEStriped(0, tle.Backoff{})
+	if got, want := runCounter(w, lk, threads, ops), uint64(threads*ops); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	st := lk.st.tleStats()
+	if st.Ops != uint64(threads*ops) {
+		t.Fatalf("ops = %d, want %d", st.Ops, threads*ops)
+	}
+	if st.Commits+st.Fallbacks != st.Ops {
+		t.Fatalf("conservation broken: ops=%d commits=%d fallbacks=%d", st.Ops, st.Commits, st.Fallbacks)
+	}
+}
+
+// TestStripedDisjointSoak: threads write disjoint stripes (thread t
+// owns word 8t, stripe t) with an occasional shared-stripe read, so
+// parallel elision, per-stripe acquisition, and cross-stripe
+// validation all run hot together.
+func TestStripedDisjointSoak(t *testing.T) {
+	threads, ops := 8, 4000
+	if testing.Short() {
+		threads, ops = 4, 1000
+	}
+	w := NewWorld(Config{})
+	lk := NewTLEStriped(0, tle.Backoff{})
+	var base int
+	w.Run(threads, func(c backend.Ctx) {
+		base = c.Alloc(threads * 8)
+	}, func(c backend.Ctx) {
+		addr := base + c.Thread()*8
+		other := base + ((c.Thread()+1)%threads)*8
+		for j := 0; j < ops; j++ {
+			lk.Critical(c, func() {
+				if j%16 == 0 {
+					c.Load(other)
+				}
+				c.Store(addr, c.Load(addr)+1)
+			})
+		}
+	})
+	for i := 0; i < threads; i++ {
+		if got := w.Peek(base + i*8); got != uint64(ops) {
+			t.Fatalf("thread %d counter = %d, want %d", i, got, ops)
+		}
+	}
+	st := lk.st.tleStats()
+	if st.Commits+st.Fallbacks != st.Ops {
+		t.Fatalf("conservation broken: ops=%d commits=%d fallbacks=%d", st.Ops, st.Commits, st.Fallbacks)
+	}
+}

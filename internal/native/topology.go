@@ -1,0 +1,91 @@
+package native
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sysCPURoot is where Linux exposes per-CPU topology; ReadTopology
+// takes the root as a parameter so tests can point it at a fixture
+// tree, and NewWorld falls back to fill-first striping when the real
+// path is absent (non-Linux hosts, stripped-down containers).
+const sysCPURoot = "/sys/devices/system/cpu"
+
+// Topology is the CPU topology discovered from sysfs: for each online
+// CPU (in CPU-id order) the package it belongs to and its core id
+// within that package. Package ids are renumbered densely in order of
+// first appearance, so they serve directly as thread-group ordinals
+// regardless of how sparsely the kernel numbered the physical
+// packages.
+type Topology struct {
+	CPUPackage []int // dense package ordinal per CPU, CPU-id order
+	CPUCore    []int // core id per CPU, CPU-id order
+	Packages   int   // distinct packages observed
+}
+
+// ReadTopology parses <root>/cpu*/topology/{physical_package_id,
+// core_id}. CPUs without a topology directory (offline CPUs export
+// none) are skipped; an error is returned only when no CPU yields a
+// package id, so a partially populated sysfs still produces a usable
+// map.
+func ReadTopology(root string) (*Topology, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	type cpuTopo struct{ cpu, pkg, core int }
+	var cpus []cpuTopo
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "cpu") {
+			continue
+		}
+		id, err := strconv.Atoi(name[len("cpu"):])
+		if err != nil {
+			continue // cpufreq, cpuidle, ...
+		}
+		dir := filepath.Join(root, name, "topology")
+		pkg, err := readSysfsInt(filepath.Join(dir, "physical_package_id"))
+		if err != nil {
+			continue
+		}
+		core, err := readSysfsInt(filepath.Join(dir, "core_id"))
+		if err != nil {
+			core = id // exotic sysfs: fall back to the cpu id
+		}
+		cpus = append(cpus, cpuTopo{cpu: id, pkg: pkg, core: core})
+	}
+	if len(cpus) == 0 {
+		return nil, fmt.Errorf("native: no cpu topology under %s", root)
+	}
+	sort.Slice(cpus, func(i, j int) bool { return cpus[i].cpu < cpus[j].cpu })
+	t := &Topology{
+		CPUPackage: make([]int, len(cpus)),
+		CPUCore:    make([]int, len(cpus)),
+	}
+	dense := map[int]int{}
+	for i, c := range cpus {
+		g, ok := dense[c.pkg]
+		if !ok {
+			g = len(dense)
+			dense[c.pkg] = g
+		}
+		t.CPUPackage[i] = g
+		t.CPUCore[i] = c.core
+	}
+	t.Packages = len(dense)
+	return t, nil
+}
+
+// readSysfsInt reads one small integer file ("0\n").
+func readSysfsInt(path string) (int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(strings.TrimSpace(string(b)))
+}

@@ -1,0 +1,137 @@
+package native
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"natle/internal/backend"
+)
+
+// writeSysfsFixture builds a fake /sys/devices/system/cpu tree: four
+// online CPUs on two sparsely-numbered packages, one offline CPU
+// without a topology directory, and the non-CPU entries a real sysfs
+// holds alongside the cpuN directories.
+func writeSysfsFixture(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	// Deliberately sparse package ids (3 then 7) and out-of-order
+	// creation: ReadTopology must densify by first appearance in
+	// CPU-id order, not by package-id value.
+	cpus := []struct{ cpu, pkg, core int }{
+		{0, 3, 0}, {1, 3, 1}, {2, 7, 0}, {3, 7, 1},
+	}
+	for _, c := range cpus {
+		dir := filepath.Join(root, "cpu"+itoa(c.cpu), "topology")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		write := func(name string, v int) {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(itoa(v)+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		write("physical_package_id", c.pkg)
+		write("core_id", c.core)
+	}
+	// Offline CPU: directory exists, topology does not.
+	if err := os.MkdirAll(filepath.Join(root, "cpu4"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Non-CPU siblings that must be skipped, not parsed.
+	for _, d := range []string{"cpufreq", "cpuidle"} {
+		if err := os.MkdirAll(filepath.Join(root, d), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(root, "online"), []byte("0-3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestReadTopologyFixture(t *testing.T) {
+	topo, err := ReadTopology(writeSysfsFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Packages != 2 {
+		t.Fatalf("packages = %d, want 2", topo.Packages)
+	}
+	if want := []int{0, 0, 1, 1}; !reflect.DeepEqual(topo.CPUPackage, want) {
+		t.Fatalf("CPUPackage = %v, want %v (dense ordinals, first-appearance order)", topo.CPUPackage, want)
+	}
+	if want := []int{0, 1, 0, 1}; !reflect.DeepEqual(topo.CPUCore, want) {
+		t.Fatalf("CPUCore = %v, want %v", topo.CPUCore, want)
+	}
+}
+
+func TestReadTopologyMissingRoot(t *testing.T) {
+	if _, err := ReadTopology(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("ReadTopology on a missing root succeeded; want error")
+	}
+}
+
+func TestReadTopologyEmptyRoot(t *testing.T) {
+	// A root with no parseable CPUs (only an offline one) must error so
+	// NewWorld takes the fill-first fallback instead of zero groups.
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "cpu0"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTopology(root); err == nil {
+		t.Fatal("ReadTopology with no topology files succeeded; want error")
+	}
+}
+
+// TestWorldGroupWiring pins the Config→World plumbing: an explicit
+// Sockets forces stripe mode, and the default either discovers sysfs
+// (on Linux hosts that export it) or falls back to stripe — in both
+// cases Groups/GroupSource/Socket stay mutually consistent.
+func TestWorldGroupWiring(t *testing.T) {
+	w := NewWorld(Config{Sockets: 3})
+	if w.Groups() != 3 || w.GroupSource() != "stripe" {
+		t.Fatalf("explicit sockets: groups=%d source=%q, want 3/stripe", w.Groups(), w.GroupSource())
+	}
+
+	w = NewWorld(Config{})
+	switch w.GroupSource() {
+	case "sysfs":
+		if len(w.cpuGroup) == 0 || w.Groups() <= 0 {
+			t.Fatalf("sysfs mode with groups=%d cpuGroup len=%d", w.Groups(), len(w.cpuGroup))
+		}
+	case "stripe":
+		if w.Groups() != 2 {
+			t.Fatalf("fallback stripe mode with groups=%d, want 2", w.Groups())
+		}
+	default:
+		t.Fatalf("unknown group source %q", w.GroupSource())
+	}
+	// Whatever the mode, every worker's Socket() must be a valid group
+	// ordinal.
+	var bad atomic.Int32
+	w.Run(5, func(c backend.Ctx) {}, func(c backend.Ctx) {
+		if s := c.Socket(); s < 0 || s >= w.Groups() {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d workers saw Socket() outside [0,%d)", bad.Load(), w.Groups())
+	}
+}

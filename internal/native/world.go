@@ -21,11 +21,14 @@ type Config struct {
 	// schedule* of a native trial is reproducible even though its
 	// timing is not.
 	Seed int64
-	// Sockets is the thread-group count used as the native stand-in
-	// for socket placement (default 2). Pure Go has no portable NUMA
-	// introspection, so groups are thread-index stripes: thread i of
-	// n is in group i*Sockets/n, mirroring the simulator's
-	// fill-socket-first pinning.
+	// Sockets, when positive, forces the thread-group count and
+	// fill-first striping: thread i of n is in group i*Sockets/n,
+	// mirroring the simulator's fill-socket-first pinning. When zero,
+	// the world discovers the host's real topology from
+	// /sys/devices/system/cpu/cpu*/topology (package + core ids) and
+	// maps thread t to the package of CPU t%ncpu; if sysfs is absent
+	// (non-Linux, stripped containers) it falls back to fill-first
+	// striping over 2 groups.
 	Sockets int
 	// Fault, if non-nil and enabled, installs the native fault
 	// adapter (see Fault): the chaos schedules stress real goroutines
@@ -36,13 +39,15 @@ type Config struct {
 // World is the native execution backend: real goroutines over a real
 // atomic word array on wall-clock time. It implements backend.World.
 type World struct {
-	mem     []atomic.Uint64
-	next    int
-	seed    int64
-	sockets int
-	threads int // workers of the current Run (socket striping)
-	epoch   time.Time
-	inj     *Fault // nil unless Config.Fault armed one
+	mem      []atomic.Uint64
+	next     int
+	seed     int64
+	sockets  int
+	cpuGroup []int  // per-CPU dense package ordinal (sysfs mode only)
+	groupSrc string // "sysfs" or "stripe"
+	threads  int    // workers of the current Run (socket striping)
+	epoch    time.Time
+	inj      *Fault // nil unless Config.Fault armed one
 }
 
 // NewWorld builds a native world.
@@ -50,14 +55,20 @@ func NewWorld(cfg Config) *World {
 	if cfg.Words <= 0 {
 		cfg.Words = 1 << 20
 	}
-	if cfg.Sockets <= 0 {
-		cfg.Sockets = 2
-	}
 	w := &World{
-		mem:     make([]atomic.Uint64, cfg.Words),
-		seed:    cfg.Seed,
-		sockets: cfg.Sockets,
-		epoch:   time.Now(),
+		mem:   make([]atomic.Uint64, cfg.Words),
+		seed:  cfg.Seed,
+		epoch: time.Now(),
+	}
+	switch {
+	case cfg.Sockets > 0:
+		w.sockets, w.groupSrc = cfg.Sockets, "stripe"
+	default:
+		if topo, err := ReadTopology(sysCPURoot); err == nil && topo.Packages > 0 {
+			w.sockets, w.cpuGroup, w.groupSrc = topo.Packages, topo.CPUPackage, "sysfs"
+		} else {
+			w.sockets, w.groupSrc = 2, "stripe"
+		}
 	}
 	if cfg.Fault != nil && cfg.Fault.Enabled() {
 		w.inj = NewFault(*cfg.Fault)
@@ -78,6 +89,16 @@ func (w *World) Peek(a int) uint64 { return w.mem[a].Load() }
 // Sockets returns the world's thread-group count (the native stand-in
 // for socket placement).
 func (w *World) Sockets() int { return w.sockets }
+
+// Groups returns the thread-group count, alongside GroupSource, for
+// BackendResult's optional topology probe.
+func (w *World) Groups() int { return w.sockets }
+
+// GroupSource reports how the thread groups were obtained: "sysfs" for
+// real /sys/devices/system/cpu topology, "stripe" for fill-first
+// striping (explicit Config.Sockets, or the fallback when sysfs is
+// absent).
+func (w *World) GroupSource() string { return w.groupSrc }
 
 // now returns monotonic wall-clock nanoseconds since the world was
 // built (time.Since uses the monotonic clock reading of the epoch).
@@ -132,6 +153,7 @@ type Thread struct {
 	thread int
 	rng    uint64
 	tx     txn
+	stx    stripedTxn
 	sink   uint64 // Work/spin accumulator, defeats dead-code elimination
 }
 
@@ -154,9 +176,17 @@ type abortSignal struct{}
 // Thread returns the worker index (-1 for the setup context).
 func (c *Thread) Thread() int { return c.thread }
 
-// Socket returns the thread's group under fill-first striping.
+// Socket returns the thread's group: the package of CPU thread%ncpu
+// when the world discovered sysfs topology, fill-first striping
+// otherwise.
 func (c *Thread) Socket() int {
-	if c.thread < 0 || c.w.threads <= 0 || c.w.sockets <= 1 {
+	if c.thread < 0 || c.w.sockets <= 1 {
+		return 0
+	}
+	if g := c.w.cpuGroup; len(g) > 0 {
+		return g[c.thread%len(g)]
+	}
+	if c.w.threads <= 0 {
 		return 0
 	}
 	g := c.thread * c.w.sockets / c.w.threads
@@ -210,6 +240,9 @@ func (c *Thread) Alloc(nWords int) int { return c.w.alloc(nWords) }
 //
 //natlevet:hotpath
 func (c *Thread) Load(a int) uint64 {
+	if c.stx.active {
+		return c.stripedLoad(a)
+	}
 	v := c.w.mem[a].Load()
 	if c.tx.active && !c.tx.writer {
 		if c.tx.seq.Load() != c.tx.start {
@@ -228,6 +261,10 @@ func (c *Thread) Load(a int) uint64 {
 //
 //natlevet:hotpath
 func (c *Thread) Store(a int, v uint64) {
+	if c.stx.active {
+		c.stripedStore(a, v)
+		return
+	}
 	if c.tx.active && !c.tx.writer {
 		if c.tx.spurious > 0 || c.tx.budget > 0 {
 			c.txAccess()

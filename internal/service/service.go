@@ -261,6 +261,14 @@ type Result struct {
 	// and Config.Batch was forced to 1.
 	BatchClamped bool
 
+	// StoreCheck is the checksum of the final KV-store contents (FNV
+	// over sorted key/value pairs; see storeChecksum). With one server
+	// per shard and no shedding, each shard applies its request
+	// subsequence in schedule order on every backend, so the sim and
+	// native runs of one Config must agree — the cross-backend
+	// conformance invariant for the service pipeline.
+	StoreCheck uint64
+
 	// Sync aggregates the per-shard scheme counters (field-wise sum of
 	// the TLE counters; timelines stay per-shard). SyncPerShard keeps
 	// each shard's full snapshot.
@@ -604,6 +612,14 @@ func Run(cfg Config) *Result {
 			res.SyncPerShard[i] = s.cs.Stats()
 		}
 		res.Drained = lastDone
+
+		// Final-contents checksum over raw memory: no simulated events,
+		// so traces (and the pinned snapshots) are unaffected.
+		var pairs [][2]uint64
+		for _, s := range shards {
+			s.m.RawEach(func(k, v uint64) { pairs = append(pairs, [2]uint64{k, v}) })
+		}
+		res.StoreCheck = storeChecksum(pairs)
 	})
 	e.Run()
 

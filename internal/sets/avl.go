@@ -3,6 +3,7 @@ package sets
 import (
 	"fmt"
 
+	"natle/internal/arena"
 	"natle/internal/htm"
 	"natle/internal/mem"
 	"natle/internal/sim"
@@ -11,11 +12,283 @@ import (
 // AVL node layout: one cache line per node.
 const (
 	avlKey    = 0 // int64
-	avlLeft   = 1 // mem.Addr
-	avlRight  = 2 // mem.Addr
+	avlLeft   = 1 // node address
+	avlRight  = 2 // node address
 	avlHeight = 3 // int64 (leaf = 1)
 	avlWords  = 4
 )
+
+func avlKeyOf[M arena.Mem](m M, n uint64) int64   { return int64(m.Load(n + avlKey)) }
+func avlLeftOf[M arena.Mem](m M, n uint64) uint64 { return m.Load(n + avlLeft) }
+func avlRightOf[M arena.Mem](m M, n uint64) uint64 {
+	return m.Load(n + avlRight)
+}
+
+func avlHeightOf[M arena.Mem](m M, n uint64) int64 {
+	if n == arena.Nil {
+		return 0
+	}
+	return int64(m.Load(n + avlHeight))
+}
+
+func avlContains[M arena.Mem](m M, root uint64, key int64) bool {
+	n := m.Load(root)
+	for n != arena.Nil {
+		k := avlKeyOf(m, n)
+		switch {
+		case key == k:
+			return true
+		case key < k:
+			n = avlLeftOf(m, n)
+		default:
+			n = avlRightOf(m, n)
+		}
+	}
+	return false
+}
+
+func avlSearchReplace[M arena.Mem](m M, root uint64, key int64) {
+	n := m.Load(root)
+	last := arena.Nil
+	for n != arena.Nil {
+		last = n
+		k := avlKeyOf(m, n)
+		if key == k {
+			break
+		}
+		if key < k {
+			n = avlLeftOf(m, n)
+		} else {
+			n = avlRightOf(m, n)
+		}
+	}
+	if last != arena.Nil {
+		m.Store(last+avlKey, uint64(avlKeyOf(m, last)))
+	}
+}
+
+func avlInsert[M arena.Mem](m M, root uint64, key int64) bool {
+	var stack [64]uint64
+	depth := 0
+	n := m.Load(root)
+	for n != arena.Nil {
+		stack[depth] = n
+		depth++
+		k := avlKeyOf(m, n)
+		if key == k {
+			return false
+		}
+		if key < k {
+			n = avlLeftOf(m, n)
+		} else {
+			n = avlRightOf(m, n)
+		}
+	}
+	nn := m.Alloc(avlWords)
+	m.Store(nn+avlKey, uint64(key))
+	m.Store(nn+avlHeight, 1)
+	if depth == 0 {
+		m.Store(root, nn)
+		return true
+	}
+	p := stack[depth-1]
+	if key < avlKeyOf(m, p) {
+		m.Store(p+avlLeft, nn)
+	} else {
+		m.Store(p+avlRight, nn)
+	}
+	avlRebalance(m, root, stack[:depth])
+	return true
+}
+
+func avlDelete[M arena.Mem](m M, root uint64, key int64) bool {
+	var stack [64]uint64
+	depth := 0
+	n := m.Load(root)
+	for n != arena.Nil {
+		stack[depth] = n
+		depth++
+		k := avlKeyOf(m, n)
+		if key == k {
+			break
+		}
+		if key < k {
+			n = avlLeftOf(m, n)
+		} else {
+			n = avlRightOf(m, n)
+		}
+	}
+	if n == arena.Nil {
+		return false
+	}
+	// If n has two children, copy in the successor's key and splice
+	// out the successor instead (an interior write that may touch a
+	// node high in the tree).
+	if avlLeftOf(m, n) != arena.Nil && avlRightOf(m, n) != arena.Nil {
+		s := avlRightOf(m, n)
+		stack[depth] = s
+		depth++
+		for {
+			l := avlLeftOf(m, s)
+			if l == arena.Nil {
+				break
+			}
+			s = l
+			stack[depth] = s
+			depth++
+		}
+		m.Store(n+avlKey, uint64(avlKeyOf(m, s)))
+		n = s
+	}
+	// n now has at most one child; splice it out.
+	repl := avlLeftOf(m, n)
+	if repl == arena.Nil {
+		repl = avlRightOf(m, n)
+	}
+	depth-- // pop n
+	if depth == 0 {
+		m.Store(root, repl)
+		return true
+	}
+	p := stack[depth-1]
+	if avlLeftOf(m, p) == n {
+		m.Store(p+avlLeft, repl)
+	} else {
+		m.Store(p+avlRight, repl)
+	}
+	avlRebalance(m, root, stack[:depth])
+	return true
+}
+
+// avlRebalance walks the access path bottom-up, refreshing heights and
+// rotating where the balance factor exceeds one. It stops early when a
+// node's height is unchanged and needs no rotation — the property that
+// keeps most AVL updates near the leaves.
+func avlRebalance[M arena.Mem](m M, root uint64, stack []uint64) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		n := stack[i]
+		lh := avlHeightOf(m, avlLeftOf(m, n))
+		rh := avlHeightOf(m, avlRightOf(m, n))
+		bf := lh - rh
+		if bf > 1 || bf < -1 {
+			sub := avlRotate(m, n, bf)
+			if i == 0 {
+				m.Store(root, sub)
+			} else {
+				p := stack[i-1]
+				if avlLeftOf(m, p) == n {
+					m.Store(p+avlLeft, sub)
+				} else {
+					m.Store(p+avlRight, sub)
+				}
+			}
+			continue
+		}
+		nh := max64(lh, rh) + 1
+		if int64(m.Load(n+avlHeight)) == nh {
+			return // height unchanged: no ancestor can change
+		}
+		m.Store(n+avlHeight, uint64(nh))
+	}
+}
+
+// avlRotate restores balance at n (bf is its balance factor) and
+// returns the new subtree root with all heights fixed.
+func avlRotate[M arena.Mem](m M, n uint64, bf int64) uint64 {
+	if bf > 1 {
+		l := avlLeftOf(m, n)
+		if avlHeightOf(m, avlLeftOf(m, l)) < avlHeightOf(m, avlRightOf(m, l)) {
+			m.Store(n+avlLeft, avlRotLeft(m, l))
+		}
+		return avlRotRight(m, n)
+	}
+	r := avlRightOf(m, n)
+	if avlHeightOf(m, avlRightOf(m, r)) < avlHeightOf(m, avlLeftOf(m, r)) {
+		m.Store(n+avlRight, avlRotRight(m, r))
+	}
+	return avlRotLeft(m, n)
+}
+
+func avlFixHeight[M arena.Mem](m M, n uint64) {
+	h := max64(avlHeightOf(m, avlLeftOf(m, n)), avlHeightOf(m, avlRightOf(m, n))) + 1
+	if int64(m.Load(n+avlHeight)) != h {
+		m.Store(n+avlHeight, uint64(h))
+	}
+}
+
+func avlRotRight[M arena.Mem](m M, n uint64) uint64 {
+	l := avlLeftOf(m, n)
+	m.Store(n+avlLeft, avlRightOf(m, l))
+	avlFixHeight(m, n)
+	m.Store(l+avlRight, n)
+	avlFixHeight(m, l)
+	return l
+}
+
+func avlRotLeft[M arena.Mem](m M, n uint64) uint64 {
+	r := avlRightOf(m, n)
+	m.Store(n+avlRight, avlLeftOf(m, r))
+	avlFixHeight(m, n)
+	m.Store(r+avlLeft, n)
+	avlFixHeight(m, r)
+	return r
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// avlKeys is the raw in-order walk (validation only).
+func avlKeys[M arena.Mem](m M, root uint64) []int64 {
+	var out []int64
+	var walk func(n uint64)
+	walk = func(n uint64) {
+		if n == arena.Nil {
+			return
+		}
+		walk(m.Load(n + avlLeft))
+		out = append(out, int64(m.Load(n+avlKey)))
+		walk(m.Load(n + avlRight))
+	}
+	walk(m.Load(root))
+	return out
+}
+
+// avlCheck validates BST ordering, correct stored heights, and balance
+// factors within [-1, 1] at every node (validation only).
+func avlCheck[M arena.Mem](m M, root uint64) error {
+	var check func(n uint64, lo, hi int64) (int64, error)
+	check = func(n uint64, lo, hi int64) (int64, error) {
+		if n == arena.Nil {
+			return 0, nil
+		}
+		k := int64(m.Load(n + avlKey))
+		if k < lo || k > hi {
+			return 0, fmt.Errorf("avl: key %d outside (%d, %d)", k, lo, hi)
+		}
+		lh, err := check(m.Load(n+avlLeft), lo, k-1)
+		if err != nil {
+			return 0, err
+		}
+		rh, err := check(m.Load(n+avlRight), k+1, hi)
+		if err != nil {
+			return 0, err
+		}
+		h := max64(lh, rh) + 1
+		if stored := int64(m.Load(n + avlHeight)); stored != h {
+			return 0, fmt.Errorf("avl: node %d stored height %d, actual %d", k, stored, h)
+		}
+		if bf := lh - rh; bf > 1 || bf < -1 {
+			return 0, fmt.Errorf("avl: node %d unbalanced (bf=%d)", k, bf)
+		}
+		return h, nil
+	}
+	_, err := check(m.Load(root), -1<<62, 1<<62)
+	return err
+}
 
 // AVL is a height-balanced binary search tree [Adelson-Velsky & Landis
 // 1962]. Most updates touch only a few nodes near the leaves, but
@@ -35,283 +308,33 @@ func NewAVL(sys *htm.System, c *sim.Ctx) *AVL {
 // Name implements Set.
 func (t *AVL) Name() string { return "avl" }
 
-func (t *AVL) rd(c *sim.Ctx, a mem.Addr, f mem.Addr) uint64 {
-	return t.sys.Read(c, a+f)
-}
-func (t *AVL) wr(c *sim.Ctx, a mem.Addr, f mem.Addr, v uint64) {
-	t.sys.Write(c, a+f, v)
-}
-func (t *AVL) key(c *sim.Ctx, n mem.Addr) int64      { return int64(t.rd(c, n, avlKey)) }
-func (t *AVL) left(c *sim.Ctx, n mem.Addr) mem.Addr  { return mem.Addr(t.rd(c, n, avlLeft)) }
-func (t *AVL) right(c *sim.Ctx, n mem.Addr) mem.Addr { return mem.Addr(t.rd(c, n, avlRight)) }
-
-func (t *AVL) height(c *sim.Ctx, n mem.Addr) int64 {
-	if n == mem.Nil {
-		return 0
-	}
-	return int64(t.rd(c, n, avlHeight))
-}
-
 // Contains implements Set.
 func (t *AVL) Contains(c *sim.Ctx, key int64) bool {
-	n := mem.Addr(t.sys.Read(c, t.root))
-	for n != mem.Nil {
-		k := t.key(c, n)
-		switch {
-		case key == k:
-			return true
-		case key < k:
-			n = t.left(c, n)
-		default:
-			n = t.right(c, n)
-		}
-	}
-	return false
+	return avlContains(arena.Sim{Sys: t.sys, C: c}, uint64(t.root), key)
 }
 
 // SearchReplace implements Set.
 func (t *AVL) SearchReplace(c *sim.Ctx, key int64) {
-	n := mem.Addr(t.sys.Read(c, t.root))
-	last := mem.Nil
-	for n != mem.Nil {
-		last = n
-		k := t.key(c, n)
-		if key == k {
-			break
-		}
-		if key < k {
-			n = t.left(c, n)
-		} else {
-			n = t.right(c, n)
-		}
-	}
-	if last != mem.Nil {
-		t.wr(c, last, avlKey, uint64(t.key(c, last)))
-	}
+	avlSearchReplace(arena.Sim{Sys: t.sys, C: c}, uint64(t.root), key)
 }
 
 // Insert implements Set.
 func (t *AVL) Insert(c *sim.Ctx, key int64) bool {
-	var stack [64]mem.Addr
-	depth := 0
-	n := mem.Addr(t.sys.Read(c, t.root))
-	for n != mem.Nil {
-		stack[depth] = n
-		depth++
-		k := t.key(c, n)
-		if key == k {
-			return false
-		}
-		if key < k {
-			n = t.left(c, n)
-		} else {
-			n = t.right(c, n)
-		}
-	}
-	nn := t.sys.Alloc(c, avlWords)
-	t.wr(c, nn, avlKey, uint64(key))
-	t.wr(c, nn, avlHeight, 1)
-	if depth == 0 {
-		t.sys.Write(c, t.root, uint64(nn))
-		return true
-	}
-	p := stack[depth-1]
-	if key < t.key(c, p) {
-		t.wr(c, p, avlLeft, uint64(nn))
-	} else {
-		t.wr(c, p, avlRight, uint64(nn))
-	}
-	t.rebalance(c, stack[:depth])
-	return true
+	return avlInsert(arena.Sim{Sys: t.sys, C: c}, uint64(t.root), key)
 }
 
 // Delete implements Set.
 func (t *AVL) Delete(c *sim.Ctx, key int64) bool {
-	var stack [64]mem.Addr
-	depth := 0
-	n := mem.Addr(t.sys.Read(c, t.root))
-	for n != mem.Nil {
-		stack[depth] = n
-		depth++
-		k := t.key(c, n)
-		if key == k {
-			break
-		}
-		if key < k {
-			n = t.left(c, n)
-		} else {
-			n = t.right(c, n)
-		}
-	}
-	if n == mem.Nil {
-		return false
-	}
-	// If n has two children, copy in the successor's key and splice
-	// out the successor instead (an interior write that may touch a
-	// node high in the tree).
-	if t.left(c, n) != mem.Nil && t.right(c, n) != mem.Nil {
-		m := t.right(c, n)
-		stack[depth] = m
-		depth++
-		for {
-			l := t.left(c, m)
-			if l == mem.Nil {
-				break
-			}
-			m = l
-			stack[depth] = m
-			depth++
-		}
-		t.wr(c, n, avlKey, uint64(t.key(c, m)))
-		n = m
-	}
-	// n now has at most one child; splice it out.
-	repl := t.left(c, n)
-	if repl == mem.Nil {
-		repl = t.right(c, n)
-	}
-	depth-- // pop n
-	if depth == 0 {
-		t.sys.Write(c, t.root, uint64(repl))
-		return true
-	}
-	p := stack[depth-1]
-	if t.left(c, p) == n {
-		t.wr(c, p, avlLeft, uint64(repl))
-	} else {
-		t.wr(c, p, avlRight, uint64(repl))
-	}
-	t.rebalance(c, stack[:depth])
-	return true
-}
-
-// rebalance walks the access path bottom-up, refreshing heights and
-// rotating where the balance factor exceeds one. It stops early when a
-// node's height is unchanged and needs no rotation — the property that
-// keeps most AVL updates near the leaves.
-func (t *AVL) rebalance(c *sim.Ctx, stack []mem.Addr) {
-	for i := len(stack) - 1; i >= 0; i-- {
-		n := stack[i]
-		lh := t.height(c, t.left(c, n))
-		rh := t.height(c, t.right(c, n))
-		bf := lh - rh
-		if bf > 1 || bf < -1 {
-			sub := t.rotate(c, n, bf)
-			if i == 0 {
-				t.sys.Write(c, t.root, uint64(sub))
-			} else {
-				p := stack[i-1]
-				if t.left(c, p) == n {
-					t.wr(c, p, avlLeft, uint64(sub))
-				} else {
-					t.wr(c, p, avlRight, uint64(sub))
-				}
-			}
-			continue
-		}
-		nh := max64(lh, rh) + 1
-		if int64(t.rd(c, n, avlHeight)) == nh {
-			return // height unchanged: no ancestor can change
-		}
-		t.wr(c, n, avlHeight, uint64(nh))
-	}
-}
-
-// rotate restores balance at n (bf is its balance factor) and returns
-// the new subtree root with all heights fixed.
-func (t *AVL) rotate(c *sim.Ctx, n mem.Addr, bf int64) mem.Addr {
-	if bf > 1 {
-		l := t.left(c, n)
-		if t.height(c, t.left(c, l)) < t.height(c, t.right(c, l)) {
-			t.wr(c, n, avlLeft, uint64(t.rotLeft(c, l)))
-		}
-		return t.rotRight(c, n)
-	}
-	r := t.right(c, n)
-	if t.height(c, t.right(c, r)) < t.height(c, t.left(c, r)) {
-		t.wr(c, n, avlRight, uint64(t.rotRight(c, r)))
-	}
-	return t.rotLeft(c, n)
-}
-
-func (t *AVL) fixHeight(c *sim.Ctx, n mem.Addr) {
-	h := max64(t.height(c, t.left(c, n)), t.height(c, t.right(c, n))) + 1
-	if int64(t.rd(c, n, avlHeight)) != h {
-		t.wr(c, n, avlHeight, uint64(h))
-	}
-}
-
-func (t *AVL) rotRight(c *sim.Ctx, n mem.Addr) mem.Addr {
-	l := t.left(c, n)
-	t.wr(c, n, avlLeft, uint64(t.right(c, l)))
-	t.fixHeight(c, n)
-	t.wr(c, l, avlRight, uint64(n))
-	t.fixHeight(c, l)
-	return l
-}
-
-func (t *AVL) rotLeft(c *sim.Ctx, n mem.Addr) mem.Addr {
-	r := t.right(c, n)
-	t.wr(c, n, avlRight, uint64(t.left(c, r)))
-	t.fixHeight(c, n)
-	t.wr(c, r, avlLeft, uint64(n))
-	t.fixHeight(c, r)
-	return r
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
+	return avlDelete(arena.Sim{Sys: t.sys, C: c}, uint64(t.root), key)
 }
 
 // Keys implements Set (raw in-order walk; validation only).
 func (t *AVL) Keys() []int64 {
-	var out []int64
-	var walk func(n mem.Addr)
-	walk = func(n mem.Addr) {
-		if n == mem.Nil {
-			return
-		}
-		walk(mem.Addr(t.sys.Mem.Raw(n + avlLeft)))
-		out = append(out, int64(t.sys.Mem.Raw(n+avlKey)))
-		walk(mem.Addr(t.sys.Mem.Raw(n + avlRight)))
-	}
-	walk(mem.Addr(t.sys.Mem.Raw(t.root)))
-	return out
+	return avlKeys(arena.SimRaw{Space: t.sys.Mem}, uint64(t.root))
 }
 
 // CheckInvariants implements Set: BST ordering, correct stored heights,
 // and balance factors within [-1, 1] at every node.
 func (t *AVL) CheckInvariants() error {
-	raw := t.sys.Mem
-	var check func(n mem.Addr, lo, hi int64) (int64, error)
-	check = func(n mem.Addr, lo, hi int64) (int64, error) {
-		if n == mem.Nil {
-			return 0, nil
-		}
-		k := int64(raw.Raw(n + avlKey))
-		if k < lo || k > hi {
-			return 0, fmt.Errorf("avl: key %d outside (%d, %d)", k, lo, hi)
-		}
-		lh, err := check(mem.Addr(raw.Raw(n+avlLeft)), lo, k-1)
-		if err != nil {
-			return 0, err
-		}
-		rh, err := check(mem.Addr(raw.Raw(n+avlRight)), k+1, hi)
-		if err != nil {
-			return 0, err
-		}
-		h := max64(lh, rh) + 1
-		if stored := int64(raw.Raw(n + avlHeight)); stored != h {
-			return 0, fmt.Errorf("avl: node %d stored height %d, actual %d", k, stored, h)
-		}
-		if bf := lh - rh; bf > 1 || bf < -1 {
-			return 0, fmt.Errorf("avl: node %d unbalanced (bf=%d)", k, bf)
-		}
-		return h, nil
-	}
-	_, err := check(mem.Addr(raw.Raw(t.root)), -1<<62, 1<<62)
-	return err
+	return avlCheck(arena.SimRaw{Space: t.sys.Mem}, uint64(t.root))
 }

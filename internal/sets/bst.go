@@ -3,6 +3,7 @@ package sets
 import (
 	"fmt"
 
+	"natle/internal/arena"
 	"natle/internal/htm"
 	"natle/internal/mem"
 	"natle/internal/sim"
@@ -15,6 +16,171 @@ const (
 	ibRight = 2
 	ibWords = 3
 )
+
+// The structure cores below are generic over arena.Mem, so the same
+// word-by-word access sequence runs against the simulator (arena.Sim)
+// and the native backend (arena.Backend). The address passed as `root`
+// is always the root-pointer word, not the root node.
+
+func bstKey[M arena.Mem](m M, n uint64) int64 {
+	return int64(m.Load(n + ibKey))
+}
+
+func bstChild[M arena.Mem](m M, n uint64, leftSide bool) uint64 {
+	f := uint64(ibRight)
+	if leftSide {
+		f = ibLeft
+	}
+	return m.Load(n + f)
+}
+
+func bstContains[M arena.Mem](m M, root uint64, key int64) bool {
+	n := m.Load(root)
+	for n != arena.Nil {
+		k := bstKey(m, n)
+		if k == key {
+			return true
+		}
+		n = bstChild(m, n, key < k)
+	}
+	return false
+}
+
+func bstSearchReplace[M arena.Mem](m M, root uint64, key int64) {
+	n := m.Load(root)
+	last := arena.Nil
+	for n != arena.Nil {
+		last = n
+		k := bstKey(m, n)
+		if k == key {
+			break
+		}
+		n = bstChild(m, n, key < k)
+	}
+	if last != arena.Nil {
+		m.Store(last+ibKey, uint64(bstKey(m, last)))
+	}
+}
+
+func bstNewNode[M arena.Mem](m M, key int64) uint64 {
+	n := m.Alloc(ibWords)
+	m.Store(n+ibKey, uint64(key))
+	return n
+}
+
+func bstInsert[M arena.Mem](m M, root uint64, key int64) bool {
+	n := m.Load(root)
+	if n == arena.Nil {
+		m.Store(root, bstNewNode(m, key))
+		return true
+	}
+	for {
+		k := bstKey(m, n)
+		if k == key {
+			return false
+		}
+		next := bstChild(m, n, key < k)
+		if next == arena.Nil {
+			f := uint64(ibRight)
+			if key < k {
+				f = ibLeft
+			}
+			m.Store(n+f, bstNewNode(m, key))
+			return true
+		}
+		n = next
+	}
+}
+
+func bstDelete[M arena.Mem](m M, root uint64, key int64) bool {
+	parent := arena.Nil
+	parentLeft := false
+	n := m.Load(root)
+	for n != arena.Nil {
+		k := bstKey(m, n)
+		if k == key {
+			break
+		}
+		parent, parentLeft = n, key < k
+		n = bstChild(m, n, key < k)
+	}
+	if n == arena.Nil {
+		return false
+	}
+	l, r := bstChild(m, n, true), bstChild(m, n, false)
+	if l != arena.Nil && r != arena.Nil {
+		// Two children: copy successor key into n, then splice out the
+		// successor (leftmost node of the right subtree).
+		sp, spLeft := n, false
+		s := r
+		for {
+			sl := bstChild(m, s, true)
+			if sl == arena.Nil {
+				break
+			}
+			sp, spLeft = s, true
+			s = sl
+		}
+		m.Store(n+ibKey, uint64(bstKey(m, s)))
+		bstSplice(m, root, sp, spLeft, s)
+		return true
+	}
+	bstSplice(m, root, parent, parentLeft, n)
+	return true
+}
+
+// bstSplice removes node n (which has at most one child) from under
+// parent (nil parent means n is the root).
+func bstSplice[M arena.Mem](m M, root, parent uint64, parentLeft bool, n uint64) {
+	repl := bstChild(m, n, true)
+	if repl == arena.Nil {
+		repl = bstChild(m, n, false)
+	}
+	switch {
+	case parent == arena.Nil:
+		m.Store(root, repl)
+	case parentLeft:
+		m.Store(parent+ibLeft, repl)
+	default:
+		m.Store(parent+ibRight, repl)
+	}
+}
+
+// bstKeys is the raw in-order walk (validation only; call with a
+// read-only adapter over a quiesced world).
+func bstKeys[M arena.Mem](m M, root uint64) []int64 {
+	var out []int64
+	var walk func(n uint64)
+	walk = func(n uint64) {
+		if n == arena.Nil {
+			return
+		}
+		walk(m.Load(n + ibLeft))
+		out = append(out, int64(m.Load(n+ibKey)))
+		walk(m.Load(n + ibRight))
+	}
+	walk(m.Load(root))
+	return out
+}
+
+// bstCheck validates BST ordering (validation only).
+func bstCheck[M arena.Mem](m M, root uint64) error {
+	var check func(n uint64, lo, hi int64) error
+	check = func(n uint64, lo, hi int64) error {
+		if n == arena.Nil {
+			return nil
+		}
+		k := int64(m.Load(n + ibKey))
+		if k < lo || k > hi {
+			return fmt.Errorf("bst: key %d outside (%d, %d)", k, lo, hi)
+		}
+		if err := check(m.Load(n+ibLeft), lo, k-1); err != nil {
+			return err
+		}
+		return check(m.Load(n+ibRight), k+1, hi)
+	}
+	return check(m.Load(root), -1<<62, 1<<62)
+}
 
 // BST is a classic unbalanced internal binary search tree. Unlike the
 // AVL tree it never rotates; unlike the leaf-oriented BST, deleting a
@@ -33,166 +199,32 @@ func NewBST(sys *htm.System, c *sim.Ctx) *BST {
 // Name implements Set.
 func (t *BST) Name() string { return "bst" }
 
-func (t *BST) key(c *sim.Ctx, n mem.Addr) int64 {
-	return int64(t.sys.Read(c, n+ibKey))
-}
-func (t *BST) child(c *sim.Ctx, n mem.Addr, leftSide bool) mem.Addr {
-	f := mem.Addr(ibRight)
-	if leftSide {
-		f = ibLeft
-	}
-	return mem.Addr(t.sys.Read(c, n+f))
-}
-
 // Contains implements Set.
 func (t *BST) Contains(c *sim.Ctx, key int64) bool {
-	n := mem.Addr(t.sys.Read(c, t.root))
-	for n != mem.Nil {
-		k := t.key(c, n)
-		if k == key {
-			return true
-		}
-		n = t.child(c, n, key < k)
-	}
-	return false
+	return bstContains(arena.Sim{Sys: t.sys, C: c}, uint64(t.root), key)
 }
 
 // SearchReplace implements Set.
 func (t *BST) SearchReplace(c *sim.Ctx, key int64) {
-	n := mem.Addr(t.sys.Read(c, t.root))
-	last := mem.Nil
-	for n != mem.Nil {
-		last = n
-		k := t.key(c, n)
-		if k == key {
-			break
-		}
-		n = t.child(c, n, key < k)
-	}
-	if last != mem.Nil {
-		t.sys.Write(c, last+ibKey, uint64(t.key(c, last)))
-	}
+	bstSearchReplace(arena.Sim{Sys: t.sys, C: c}, uint64(t.root), key)
 }
 
 // Insert implements Set.
 func (t *BST) Insert(c *sim.Ctx, key int64) bool {
-	n := mem.Addr(t.sys.Read(c, t.root))
-	if n == mem.Nil {
-		t.sys.Write(c, t.root, uint64(t.newNode(c, key)))
-		return true
-	}
-	for {
-		k := t.key(c, n)
-		if k == key {
-			return false
-		}
-		next := t.child(c, n, key < k)
-		if next == mem.Nil {
-			f := mem.Addr(ibRight)
-			if key < k {
-				f = ibLeft
-			}
-			t.sys.Write(c, n+f, uint64(t.newNode(c, key)))
-			return true
-		}
-		n = next
-	}
-}
-
-func (t *BST) newNode(c *sim.Ctx, key int64) mem.Addr {
-	n := t.sys.Alloc(c, ibWords)
-	t.sys.Write(c, n+ibKey, uint64(key))
-	return n
+	return bstInsert(arena.Sim{Sys: t.sys, C: c}, uint64(t.root), key)
 }
 
 // Delete implements Set.
 func (t *BST) Delete(c *sim.Ctx, key int64) bool {
-	parent := mem.Nil
-	parentLeft := false
-	n := mem.Addr(t.sys.Read(c, t.root))
-	for n != mem.Nil {
-		k := t.key(c, n)
-		if k == key {
-			break
-		}
-		parent, parentLeft = n, key < k
-		n = t.child(c, n, key < k)
-	}
-	if n == mem.Nil {
-		return false
-	}
-	l, r := t.child(c, n, true), t.child(c, n, false)
-	if l != mem.Nil && r != mem.Nil {
-		// Two children: copy successor key into n, then splice out the
-		// successor (leftmost node of the right subtree).
-		sp, spLeft := n, false
-		m := r
-		for {
-			ml := t.child(c, m, true)
-			if ml == mem.Nil {
-				break
-			}
-			sp, spLeft = m, true
-			m = ml
-		}
-		t.sys.Write(c, n+ibKey, uint64(t.key(c, m)))
-		t.splice(c, sp, spLeft, m)
-		return true
-	}
-	t.splice(c, parent, parentLeft, n)
-	return true
-}
-
-// splice removes node n (which has at most one child) from under
-// parent (nil parent means n is the root).
-func (t *BST) splice(c *sim.Ctx, parent mem.Addr, parentLeft bool, n mem.Addr) {
-	repl := t.child(c, n, true)
-	if repl == mem.Nil {
-		repl = t.child(c, n, false)
-	}
-	switch {
-	case parent == mem.Nil:
-		t.sys.Write(c, t.root, uint64(repl))
-	case parentLeft:
-		t.sys.Write(c, parent+ibLeft, uint64(repl))
-	default:
-		t.sys.Write(c, parent+ibRight, uint64(repl))
-	}
+	return bstDelete(arena.Sim{Sys: t.sys, C: c}, uint64(t.root), key)
 }
 
 // Keys implements Set (raw in-order walk; validation only).
 func (t *BST) Keys() []int64 {
-	raw := t.sys.Mem
-	var out []int64
-	var walk func(n mem.Addr)
-	walk = func(n mem.Addr) {
-		if n == mem.Nil {
-			return
-		}
-		walk(mem.Addr(raw.Raw(n + ibLeft)))
-		out = append(out, int64(raw.Raw(n+ibKey)))
-		walk(mem.Addr(raw.Raw(n + ibRight)))
-	}
-	walk(mem.Addr(raw.Raw(t.root)))
-	return out
+	return bstKeys(arena.SimRaw{Space: t.sys.Mem}, uint64(t.root))
 }
 
 // CheckInvariants implements Set: BST ordering.
 func (t *BST) CheckInvariants() error {
-	raw := t.sys.Mem
-	var check func(n mem.Addr, lo, hi int64) error
-	check = func(n mem.Addr, lo, hi int64) error {
-		if n == mem.Nil {
-			return nil
-		}
-		k := int64(raw.Raw(n + ibKey))
-		if k < lo || k > hi {
-			return fmt.Errorf("bst: key %d outside (%d, %d)", k, lo, hi)
-		}
-		if err := check(mem.Addr(raw.Raw(n+ibLeft)), lo, k-1); err != nil {
-			return err
-		}
-		return check(mem.Addr(raw.Raw(n+ibRight)), k+1, hi)
-	}
-	return check(mem.Addr(raw.Raw(t.root)), -1<<62, 1<<62)
+	return bstCheck(arena.SimRaw{Space: t.sys.Mem}, uint64(t.root))
 }

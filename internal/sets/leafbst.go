@@ -3,6 +3,7 @@ package sets
 import (
 	"fmt"
 
+	"natle/internal/arena"
 	"natle/internal/htm"
 	"natle/internal/mem"
 	"natle/internal/sim"
@@ -17,6 +18,197 @@ const (
 	lbRight = 2
 	lbWords = 3
 )
+
+func lbKeyOf[M arena.Mem](m M, n uint64) int64    { return int64(m.Load(n + lbKey)) }
+func lbLeftOf[M arena.Mem](m M, n uint64) uint64  { return m.Load(n + lbLeft) }
+func lbRightOf[M arena.Mem](m M, n uint64) uint64 { return m.Load(n + lbRight) }
+
+func lbContains[M arena.Mem](m M, root uint64, key int64) bool {
+	n := m.Load(root)
+	if n == arena.Nil {
+		return false
+	}
+	for {
+		l := lbLeftOf(m, n)
+		if l == arena.Nil {
+			return lbKeyOf(m, n) == key
+		}
+		if key < lbKeyOf(m, n) {
+			n = l
+		} else {
+			n = lbRightOf(m, n)
+		}
+	}
+}
+
+func lbSearchReplace[M arena.Mem](m M, root uint64, key int64) {
+	n := m.Load(root)
+	if n == arena.Nil {
+		return
+	}
+	for {
+		l := lbLeftOf(m, n)
+		if l == arena.Nil {
+			m.Store(n+lbKey, uint64(lbKeyOf(m, n)))
+			return
+		}
+		if key < lbKeyOf(m, n) {
+			n = l
+		} else {
+			n = lbRightOf(m, n)
+		}
+	}
+}
+
+func lbNewLeaf[M arena.Mem](m M, key int64) uint64 {
+	n := m.Alloc(lbWords)
+	m.Store(n+lbKey, uint64(key))
+	return n
+}
+
+func lbInsert[M arena.Mem](m M, root uint64, key int64) bool {
+	n := m.Load(root)
+	if n == arena.Nil {
+		leaf := lbNewLeaf(m, key)
+		m.Store(root, leaf)
+		return true
+	}
+	var p uint64 // parent internal node (nil while n is the root)
+	var fromLeft bool
+	for {
+		l := lbLeftOf(m, n)
+		if l == arena.Nil {
+			break
+		}
+		p = n
+		if key < lbKeyOf(m, n) {
+			fromLeft, n = true, l
+		} else {
+			fromLeft, n = false, lbRightOf(m, n)
+		}
+	}
+	lk := lbKeyOf(m, n)
+	if lk == key {
+		return false
+	}
+	// Replace leaf n with an internal router over {n, new leaf}.
+	nl := lbNewLeaf(m, key)
+	in := m.Alloc(lbWords)
+	if key < lk {
+		m.Store(in+lbKey, uint64(lk))
+		m.Store(in+lbLeft, nl)
+		m.Store(in+lbRight, n)
+	} else {
+		m.Store(in+lbKey, uint64(key))
+		m.Store(in+lbLeft, n)
+		m.Store(in+lbRight, nl)
+	}
+	switch {
+	case p == arena.Nil:
+		m.Store(root, in)
+	case fromLeft:
+		m.Store(p+lbLeft, in)
+	default:
+		m.Store(p+lbRight, in)
+	}
+	return true
+}
+
+func lbDelete[M arena.Mem](m M, root uint64, key int64) bool {
+	n := m.Load(root)
+	if n == arena.Nil {
+		return false
+	}
+	var g, p uint64 // grandparent, parent
+	var pFromLeft, nFromLeft bool
+	for {
+		l := lbLeftOf(m, n)
+		if l == arena.Nil {
+			break
+		}
+		g, pFromLeft = p, nFromLeft
+		p = n
+		if key < lbKeyOf(m, n) {
+			nFromLeft, n = true, l
+		} else {
+			nFromLeft, n = false, lbRightOf(m, n)
+		}
+	}
+	if lbKeyOf(m, n) != key {
+		return false
+	}
+	if p == arena.Nil { // n was the root leaf
+		m.Store(root, arena.Nil)
+		return true
+	}
+	sibling := lbRightOf(m, p)
+	if !nFromLeft {
+		sibling = lbLeftOf(m, p)
+	}
+	switch {
+	case g == arena.Nil:
+		m.Store(root, sibling)
+	case pFromLeft:
+		m.Store(g+lbLeft, sibling)
+	default:
+		m.Store(g+lbRight, sibling)
+	}
+	return true
+}
+
+// lbKeys is the raw in-order walk of leaves (validation only).
+func lbKeys[M arena.Mem](m M, root uint64) []int64 {
+	var out []int64
+	var walk func(n uint64)
+	walk = func(n uint64) {
+		if n == arena.Nil {
+			return
+		}
+		l := m.Load(n + lbLeft)
+		if l == arena.Nil {
+			out = append(out, int64(m.Load(n+lbKey)))
+			return
+		}
+		walk(l)
+		walk(m.Load(n + lbRight))
+	}
+	walk(m.Load(root))
+	return out
+}
+
+// lbCheck validates: internal nodes have two children, left subtrees
+// hold keys < router, right subtrees keys >= router (validation only).
+func lbCheck[M arena.Mem](m M, root uint64) error {
+	var check func(n uint64, lo, hi int64) error
+	check = func(n uint64, lo, hi int64) error {
+		if n == arena.Nil {
+			return nil
+		}
+		k := int64(m.Load(n + lbKey))
+		l := m.Load(n + lbLeft)
+		r := m.Load(n + lbRight)
+		if l == arena.Nil {
+			if r != arena.Nil {
+				return fmt.Errorf("leafbst: half-internal node %d", k)
+			}
+			if k < lo || k >= hi {
+				return fmt.Errorf("leafbst: leaf %d outside [%d, %d)", k, lo, hi)
+			}
+			return nil
+		}
+		if r == arena.Nil {
+			return fmt.Errorf("leafbst: internal node %d missing right child", k)
+		}
+		if k < lo || k > hi {
+			return fmt.Errorf("leafbst: router %d outside [%d, %d]", k, lo, hi)
+		}
+		if err := check(l, lo, k); err != nil {
+			return err
+		}
+		return check(r, k, hi)
+	}
+	return check(m.Load(root), -1<<62, 1<<62)
+}
 
 // LeafBST is an unbalanced leaf-oriented (external) binary search
 // tree: keys live only in leaves and internal nodes route searches
@@ -37,205 +229,33 @@ func NewLeafBST(sys *htm.System, c *sim.Ctx) *LeafBST {
 // Name implements Set.
 func (t *LeafBST) Name() string { return "leafbst" }
 
-func (t *LeafBST) key(c *sim.Ctx, n mem.Addr) int64 {
-	return int64(t.sys.Read(c, n+lbKey))
-}
-func (t *LeafBST) left(c *sim.Ctx, n mem.Addr) mem.Addr {
-	return mem.Addr(t.sys.Read(c, n+lbLeft))
-}
-func (t *LeafBST) right(c *sim.Ctx, n mem.Addr) mem.Addr {
-	return mem.Addr(t.sys.Read(c, n+lbRight))
-}
-
 // Contains implements Set.
 func (t *LeafBST) Contains(c *sim.Ctx, key int64) bool {
-	n := mem.Addr(t.sys.Read(c, t.root))
-	if n == mem.Nil {
-		return false
-	}
-	for {
-		l := t.left(c, n)
-		if l == mem.Nil {
-			return t.key(c, n) == key
-		}
-		if key < t.key(c, n) {
-			n = l
-		} else {
-			n = t.right(c, n)
-		}
-	}
+	return lbContains(arena.Sim{Sys: t.sys, C: c}, uint64(t.root), key)
 }
 
 // SearchReplace implements Set.
 func (t *LeafBST) SearchReplace(c *sim.Ctx, key int64) {
-	n := mem.Addr(t.sys.Read(c, t.root))
-	if n == mem.Nil {
-		return
-	}
-	for {
-		l := t.left(c, n)
-		if l == mem.Nil {
-			t.sys.Write(c, n+lbKey, uint64(t.key(c, n)))
-			return
-		}
-		if key < t.key(c, n) {
-			n = l
-		} else {
-			n = t.right(c, n)
-		}
-	}
+	lbSearchReplace(arena.Sim{Sys: t.sys, C: c}, uint64(t.root), key)
 }
 
 // Insert implements Set.
 func (t *LeafBST) Insert(c *sim.Ctx, key int64) bool {
-	n := mem.Addr(t.sys.Read(c, t.root))
-	if n == mem.Nil {
-		leaf := t.newLeaf(c, key)
-		t.sys.Write(c, t.root, uint64(leaf))
-		return true
-	}
-	var p mem.Addr // parent internal node (nil while n is the root)
-	var fromLeft bool
-	for {
-		l := t.left(c, n)
-		if l == mem.Nil {
-			break
-		}
-		p = n
-		if key < t.key(c, n) {
-			fromLeft, n = true, l
-		} else {
-			fromLeft, n = false, t.right(c, n)
-		}
-	}
-	lk := t.key(c, n)
-	if lk == key {
-		return false
-	}
-	// Replace leaf n with an internal router over {n, new leaf}.
-	nl := t.newLeaf(c, key)
-	in := t.sys.Alloc(c, lbWords)
-	if key < lk {
-		t.sys.Write(c, in+lbKey, uint64(lk))
-		t.sys.Write(c, in+lbLeft, uint64(nl))
-		t.sys.Write(c, in+lbRight, uint64(n))
-	} else {
-		t.sys.Write(c, in+lbKey, uint64(key))
-		t.sys.Write(c, in+lbLeft, uint64(n))
-		t.sys.Write(c, in+lbRight, uint64(nl))
-	}
-	switch {
-	case p == mem.Nil:
-		t.sys.Write(c, t.root, uint64(in))
-	case fromLeft:
-		t.sys.Write(c, p+lbLeft, uint64(in))
-	default:
-		t.sys.Write(c, p+lbRight, uint64(in))
-	}
-	return true
-}
-
-func (t *LeafBST) newLeaf(c *sim.Ctx, key int64) mem.Addr {
-	n := t.sys.Alloc(c, lbWords)
-	t.sys.Write(c, n+lbKey, uint64(key))
-	return n
+	return lbInsert(arena.Sim{Sys: t.sys, C: c}, uint64(t.root), key)
 }
 
 // Delete implements Set.
 func (t *LeafBST) Delete(c *sim.Ctx, key int64) bool {
-	n := mem.Addr(t.sys.Read(c, t.root))
-	if n == mem.Nil {
-		return false
-	}
-	var g, p mem.Addr // grandparent, parent
-	var pFromLeft, nFromLeft bool
-	for {
-		l := t.left(c, n)
-		if l == mem.Nil {
-			break
-		}
-		g, pFromLeft = p, nFromLeft
-		p = n
-		if key < t.key(c, n) {
-			nFromLeft, n = true, l
-		} else {
-			nFromLeft, n = false, t.right(c, n)
-		}
-	}
-	if t.key(c, n) != key {
-		return false
-	}
-	if p == mem.Nil { // n was the root leaf
-		t.sys.Write(c, t.root, uint64(mem.Nil))
-		return true
-	}
-	sibling := t.right(c, p)
-	if !nFromLeft {
-		sibling = t.left(c, p)
-	}
-	switch {
-	case g == mem.Nil:
-		t.sys.Write(c, t.root, uint64(sibling))
-	case pFromLeft:
-		t.sys.Write(c, g+lbLeft, uint64(sibling))
-	default:
-		t.sys.Write(c, g+lbRight, uint64(sibling))
-	}
-	return true
+	return lbDelete(arena.Sim{Sys: t.sys, C: c}, uint64(t.root), key)
 }
 
 // Keys implements Set (raw in-order walk of leaves; validation only).
 func (t *LeafBST) Keys() []int64 {
-	raw := t.sys.Mem
-	var out []int64
-	var walk func(n mem.Addr)
-	walk = func(n mem.Addr) {
-		if n == mem.Nil {
-			return
-		}
-		l := mem.Addr(raw.Raw(n + lbLeft))
-		if l == mem.Nil {
-			out = append(out, int64(raw.Raw(n+lbKey)))
-			return
-		}
-		walk(l)
-		walk(mem.Addr(raw.Raw(n + lbRight)))
-	}
-	walk(mem.Addr(raw.Raw(t.root)))
-	return out
+	return lbKeys(arena.SimRaw{Space: t.sys.Mem}, uint64(t.root))
 }
 
 // CheckInvariants implements Set: internal nodes have two children,
 // left subtrees hold keys < router, right subtrees keys >= router.
 func (t *LeafBST) CheckInvariants() error {
-	raw := t.sys.Mem
-	var check func(n mem.Addr, lo, hi int64) error
-	check = func(n mem.Addr, lo, hi int64) error {
-		if n == mem.Nil {
-			return nil
-		}
-		k := int64(raw.Raw(n + lbKey))
-		l := mem.Addr(raw.Raw(n + lbLeft))
-		r := mem.Addr(raw.Raw(n + lbRight))
-		if l == mem.Nil {
-			if r != mem.Nil {
-				return fmt.Errorf("leafbst: half-internal node %d", k)
-			}
-			if k < lo || k >= hi {
-				return fmt.Errorf("leafbst: leaf %d outside [%d, %d)", k, lo, hi)
-			}
-			return nil
-		}
-		if r == mem.Nil {
-			return fmt.Errorf("leafbst: internal node %d missing right child", k)
-		}
-		if k < lo || k > hi {
-			return fmt.Errorf("leafbst: router %d outside [%d, %d]", k, lo, hi)
-		}
-		if err := check(l, lo, k); err != nil {
-			return err
-		}
-		return check(r, k, hi)
-	}
-	return check(mem.Addr(raw.Raw(t.root)), -1<<62, 1<<62)
+	return lbCheck(arena.SimRaw{Space: t.sys.Mem}, uint64(t.root))
 }

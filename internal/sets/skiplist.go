@@ -3,6 +3,7 @@ package sets
 import (
 	"fmt"
 
+	"natle/internal/arena"
 	"natle/internal/htm"
 	"natle/internal/mem"
 	"natle/internal/sim"
@@ -17,6 +18,152 @@ const (
 
 	slMaxLevel = 16
 )
+
+// The skip-list cores take the sentinel head node's address directly
+// (the head has a full-height tower), not a root-pointer word.
+
+func slKeyOf[M arena.Mem](m M, n uint64) int64 { return int64(m.Load(n + slKey)) }
+func slNextOf[M arena.Mem](m M, n uint64, lvl int) uint64 {
+	return m.Load(n + slNext + uint64(lvl))
+}
+func slSetNext[M arena.Mem](m M, n uint64, lvl int, v uint64) {
+	m.Store(n+slNext+uint64(lvl), v)
+}
+
+// slFindPreds fills update with the predecessor of key at every level
+// and returns the bottom-level candidate node (the first node with
+// key >= target, or nil).
+func slFindPreds[M arena.Mem](m M, head uint64, key int64, update *[slMaxLevel]uint64) uint64 {
+	x := head
+	for i := slMaxLevel - 1; i >= 0; i-- {
+		for {
+			nx := slNextOf(m, x, i)
+			if nx == arena.Nil || slKeyOf(m, nx) >= key {
+				break
+			}
+			x = nx
+		}
+		update[i] = x
+	}
+	return slNextOf(m, update[0], 0)
+}
+
+func slContains[M arena.Mem](m M, head uint64, key int64) bool {
+	x := head
+	for i := slMaxLevel - 1; i >= 0; i-- {
+		for {
+			nx := slNextOf(m, x, i)
+			if nx == arena.Nil || slKeyOf(m, nx) > key {
+				break
+			}
+			if slKeyOf(m, nx) == key {
+				return true
+			}
+			x = nx
+		}
+	}
+	return false
+}
+
+func slSearchReplace[M arena.Mem](m M, head uint64, key int64) {
+	var update [slMaxLevel]uint64
+	cand := slFindPreds(m, head, key, &update)
+	last := cand
+	if last == arena.Nil {
+		last = update[0]
+	}
+	if last == head {
+		return
+	}
+	m.Store(last+slKey, uint64(slKeyOf(m, last)))
+}
+
+// slRandLevel draws a geometric tower height (p = 1/2) from the
+// per-thread stream. The draws happen only after the candidate-absent
+// check in slInsert, so present-key operations consume no random bits —
+// the property that keeps cross-backend schedules aligned.
+func slRandLevel[M arena.Mem](m M) int {
+	lvl := 1
+	for lvl < slMaxLevel && m.Rand64()&1 == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+func slInsert[M arena.Mem](m M, head uint64, key int64) bool {
+	var update [slMaxLevel]uint64
+	cand := slFindPreds(m, head, key, &update)
+	if cand != arena.Nil && slKeyOf(m, cand) == key {
+		return false
+	}
+	lvl := slRandLevel(m)
+	n := m.Alloc(slNext + lvl)
+	m.Store(n+slKey, uint64(key))
+	m.Store(n+slLevel, uint64(lvl))
+	for i := 0; i < lvl; i++ {
+		slSetNext(m, n, i, slNextOf(m, update[i], i))
+		slSetNext(m, update[i], i, n)
+	}
+	return true
+}
+
+func slDelete[M arena.Mem](m M, head uint64, key int64) bool {
+	var update [slMaxLevel]uint64
+	cand := slFindPreds(m, head, key, &update)
+	if cand == arena.Nil || slKeyOf(m, cand) != key {
+		return false
+	}
+	lvl := int(m.Load(cand + slLevel))
+	for i := 0; i < lvl; i++ {
+		if slNextOf(m, update[i], i) == cand {
+			slSetNext(m, update[i], i, slNextOf(m, cand, i))
+		}
+	}
+	return true
+}
+
+// slKeys is the raw bottom-level walk (validation only).
+func slKeys[M arena.Mem](m M, head uint64) []int64 {
+	var out []int64
+	n := m.Load(head + slNext)
+	for n != arena.Nil {
+		out = append(out, int64(m.Load(n+slKey)))
+		n = m.Load(n + slNext)
+	}
+	return out
+}
+
+// slCheck validates: each level is sorted and a subsequence of the
+// level below (validation only).
+func slCheck[M arena.Mem](m M, head uint64) error {
+	inLevel0 := map[uint64]bool{}
+	prev := int64(-1 << 62)
+	for n := m.Load(head + slNext); n != arena.Nil; n = m.Load(n + slNext) {
+		k := int64(m.Load(n + slKey))
+		if k <= prev {
+			return fmt.Errorf("skiplist: level 0 not strictly sorted at %d", k)
+		}
+		prev = k
+		inLevel0[n] = true
+	}
+	for i := 1; i < slMaxLevel; i++ {
+		prev = -1 << 62
+		for n := m.Load(head + slNext + uint64(i)); n != arena.Nil; n = m.Load(n + slNext + uint64(i)) {
+			if !inLevel0[n] {
+				return fmt.Errorf("skiplist: level %d node missing from level 0", i)
+			}
+			if lvl := int(m.Load(n + slLevel)); lvl <= i {
+				return fmt.Errorf("skiplist: node linked above its level (%d <= %d)", lvl, i)
+			}
+			k := int64(m.Load(n + slKey))
+			if k <= prev {
+				return fmt.Errorf("skiplist: level %d not sorted at %d", i, k)
+			}
+			prev = k
+		}
+	}
+	return nil
+}
 
 // SkipList is a classic skip-list [Pugh 1990] with geometrically
 // distributed tower heights (p = 1/2). Updates write the predecessor
@@ -38,149 +185,33 @@ func NewSkipList(sys *htm.System, c *sim.Ctx) *SkipList {
 // Name implements Set.
 func (t *SkipList) Name() string { return "skiplist" }
 
-func (t *SkipList) key(c *sim.Ctx, n mem.Addr) int64 {
-	return int64(t.sys.Read(c, n+slKey))
-}
-func (t *SkipList) next(c *sim.Ctx, n mem.Addr, lvl int) mem.Addr {
-	return mem.Addr(t.sys.Read(c, n+slNext+mem.Addr(lvl)))
-}
-func (t *SkipList) setNext(c *sim.Ctx, n mem.Addr, lvl int, v mem.Addr) {
-	t.sys.Write(c, n+slNext+mem.Addr(lvl), uint64(v))
-}
-
-// findPreds fills update with the predecessor of key at every level and
-// returns the bottom-level candidate node (the first node with
-// key >= target, or nil).
-func (t *SkipList) findPreds(c *sim.Ctx, key int64, update *[slMaxLevel]mem.Addr) mem.Addr {
-	x := t.head
-	for i := slMaxLevel - 1; i >= 0; i-- {
-		for {
-			nx := t.next(c, x, i)
-			if nx == mem.Nil || t.key(c, nx) >= key {
-				break
-			}
-			x = nx
-		}
-		update[i] = x
-	}
-	return t.next(c, update[0], 0)
-}
-
 // Contains implements Set.
 func (t *SkipList) Contains(c *sim.Ctx, key int64) bool {
-	x := t.head
-	for i := slMaxLevel - 1; i >= 0; i-- {
-		for {
-			nx := t.next(c, x, i)
-			if nx == mem.Nil || t.key(c, nx) > key {
-				break
-			}
-			if t.key(c, nx) == key {
-				return true
-			}
-			x = nx
-		}
-	}
-	return false
+	return slContains(arena.Sim{Sys: t.sys, C: c}, uint64(t.head), key)
 }
 
 // SearchReplace implements Set.
 func (t *SkipList) SearchReplace(c *sim.Ctx, key int64) {
-	var update [slMaxLevel]mem.Addr
-	cand := t.findPreds(c, key, &update)
-	last := cand
-	if last == mem.Nil {
-		last = update[0]
-	}
-	if last == t.head {
-		return
-	}
-	t.sys.Write(c, last+slKey, uint64(t.key(c, last)))
-}
-
-func (t *SkipList) randLevel(c *sim.Ctx) int {
-	lvl := 1
-	for lvl < slMaxLevel && c.Rand64()&1 == 0 {
-		lvl++
-	}
-	return lvl
+	slSearchReplace(arena.Sim{Sys: t.sys, C: c}, uint64(t.head), key)
 }
 
 // Insert implements Set.
 func (t *SkipList) Insert(c *sim.Ctx, key int64) bool {
-	var update [slMaxLevel]mem.Addr
-	cand := t.findPreds(c, key, &update)
-	if cand != mem.Nil && t.key(c, cand) == key {
-		return false
-	}
-	lvl := t.randLevel(c)
-	n := t.sys.Alloc(c, slNext+lvl)
-	t.sys.Write(c, n+slKey, uint64(key))
-	t.sys.Write(c, n+slLevel, uint64(lvl))
-	for i := 0; i < lvl; i++ {
-		t.setNext(c, n, i, t.next(c, update[i], i))
-		t.setNext(c, update[i], i, n)
-	}
-	return true
+	return slInsert(arena.Sim{Sys: t.sys, C: c}, uint64(t.head), key)
 }
 
 // Delete implements Set.
 func (t *SkipList) Delete(c *sim.Ctx, key int64) bool {
-	var update [slMaxLevel]mem.Addr
-	cand := t.findPreds(c, key, &update)
-	if cand == mem.Nil || t.key(c, cand) != key {
-		return false
-	}
-	lvl := int(t.sys.Read(c, cand+slLevel))
-	for i := 0; i < lvl; i++ {
-		if t.next(c, update[i], i) == cand {
-			t.setNext(c, update[i], i, t.next(c, cand, i))
-		}
-	}
-	return true
+	return slDelete(arena.Sim{Sys: t.sys, C: c}, uint64(t.head), key)
 }
 
 // Keys implements Set (raw bottom-level walk; validation only).
 func (t *SkipList) Keys() []int64 {
-	raw := t.sys.Mem
-	var out []int64
-	n := mem.Addr(raw.Raw(t.head + slNext))
-	for n != mem.Nil {
-		out = append(out, int64(raw.Raw(n+slKey)))
-		n = mem.Addr(raw.Raw(n + slNext))
-	}
-	return out
+	return slKeys(arena.SimRaw{Space: t.sys.Mem}, uint64(t.head))
 }
 
 // CheckInvariants implements Set: each level is sorted and a
 // subsequence of the level below.
 func (t *SkipList) CheckInvariants() error {
-	raw := t.sys.Mem
-	inLevel0 := map[mem.Addr]bool{}
-	prev := int64(-1 << 62)
-	for n := mem.Addr(raw.Raw(t.head + slNext)); n != mem.Nil; n = mem.Addr(raw.Raw(n + slNext)) {
-		k := int64(raw.Raw(n + slKey))
-		if k <= prev {
-			return fmt.Errorf("skiplist: level 0 not strictly sorted at %d", k)
-		}
-		prev = k
-		inLevel0[n] = true
-	}
-	for i := 1; i < slMaxLevel; i++ {
-		prev = -1 << 62
-		for n := mem.Addr(raw.Raw(t.head + slNext + mem.Addr(i))); n != mem.Nil; n = mem.Addr(raw.Raw(n + slNext + mem.Addr(i))) {
-			if !inLevel0[n] {
-				return fmt.Errorf("skiplist: level %d node missing from level 0", i)
-			}
-			if lvl := int(raw.Raw(n + slLevel)); lvl <= i {
-				return fmt.Errorf("skiplist: node linked above its level (%d <= %d)", lvl, i)
-			}
-			k := int64(raw.Raw(n + slKey))
-			if k <= prev {
-				return fmt.Errorf("skiplist: level %d not sorted at %d", i, k)
-			}
-			prev = k
-		}
-	}
-	return nil
+	return slCheck(arena.SimRaw{Space: t.sys.Mem}, uint64(t.head))
 }

@@ -1,0 +1,120 @@
+package simmap
+
+import "natle/internal/arena"
+
+// The structure core, generic over the arena.Mem word-memory contract
+// so the same chained-hash code runs on simulated memory (Map) and on
+// native backend words (BackendMap). The cores preserve the exact
+// word-access order of the original sim-only implementation: the
+// simulator's coherence traces — and the pinned service benchmark
+// snapshots — depend on every read and write landing in the same
+// sequence.
+
+func hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}
+
+func mapBucket(buckets, mask, key uint64) uint64 {
+	return buckets + (hash64(key) & mask)
+}
+
+func mapGet[M arena.Mem](m M, buckets, mask, key uint64) (uint64, bool) {
+	n := m.Load(mapBucket(buckets, mask, key))
+	for n != arena.Nil {
+		if m.Load(n+nKey) == key {
+			return m.Load(n + nVal), true
+		}
+		n = m.Load(n + nNext)
+	}
+	return 0, false
+}
+
+func mapPut[M arena.Mem](m M, buckets, mask, key, val uint64) bool {
+	b := mapBucket(buckets, mask, key)
+	n := m.Load(b)
+	for n != arena.Nil {
+		if m.Load(n+nKey) == key {
+			m.Store(n+nVal, val)
+			return true
+		}
+		n = m.Load(n + nNext)
+	}
+	nn := m.Alloc(nWords)
+	m.Store(nn+nKey, key)
+	m.Store(nn+nVal, val)
+	m.Store(nn+nNext, m.Load(b))
+	m.Store(b, nn)
+	return false
+}
+
+func mapPutIfAbsent[M arena.Mem](m M, buckets, mask, key, val uint64) bool {
+	b := mapBucket(buckets, mask, key)
+	n := m.Load(b)
+	for n != arena.Nil {
+		if m.Load(n+nKey) == key {
+			return false
+		}
+		n = m.Load(n + nNext)
+	}
+	nn := m.Alloc(nWords)
+	m.Store(nn+nKey, key)
+	m.Store(nn+nVal, val)
+	m.Store(nn+nNext, m.Load(b))
+	m.Store(b, nn)
+	return true
+}
+
+func mapAdd[M arena.Mem](m M, buckets, mask, key, delta uint64) uint64 {
+	b := mapBucket(buckets, mask, key)
+	n := m.Load(b)
+	for n != arena.Nil {
+		if m.Load(n+nKey) == key {
+			v := m.Load(n+nVal) + delta
+			m.Store(n+nVal, v)
+			return v
+		}
+		n = m.Load(n + nNext)
+	}
+	nn := m.Alloc(nWords)
+	m.Store(nn+nKey, key)
+	m.Store(nn+nVal, delta)
+	m.Store(nn+nNext, m.Load(b))
+	m.Store(b, nn)
+	return delta
+}
+
+func mapDelete[M arena.Mem](m M, buckets, mask, key uint64) bool {
+	b := mapBucket(buckets, mask, key)
+	prev := arena.Nil
+	n := m.Load(b)
+	for n != arena.Nil {
+		next := m.Load(n + nNext)
+		if m.Load(n+nKey) == key {
+			if prev == arena.Nil {
+				m.Store(b, next)
+			} else {
+				m.Store(prev+nNext, next)
+			}
+			return true
+		}
+		prev, n = n, next
+	}
+	return false
+}
+
+// mapEach walks every chain in bucket order (validation/checksum use;
+// callers pass a read-only adapter on quiesced memory).
+func mapEach[M arena.Mem](m M, buckets, mask uint64, fn func(key, val uint64)) {
+	for b := uint64(0); b <= mask; b++ {
+		n := m.Load(buckets + b)
+		for n != arena.Nil {
+			fn(m.Load(n+nKey), m.Load(n+nVal))
+			n = m.Load(n + nNext)
+		}
+	}
+}

@@ -1,11 +1,16 @@
-// Package simmap provides a chained hash map stored in simulated
-// memory, used by the application benchmarks (STAMP's vacation, genome
-// and intruder, and the ccTSA assembler's k-mer table). Like the other
-// data structures it is sequential: callers run operations inside
-// critical sections protected by an elidable lock.
+// Package simmap provides a chained hash map used by the application
+// benchmarks (STAMP's vacation, genome and intruder, the ccTSA
+// assembler's k-mer table) and the KV service's shard stores. Like the
+// other data structures it is sequential: callers run operations
+// inside critical sections protected by an elidable lock.
+//
+// The map logic lives in generic cores over arena.Mem (see core.go),
+// so the same code backs two front ends: Map on simulated memory and
+// BackendMap (backend.go) on any backend.World's words.
 package simmap
 
 import (
+	"natle/internal/arena"
 	"natle/internal/htm"
 	"natle/internal/mem"
 	"natle/internal/sim"
@@ -40,109 +45,34 @@ func New(sys *htm.System, c *sim.Ctx, logBuckets, socket int) *Map {
 	}
 }
 
-func hash64(x uint64) uint64 {
-	x ^= x >> 33
-	x *= 0xFF51AFD7ED558CCD
-	x ^= x >> 33
-	x *= 0xC4CEB9FE1A85EC53
-	x ^= x >> 33
-	return x
-}
-
-func (m *Map) bucket(key uint64) mem.Addr {
-	return m.buckets + mem.Addr(hash64(key)&m.mask)
-}
+func (m *Map) mem(c *sim.Ctx) arena.Sim { return arena.Sim{Sys: m.sys, C: c} }
 
 // Get returns the value stored under key.
 func (m *Map) Get(c *sim.Ctx, key uint64) (uint64, bool) {
-	n := mem.Addr(m.sys.Read(c, m.bucket(key)))
-	for n != mem.Nil {
-		if m.sys.Read(c, n+nKey) == key {
-			return m.sys.Read(c, n+nVal), true
-		}
-		n = mem.Addr(m.sys.Read(c, n+nNext))
-	}
-	return 0, false
+	return mapGet(m.mem(c), uint64(m.buckets), m.mask, key)
 }
 
 // Put stores val under key, returning true if the key was already
 // present (its value is overwritten).
 func (m *Map) Put(c *sim.Ctx, key, val uint64) bool {
-	b := m.bucket(key)
-	n := mem.Addr(m.sys.Read(c, b))
-	for n != mem.Nil {
-		if m.sys.Read(c, n+nKey) == key {
-			m.sys.Write(c, n+nVal, val)
-			return true
-		}
-		n = mem.Addr(m.sys.Read(c, n+nNext))
-	}
-	nn := m.sys.Alloc(c, nWords)
-	m.sys.Write(c, nn+nKey, key)
-	m.sys.Write(c, nn+nVal, val)
-	m.sys.Write(c, nn+nNext, m.sys.Read(c, b))
-	m.sys.Write(c, b, uint64(nn))
-	return false
+	return mapPut(m.mem(c), uint64(m.buckets), m.mask, key, val)
 }
 
 // PutIfAbsent stores val under key only if absent; it reports whether
 // the insert happened.
 func (m *Map) PutIfAbsent(c *sim.Ctx, key, val uint64) bool {
-	b := m.bucket(key)
-	n := mem.Addr(m.sys.Read(c, b))
-	for n != mem.Nil {
-		if m.sys.Read(c, n+nKey) == key {
-			return false
-		}
-		n = mem.Addr(m.sys.Read(c, n+nNext))
-	}
-	nn := m.sys.Alloc(c, nWords)
-	m.sys.Write(c, nn+nKey, key)
-	m.sys.Write(c, nn+nVal, val)
-	m.sys.Write(c, nn+nNext, m.sys.Read(c, b))
-	m.sys.Write(c, b, uint64(nn))
-	return true
+	return mapPutIfAbsent(m.mem(c), uint64(m.buckets), m.mask, key, val)
 }
 
 // Add increments the value under key by delta (inserting 0+delta if
 // absent) and returns the new value.
 func (m *Map) Add(c *sim.Ctx, key, delta uint64) uint64 {
-	b := m.bucket(key)
-	n := mem.Addr(m.sys.Read(c, b))
-	for n != mem.Nil {
-		if m.sys.Read(c, n+nKey) == key {
-			v := m.sys.Read(c, n+nVal) + delta
-			m.sys.Write(c, n+nVal, v)
-			return v
-		}
-		n = mem.Addr(m.sys.Read(c, n+nNext))
-	}
-	nn := m.sys.Alloc(c, nWords)
-	m.sys.Write(c, nn+nKey, key)
-	m.sys.Write(c, nn+nVal, delta)
-	m.sys.Write(c, nn+nNext, m.sys.Read(c, b))
-	m.sys.Write(c, b, uint64(nn))
-	return delta
+	return mapAdd(m.mem(c), uint64(m.buckets), m.mask, key, delta)
 }
 
 // Delete removes key, reporting whether it was present.
 func (m *Map) Delete(c *sim.Ctx, key uint64) bool {
-	b := m.bucket(key)
-	prev := mem.Nil
-	n := mem.Addr(m.sys.Read(c, b))
-	for n != mem.Nil {
-		next := mem.Addr(m.sys.Read(c, n+nNext))
-		if m.sys.Read(c, n+nKey) == key {
-			if prev == mem.Nil {
-				m.sys.Write(c, b, uint64(next))
-			} else {
-				m.sys.Write(c, prev+nNext, uint64(next))
-			}
-			return true
-		}
-		prev, n = n, next
-	}
-	return false
+	return mapDelete(m.mem(c), uint64(m.buckets), m.mask, key)
 }
 
 // RawLen returns the element count by walking raw memory (validation
@@ -156,12 +86,5 @@ func (m *Map) RawLen() int {
 // RawEach calls fn for every key/value pair, reading raw memory
 // (validation only).
 func (m *Map) RawEach(fn func(key, val uint64)) {
-	raw := m.sys.Mem
-	for b := mem.Addr(0); b <= mem.Addr(m.mask); b++ {
-		n := mem.Addr(raw.Raw(m.buckets + b))
-		for n != mem.Nil {
-			fn(raw.Raw(n+nKey), raw.Raw(n+nVal))
-			n = mem.Addr(raw.Raw(n + nNext))
-		}
-	}
+	mapEach(arena.SimRaw{Space: m.sys.Mem}, uint64(m.buckets), m.mask, fn)
 }

@@ -2,10 +2,14 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 
+	"natle/internal/arena"
 	"natle/internal/backend"
 	"natle/internal/fault"
+	"natle/internal/mem"
 	"natle/internal/scheme"
+	"natle/internal/sets"
 	"natle/internal/tle"
 )
 
@@ -24,11 +28,26 @@ import (
 const (
 	BackendCounter  = "counter"  // all threads increment one shared counter
 	BackendTwoTrees = "twotrees" // Fig 16 shape: update-only set + search-only set, a lock each
+	BackendSets     = "sets"     // Fig 1 shape: one search structure under one elidable lock
 )
 
 // BackendWorkloads lists the backend-agnostic workload names (flag
 // help, sweeps).
-func BackendWorkloads() []string { return []string{BackendCounter, BackendTwoTrees} }
+func BackendWorkloads() []string {
+	return []string{BackendCounter, BackendTwoTrees, BackendSets}
+}
+
+// IsBackendWorkload reports whether name is a registered
+// backend-agnostic workload. Flag validation must use this (and flag
+// help BackendWorkloads()) so both stay tied to the one registry.
+func IsBackendWorkload(name string) bool {
+	for _, n := range BackendWorkloads() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
 
 // BackendConfig describes one backend-agnostic trial.
 type BackendConfig struct {
@@ -43,9 +62,12 @@ type BackendConfig struct {
 	Ops int
 	// Seed feeds the operation-schedule hash.
 	Seed int64
-	// KeyRange is the twotrees key-space size per tree (default 1024;
-	// must be >= the updater count).
+	// KeyRange is the twotrees/sets key-space size per structure
+	// (default 1024; must be >= the updater/thread count).
 	KeyRange int
+	// Set selects the structure the sets workload exercises (default
+	// avl; see sets.Kinds).
+	Set sets.Kind
 	// ExternalWork is the exclusive upper bound on the random
 	// external-work iterations between operations (0 disables).
 	ExternalWork int
@@ -67,6 +89,35 @@ func (cfg *BackendConfig) defaults() {
 	if cfg.KeyRange <= 0 {
 		cfg.KeyRange = 1024
 	}
+	if cfg.Set == "" {
+		cfg.Set = sets.KindAVL
+	}
+}
+
+// MemWords estimates the backend words the configured trial can touch,
+// for sizing fixed-size native worlds (the simulator's space grows on
+// demand, so sim callers may ignore it). The sets bound is worst-case:
+// every operation an insert, every insert a full allocation.
+func (cfg BackendConfig) MemWords() int {
+	c := cfg
+	c.defaults()
+	base := 1 << 16 // locks, counters, slack
+	switch c.Workload {
+	case BackendTwoTrees:
+		base += 2*c.KeyRange + 2*mem.WordsPerLine
+	case BackendSets:
+		lanes := c.Threads + 1
+		per := sets.InsertWords(c.Set)
+		need := c.Ops
+		if half := c.KeyRange/2 + 1; half > need {
+			need = half
+		}
+		base += lanes*(need*per+mem.WordsPerLine) + 4*mem.WordsPerLine
+	}
+	if base < 1<<20 {
+		base = 1 << 20
+	}
+	return base
 }
 
 // BackendResult reports one backend-agnostic trial.
@@ -92,6 +143,13 @@ type BackendResult struct {
 	// Fault holds the injected-fault counters of the trial's world
 	// (zero when no injector was armed).
 	Fault fault.Stats
+	// Groups is the world's thread-group (socket/package) count and
+	// GroupSource how it was obtained — "sysfs" when the native world
+	// read /sys/devices/system/cpu topology, "stripe" for the
+	// fill-first fallback or an explicit Sockets config. Zero/empty on
+	// worlds that don't report topology.
+	Groups      int
+	GroupSource string
 }
 
 // Throughput returns operations per (virtual or wall) second.
@@ -141,7 +199,7 @@ func RunBackend(w backend.World, cfg BackendConfig) *BackendResult {
 	if elapsed <= 0 {
 		elapsed = 1
 	}
-	return &BackendResult{
+	res := &BackendResult{
 		Backend:   w.Kind(),
 		Lock:      cfg.Lock,
 		Workload:  cfg.Workload,
@@ -151,6 +209,13 @@ func RunBackend(w backend.World, cfg BackendConfig) *BackendResult {
 		Sync:      wl.Sync(),
 		Check:     wl.Check(w),
 	}
+	if g, ok := w.(interface {
+		Groups() int
+		GroupSource() string
+	}); ok {
+		res.Groups, res.GroupSource = g.Groups(), g.GroupSource()
+	}
+	return res
 }
 
 // backendWorkload is one backend-agnostic benchmark: shared-state
@@ -172,6 +237,14 @@ func newBackendWorkload(cfg BackendConfig) (backendWorkload, error) {
 			return nil, fmt.Errorf("twotrees: key range %d < %d updaters", cfg.KeyRange, updaters)
 		}
 		return &bkTwoTrees{cfg: cfg, updaters: updaters}, nil
+	case BackendSets:
+		if sets.InsertWords(cfg.Set) == 0 {
+			return nil, fmt.Errorf("sets: unknown set kind %q", cfg.Set)
+		}
+		if cfg.KeyRange < cfg.Threads {
+			return nil, fmt.Errorf("sets: key range %d < %d threads", cfg.KeyRange, cfg.Threads)
+		}
+		return &bkSets{cfg: cfg}, nil
 	default:
 		return nil, fmt.Errorf("unknown backend workload %q (have %v)", cfg.Workload, BackendWorkloads())
 	}
@@ -296,4 +369,98 @@ func (b *bkTwoTrees) Check(w backend.World) uint64 {
 	}
 	h = h*31 + w.Peek(b.updSize)
 	return h*31 + w.Peek(b.schSize)
+}
+
+// bkSets is the backend-agnostic shape of the paper's Figure 1 set
+// microbenchmark: one pointer structure (AVL/BST/leaf-BST/skip-list)
+// with nodes in backend words, every operation inside one elidable
+// lock. Half the operations are searches over the whole key range; the
+// other half insert or delete within the calling thread's key partition
+// (keys ≡ thread mod threads), so the final membership is a pure
+// function of each thread's own hashed schedule — the property the
+// cross-backend checksum relies on. Disjoint partitions also make this
+// the striped-TLE showcase: concurrent updaters write disjoint nodes,
+// which a per-word-range seqlock can elide in parallel.
+type bkSets struct {
+	cfg BackendConfig
+	set *sets.BackendSet
+	cs  scheme.BackendInstance
+}
+
+func (b *bkSets) Setup(w backend.World, c backend.Ctx, desc *scheme.Descriptor) {
+	per := sets.InsertWords(b.cfg.Set)
+	need := b.cfg.Ops
+	if half := b.cfg.KeyRange/2 + 1; half > need {
+		need = half
+	}
+	ar := arena.New(c, b.cfg.Threads+1, need*per)
+	s, err := sets.NewBackendSet(b.cfg.Set, c, ar)
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	b.set = s
+	// Prefill with the even keys — the same membership the twotrees
+	// prefill establishes — but inserted in a hashed order so the
+	// unbalanced trees don't degenerate into spines. The shuffle is
+	// pure host-side arithmetic; only the inserts touch the world.
+	kr := b.cfg.KeyRange
+	evens := make([]int64, 0, (kr+1)/2)
+	for k := 0; k < kr; k += 2 {
+		evens = append(evens, int64(k))
+	}
+	for i := len(evens) - 1; i > 0; i-- {
+		j := int(opHash(b.cfg.Seed, -1, i) % uint64(i+1))
+		evens[i], evens[j] = evens[j], evens[i]
+	}
+	for _, k := range evens {
+		b.set.Insert(c, k)
+	}
+	b.cs = NewInstance(w, c, desc)
+}
+
+func (b *bkSets) Op(c backend.Ctx, thread, j int) {
+	x := opHash(b.cfg.Seed, thread, j)
+	kr := b.cfg.KeyRange
+	th := b.cfg.Threads
+	if x&1 == 0 {
+		// Search: a contains over the whole key range.
+		key := int64((x >> 8) % uint64(kr))
+		b.cs.Critical(c, func() {
+			b.set.Contains(c, key)
+		})
+		return
+	}
+	// Update: insert or delete within this thread's partition.
+	key := int64((x>>8)%uint64(kr/th))*int64(th) + int64(thread)
+	if x&2 == 0 {
+		b.cs.Critical(c, func() {
+			b.set.Insert(c, key)
+		})
+	} else {
+		b.cs.Critical(c, func() {
+			b.set.Delete(c, key)
+		})
+	}
+}
+
+func (b *bkSets) Sync() []scheme.Stats { return []scheme.Stats{b.cs.Stats()} }
+
+// Check validates the structural invariants of the final tree and
+// returns a hash of its sorted contents. Tower heights and tree shapes
+// may differ across backends (the skip-list consumes backend RNG
+// streams), but membership may not — so the checksum covers keys and
+// cardinality only.
+func (b *bkSets) Check(w backend.World) uint64 {
+	if err := b.set.CheckInvariants(w); err != nil {
+		panic(fmt.Sprintf("workload: sets final state invalid: %v", err))
+	}
+	keys := b.set.Keys(w)
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		panic("workload: sets Keys not sorted")
+	}
+	h := uint64(1469598103934665603)
+	for _, k := range keys {
+		h = (h ^ uint64(k)) * 1099511628211
+	}
+	return h ^ uint64(len(keys))*0x9e3779b97f4a7c15
 }

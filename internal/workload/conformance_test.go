@@ -25,6 +25,7 @@ var conformancePairs = []struct {
 	{"lock", "native-spin"},
 	{"lock", "native-mutex"},
 	{"tle", "native-tle"},
+	{"tle", "native-tle-striped"},
 	{"natle", "native-natle"},
 }
 
@@ -35,7 +36,7 @@ func runConformance(t *testing.T, k backend.Kind, cfg workload.BackendConfig) *w
 	case backend.Sim:
 		w = workload.NewSimWorld(nil, nil, cfg.Threads, cfg.Seed, 0)
 	case backend.Native:
-		w = native.NewWorld(native.Config{Seed: cfg.Seed})
+		w = native.NewWorld(native.Config{Seed: cfg.Seed, Words: cfg.MemWords()})
 	default:
 		t.Fatalf("unknown backend %q", k)
 	}

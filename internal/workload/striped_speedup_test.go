@@ -1,0 +1,63 @@
+package workload_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"natle/internal/native"
+	"natle/internal/workload"
+)
+
+// TestStripedDisjointSpeedup is the non-regression check behind the
+// seqlock sharding: on a multi-core host, disjoint-key set updates
+// under native-tle-striped must outrun the single-sequence native-tle,
+// whose every writer serializes on the one seqlock word. Best-of-N
+// timing absorbs scheduler noise; single-core hosts skip with a notice
+// (the CI native-check-multi job provides the real coverage).
+func TestStripedDisjointSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	if n, p := runtime.NumCPU(), runtime.GOMAXPROCS(0); n < 2 || p < 2 {
+		t.Skipf("striped speedup needs >=2 cores to manifest (NumCPU=%d GOMAXPROCS=%d); "+
+			"run the native-check-multi CI job for coverage", n, p)
+	}
+
+	threads := 4
+	if runtime.NumCPU() < 4 {
+		threads = 2
+	}
+	base := workload.BackendConfig{
+		Workload: workload.BackendSets,
+		Set:      "bst",
+		Threads:  threads,
+		Ops:      20000,
+		Seed:     7,
+		KeyRange: 4096,
+	}
+
+	best := func(lock string) time.Duration {
+		cfg := base
+		cfg.Lock = lock
+		b := time.Duration(1<<62 - 1)
+		for trial := 0; trial < 5; trial++ {
+			w := native.NewWorld(native.Config{Seed: cfg.Seed, Words: cfg.MemWords()})
+			start := time.Now()
+			workload.RunBackend(w, cfg)
+			if d := time.Since(start); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+
+	single := best("native-tle")
+	striped := best("native-tle-striped")
+	t.Logf("disjoint-key sets/bst, %d threads: native-tle best=%v, native-tle-striped best=%v (%.2fx)",
+		threads, single, striped, float64(single)/float64(striped))
+	if striped >= single {
+		t.Fatalf("striped TLE (%v) not faster than single-seq TLE (%v) on disjoint keys with %d cores",
+			striped, single, runtime.NumCPU())
+	}
+}
